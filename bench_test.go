@@ -1,0 +1,190 @@
+// Benchmark harness: one benchmark per figure and table in the paper's
+// evaluation section (§V). Each benchmark regenerates its experiment at
+// a reduced run count (3 instead of the paper's 10 — pass -benchruns in
+// spirit by editing benchRuns) and reports headline series values via
+// b.ReportMetric, so `go test -bench=.` both times the harness and
+// emits the numbers EXPERIMENTS.md records. cmd/figures runs the same
+// experiments at full fidelity with CSV output.
+package dtnsim_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"dtnsim"
+)
+
+// benchRuns trades precision for speed in benchmarks; cmd/figures uses
+// the paper's 10.
+const benchRuns = 3
+
+const benchSeed = 2012
+
+// runFigure executes a figure's sweep once per benchmark iteration and
+// reports the value of the figure's metric at the lowest and highest
+// load for every series.
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	f, err := dtnsim.FigureByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Sweep.Runs = benchRuns
+	f.Sweep.BaseSeed = benchSeed
+	var res *dtnsim.SweepResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = dtnsim.RunSweep(f.Sweep)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, s := range res.Series {
+		first := s.Points[0].Values[f.Metric]
+		last := s.Points[len(s.Points)-1].Values[f.Metric]
+		tag := metricTag(s.Label)
+		if !math.IsNaN(first) {
+			b.ReportMetric(first, fmt.Sprintf("%s@load%d", tag, s.Points[0].Load))
+		}
+		if !math.IsNaN(last) {
+			b.ReportMetric(last, fmt.Sprintf("%s@load%d", tag, s.Points[len(s.Points)-1].Load))
+		}
+	}
+}
+
+// metricTag compresses a protocol label into a benchmark-metric-safe tag.
+func metricTag(label string) string {
+	r := strings.NewReplacer(
+		"Epidemic with ", "",
+		"P-Q epidemic (anti-packets)", "pq-anti",
+		"P-Q epidemic", "pq",
+		"cumulative immunity", "cumimm",
+		"dynamic TTL", "dynttl",
+		" ", "",
+		"=", "",
+	)
+	return strings.ToLower(r.Replace(label))
+}
+
+// Figures 7–13 and 15–20 plus the overhead comparison: §V's full set.
+
+func BenchmarkFig07DelayTrace(b *testing.B)          { runFigure(b, "fig07") }
+func BenchmarkFig08DelayRWP(b *testing.B)            { runFigure(b, "fig08") }
+func BenchmarkFig09DupTrace(b *testing.B)            { runFigure(b, "fig09") }
+func BenchmarkFig10DupRWP(b *testing.B)              { runFigure(b, "fig10") }
+func BenchmarkFig11BufTrace(b *testing.B)            { runFigure(b, "fig11") }
+func BenchmarkFig12BufRWP(b *testing.B)              { runFigure(b, "fig12") }
+func BenchmarkFig13DeliveryTrace(b *testing.B)       { runFigure(b, "fig13") }
+func BenchmarkFig15DeliveryEnhancedRWP(b *testing.B) { runFigure(b, "fig15") }
+func BenchmarkFig16DeliveryEnhancedTrace(b *testing.B) {
+	runFigure(b, "fig16")
+}
+func BenchmarkFig17BufEnhancedRWP(b *testing.B)   { runFigure(b, "fig17") }
+func BenchmarkFig18BufEnhancedTrace(b *testing.B) { runFigure(b, "fig18") }
+func BenchmarkFig19DupEnhancedRWP(b *testing.B)   { runFigure(b, "fig19") }
+func BenchmarkFig20DupEnhancedTrace(b *testing.B) { runFigure(b, "fig20") }
+func BenchmarkOverheadImmunity(b *testing.B)      { runFigure(b, "overhead") }
+
+// BenchmarkFig14IntervalSensitivity runs the paired controlled-interval
+// scenarios (max gap 400 s vs 2000 s) and reports TTL=300 delivery for
+// both, whose ratio is the paper's Fig. 14 headline.
+func BenchmarkFig14IntervalSensitivity(b *testing.B) {
+	short, long := dtnsim.Fig14Pair()
+	short.Runs, long.Runs = benchRuns, benchRuns
+	short.BaseSeed, long.BaseSeed = benchSeed, benchSeed
+	var rs, rl *dtnsim.SweepResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rs, err = dtnsim.RunSweep(short); err != nil {
+			b.Fatal(err)
+		}
+		if rl, err = dtnsim.RunSweep(long); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	avg := func(r *dtnsim.SweepResult) float64 {
+		sum := 0.0
+		for _, p := range r.Series[0].Points {
+			sum += p.Values[dtnsim.MetricDelivery]
+		}
+		return sum / float64(len(r.Series[0].Points))
+	}
+	b.ReportMetric(avg(rs), "delivery@interval400")
+	b.ReportMetric(avg(rl), "delivery@interval2000")
+}
+
+// BenchmarkTableIIComparison regenerates the paper's closing table and
+// reports the six protocols' load-averaged delivery rates.
+func BenchmarkTableIIComparison(b *testing.B) {
+	var rows []dtnsim.TableIIRow
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err = dtnsim.TableII(benchSeed, benchRuns)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		tag := metricTag(r.Protocol)
+		b.ReportMetric(r.DeliveryTr, tag+"-delivery-trace-%")
+		b.ReportMetric(r.OccupancyTr, tag+"-occupancy-trace-%")
+	}
+}
+
+// --- engine micro-benchmarks -------------------------------------------------
+//
+// These time the simulator's hot paths so regressions in the substrate
+// are visible independently of experiment composition.
+
+func BenchmarkEngineTraceRun(b *testing.B) {
+	schedule, err := dtnsim.CambridgeTrace(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := dtnsim.Run(dtnsim.Config{
+			Schedule:     schedule,
+			Protocol:     dtnsim.Immunity(),
+			Flows:        []dtnsim.Flow{{Src: 0, Dst: 7, Count: 50}},
+			Seed:         uint64(i),
+			RunToHorizon: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSyntheticTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtnsim.CambridgeTrace(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubscriberRWPGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtnsim.SubscriberRWP(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- parameter ablations (§IV swept values and enhancement knobs) ------------
+
+func BenchmarkAblationTTLSweep(b *testing.B)      { runFigure(b, "ttlsweep") }
+func BenchmarkAblationPQSweep(b *testing.B)       { runFigure(b, "pqsweep") }
+func BenchmarkAblationDynMultiplier(b *testing.B) { runFigure(b, "dynmult") }
+func BenchmarkAblationECThreshold(b *testing.B)   { runFigure(b, "ecthresh") }

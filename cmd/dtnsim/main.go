@@ -1,0 +1,134 @@
+// Command dtnsim runs a single DTN simulation and prints the paper's
+// metrics for it.
+//
+// Usage:
+//
+//	dtnsim -mobility trace -protocol dynttl -load 25 -src 0 -dst 7
+//	dtnsim -mobility rwp -protocol pq -p 0.5 -q 0.5 -load 50 -seed 3
+//	dtnsim -trace contacts.txt -protocol immunity -load 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dtnsim"
+)
+
+func main() {
+	var (
+		mobilityFlag = flag.String("mobility", "trace", "mobility source: trace | rwp | classic | interval")
+		traceFile    = flag.String("trace", "", "read mobility from a trace file instead (nodeA nodeB start end lines)")
+		protoFlag    = flag.String("protocol", "pure", "protocol: pure | pq | ttl | dynttl | ec | ecttl | immunity | cumimmunity")
+		pFlag        = flag.Float64("p", 1, "P-Q epidemic: source transmission probability")
+		qFlag        = flag.Float64("q", 1, "P-Q epidemic: relay transmission probability")
+		antiFlag     = flag.Bool("antipackets", false, "P-Q epidemic: enable the §II anti-packet channel")
+		ttlFlag      = flag.Float64("ttl", 300, "epidemic with TTL: constant TTL in seconds")
+		loadFlag     = flag.Int("load", 25, "bundles to send (the paper sweeps 5..50)")
+		srcFlag      = flag.Int("src", 0, "source node")
+		dstFlag      = flag.Int("dst", 7, "destination node")
+		seedFlag     = flag.Uint64("seed", 42, "random seed (mobility and protocol draws)")
+		bufFlag      = flag.Int("buffer", dtnsim.DefaultBufferCap, "per-node buffer capacity in bundles")
+		txFlag       = flag.Float64("txtime", dtnsim.DefaultTxTime, "seconds to transmit one bundle")
+		horizonFlag  = flag.Bool("full", false, "run to the mobility horizon instead of stopping at delivery")
+		maxIFlag     = flag.Float64("maxinterval", 400, "interval mobility: max inter-encounter gap in seconds")
+	)
+	flag.Parse()
+
+	schedule, err := buildSchedule(*mobilityFlag, *traceFile, *seedFlag, *maxIFlag)
+	if err != nil {
+		fatal(err)
+	}
+	proto, err := buildProtocol(*protoFlag, *pFlag, *qFlag, *antiFlag, *ttlFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	st := dtnsim.AnalyzeSchedule(schedule)
+	fmt.Printf("mobility: %s\n", st)
+
+	result, err := dtnsim.Run(dtnsim.Config{
+		Schedule:     schedule,
+		Protocol:     proto,
+		Flows:        []dtnsim.Flow{{Src: dtnsim.NodeID(*srcFlag), Dst: dtnsim.NodeID(*dstFlag), Count: *loadFlag}},
+		BufferCap:    *bufFlag,
+		TxTime:       *txFlag,
+		Seed:         *seedFlag,
+		RunToHorizon: *horizonFlag,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("protocol: %s\n", result.Protocol)
+	fmt.Printf("delivered: %d/%d (ratio %.3f)\n", result.Delivered, result.Generated, result.DeliveryRatio)
+	if result.Completed {
+		fmt.Printf("delay (all bundles): %.0f s\n", result.Makespan)
+	} else {
+		fmt.Println("delay: transmission failed (not all bundles arrived before the horizon)")
+	}
+	if result.Delivered > 0 {
+		fmt.Printf("mean per-bundle delay: %.0f s\n", result.MeanDelay)
+	}
+	fmt.Printf("buffer occupancy level: %.3f\n", result.MeanOccupancy)
+	fmt.Printf("bundle duplication rate: %.3f\n", result.MeanDuplication)
+	fmt.Printf("signaling overhead: %d records\n", result.ControlRecords)
+	fmt.Printf("bundle transmissions: %d (refused %d, evicted %d, expired %d)\n",
+		result.DataTransmissions, result.Refused, result.Evicted, result.Expired)
+	fmt.Printf("finished at: %v\n", result.FinishedAt)
+}
+
+func buildSchedule(kind, traceFile string, seed uint64, maxInterval float64) (*dtnsim.Schedule, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dtnsim.ParseTrace(f)
+	}
+	switch kind {
+	case "trace":
+		return dtnsim.CambridgeTrace(seed)
+	case "rwp":
+		return dtnsim.SubscriberRWP(seed)
+	case "classic":
+		return dtnsim.ClassicRWP{Seed: seed}.Generate()
+	case "interval":
+		return dtnsim.ControlledInterval{Seed: seed, MaxInterval: maxInterval}.Generate()
+	default:
+		return nil, fmt.Errorf("unknown mobility %q (want trace|rwp|classic|interval)", kind)
+	}
+}
+
+func buildProtocol(kind string, p, q float64, anti bool, ttl float64) (dtnsim.Protocol, error) {
+	switch kind {
+	case "pure":
+		return dtnsim.Pure(), nil
+	case "pq":
+		if anti {
+			return dtnsim.PQWithAntiPackets(p, q), nil
+		}
+		return dtnsim.PQ(p, q), nil
+	case "ttl":
+		return dtnsim.TTL(ttl), nil
+	case "dynttl":
+		return dtnsim.DynamicTTL(), nil
+	case "ec":
+		return dtnsim.EC(), nil
+	case "ecttl":
+		return dtnsim.ECTTL(), nil
+	case "immunity":
+		return dtnsim.Immunity(), nil
+	case "cumimmunity":
+		return dtnsim.CumulativeImmunity(), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtnsim:", err)
+	os.Exit(1)
+}

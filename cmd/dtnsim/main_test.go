@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dtnsim"
+)
+
+func TestBuildScheduleKinds(t *testing.T) {
+	for _, kind := range []string{"trace", "rwp", "classic", "interval"} {
+		s, err := buildSchedule(kind, "", 3, 400)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, err := buildSchedule("bogus", "", 3, 400); err == nil {
+		t.Error("unknown mobility accepted")
+	}
+}
+
+func TestBuildScheduleFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	gen, err := dtnsim.CambridgeTrace(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dtnsim.WriteTrace(f, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := buildSchedule("ignored", path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Contacts) != len(gen.Contacts) {
+		t.Errorf("file round trip: %d contacts, want %d", len(s.Contacts), len(gen.Contacts))
+	}
+	if _, err := buildSchedule("trace", filepath.Join(t.TempDir(), "missing"), 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBuildProtocolKinds(t *testing.T) {
+	kinds := []string{"pure", "pq", "ttl", "dynttl", "ec", "ecttl", "immunity", "cumimmunity"}
+	for _, k := range kinds {
+		p, err := buildProtocol(k, 0.5, 0.5, false, 300)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if p.Name() == "" {
+			t.Errorf("%s: empty name", k)
+		}
+	}
+	p, err := buildProtocol("pq", 1, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "P-Q epidemic (P=1,Q=1,anti-packets)" {
+		t.Errorf("anti-packet variant name = %q", p.Name())
+	}
+	if _, err := buildProtocol("bogus", 0, 0, false, 0); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

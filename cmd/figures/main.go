@@ -1,0 +1,138 @@
+// Command figures regenerates every figure and table from the paper's
+// evaluation section: Fig. 7–20, Table II, and the §V-C signaling
+// overhead comparison. For each experiment it writes a CSV under -out
+// and prints the series as an aligned table and an ASCII chart.
+//
+// Usage:
+//
+//	figures                     # everything, paper parameters (10 runs)
+//	figures -runs 3 -only fig07,fig13
+//	figures -out results -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dtnsim"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "results", "directory for CSV output")
+		runs   = flag.Int("runs", 10, "runs per (protocol, load) point; the paper uses 10")
+		seed   = flag.Uint64("seed", 2012, "base seed")
+		only   = flag.String("only", "", "comma-separated experiment ids (default: all, plus fig14 and table2)")
+		plots  = flag.Bool("plots", true, "print ASCII charts")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	for _, f := range dtnsim.AllExperiments() {
+		if !want(f.ID) {
+			continue
+		}
+		if f.ID == "fig14" {
+			continue // handled as a scenario pair below
+		}
+		f.Sweep.Runs = *runs
+		f.Sweep.BaseSeed = *seed
+		if !*quiet {
+			f.Sweep.OnPoint = func(label string, load int) {
+				fmt.Fprintf(os.Stderr, "\r%s: %-40s load %2d   ", f.ID, label, load)
+			}
+		}
+		res, err := dtnsim.RunSweep(f.Sweep)
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintln(os.Stderr)
+		}
+		table := dtnsim.TableOf(res, f.Metric, fmt.Sprintf("%s: %s", f.ID, f.Title))
+		emit(*outDir, f.ID, table, *plots)
+		fmt.Printf("expected shape: %s\n\n", f.Expect)
+	}
+
+	if want("fig14") {
+		runFig14(*outDir, *runs, *seed, *plots)
+	}
+	if want("table2") {
+		runTableII(*outDir, *runs, *seed)
+	}
+}
+
+func runFig14(outDir string, runs int, seed uint64, plots bool) {
+	short, long := dtnsim.Fig14Pair()
+	short.Runs, long.Runs = runs, runs
+	short.BaseSeed, long.BaseSeed = seed, seed
+	rs, err := dtnsim.RunSweep(short)
+	if err != nil {
+		fatal(err)
+	}
+	rl, err := dtnsim.RunSweep(long)
+	if err != nil {
+		fatal(err)
+	}
+	// Merge the two single-series results into one two-column table.
+	merged := &dtnsim.SweepResult{
+		Scenario: "interval",
+		Loads:    rs.Loads,
+		Series: []dtnsim.Series{
+			{Label: "Interval time = 400", Points: rs.Series[0].Points},
+			{Label: "Interval time = 2000", Points: rl.Series[0].Points},
+		},
+	}
+	table := dtnsim.TableOf(merged, dtnsim.MetricDelivery,
+		"fig14: Delivery ratio of epidemic with TTL=300 under interval 400 vs 2000")
+	emit(outDir, "fig14", table, plots)
+	fmt.Printf("expected shape: the 2000 s scenario delivers >=20%% less\n\n")
+}
+
+func runTableII(outDir string, runs int, seed uint64) {
+	fmt.Fprintln(os.Stderr, "table2: running both mobility sources...")
+	rows, err := dtnsim.TableII(seed, runs)
+	if err != nil {
+		fatal(err)
+	}
+	text := dtnsim.RenderTableII(rows)
+	fmt.Println(text)
+	var csv strings.Builder
+	csv.WriteString("protocol,delivery_rwp,delivery_trace,occupancy_rwp,occupancy_trace,duplication_rwp,duplication_trace\n")
+	for _, r := range rows {
+		fmt.Fprintf(&csv, "%q,%.1f,%.1f,%.1f,%.1f,%.1f,%.1f\n",
+			r.Protocol, r.DeliveryRWP, r.DeliveryTr, r.OccupancyRWP, r.OccupancyTr, r.DupRWP, r.DupTr)
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "table2.csv"), []byte(csv.String()), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func emit(outDir, id string, table *dtnsim.ResultTable, plots bool) {
+	if err := os.WriteFile(filepath.Join(outDir, id+".csv"), []byte(table.CSV()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println(table.ASCII())
+	if plots {
+		fmt.Println(table.Plot(64, 16))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command tracegen generates encounter traces from any of the mobility
+// models and writes them in the canonical text format (readable by
+// dtnsim -trace and dtnsim.ParseTrace), printing summary statistics.
+//
+// Usage:
+//
+//	tracegen -model trace -seed 42 -o cambridge.txt
+//	tracegen -model rwp -nodes 20 -o rwp.txt
+//	tracegen -model interval -maxinterval 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dtnsim"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "trace", "mobility model: trace | rwp | classic | interval")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		nodes     = flag.Int("nodes", 0, "node count (0 = model default)")
+		span      = flag.Float64("span", 0, "simulated seconds (0 = model default)")
+		maxI      = flag.Float64("maxinterval", 400, "interval model: max inter-encounter gap")
+		out       = flag.String("o", "", "output file (default stdout)")
+		statsOnly = flag.Bool("stats", false, "print statistics only, no trace")
+	)
+	flag.Parse()
+
+	schedule, err := generate(*model, *seed, *nodes, *span, *maxI)
+	if err != nil {
+		fatal(err)
+	}
+
+	st := dtnsim.AnalyzeSchedule(schedule)
+	fmt.Fprintf(os.Stderr, "%s\n", st)
+
+	if *statsOnly {
+		return
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dtnsim.WriteTrace(w, schedule); err != nil {
+		fatal(err)
+	}
+}
+
+func generate(model string, seed uint64, nodes int, span, maxI float64) (*dtnsim.Schedule, error) {
+	switch model {
+	case "trace":
+		return dtnsim.SyntheticCambridge{Seed: seed, Nodes: nodes, Span: dtnsim.Time(span)}.Generate()
+	case "rwp":
+		return dtnsim.SubscriberPointRWP{Seed: seed, Nodes: nodes, Span: dtnsim.Time(span)}.Generate()
+	case "classic":
+		return dtnsim.ClassicRWP{Seed: seed, Nodes: nodes, Span: dtnsim.Time(span)}.Generate()
+	case "interval":
+		return dtnsim.ControlledInterval{Seed: seed, Nodes: nodes, MaxInterval: maxI}.Generate()
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Campus: the paper's Fig. 1 motivating scenario — students carrying
+// short-range devices around a university campus, with no infrastructure
+// and no contemporaneous path between sender and receiver. This example
+// runs every protocol the paper studies over the same five-day campus
+// trace and prints a side-by-side comparison, a miniature of the paper's
+// Table II.
+//
+//	go run ./examples/campus
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dtnsim"
+)
+
+func main() {
+	schedule, err := dtnsim.CambridgeTrace(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("campus trace:", dtnsim.AnalyzeSchedule(schedule))
+	fmt.Println()
+
+	// Student 2 sends 30 lecture recordings (bundles) to student 9.
+	// They never coordinate; every other student is a potential relay.
+	const load = 30
+	flows := []dtnsim.Flow{{Src: 2, Dst: 9, Count: load}}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "protocol\tdelivery\tdelay(s)\toccupancy\tduplication\toverhead")
+	for _, proto := range dtnsim.Protocols() {
+		r, err := dtnsim.Run(dtnsim.Config{
+			Schedule:     schedule,
+			Protocol:     proto,
+			Flows:        flows,
+			Seed:         99,
+			RunToHorizon: true, // observe steady-state buffers like §V
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		delay := "failed"
+		if r.Completed {
+			delay = fmt.Sprintf("%.0f", r.Makespan)
+		}
+		fmt.Fprintf(w, "%s\t%.2f\t%s\t%.3f\t%.3f\t%d\n",
+			r.Protocol, r.DeliveryRatio, delay, r.MeanOccupancy, r.MeanDuplication, r.ControlRecords)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nReading the table like the paper does (§V):")
+	fmt.Println(" - flooding variants (pure, P-Q at 1,1) deliver everything but pin buffers near full;")
+	fmt.Println(" - constant TTL discards bundles prematurely on a sparse campus;")
+	fmt.Println(" - dynamic TTL adapts the deadline to each node's encounter rhythm;")
+	fmt.Println(" - immunity purges delivered bundles, cumulative immunity does it with a")
+	fmt.Println("   single table instead of one record per bundle.")
+}

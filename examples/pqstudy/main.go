@@ -1,0 +1,44 @@
+// PQ study: the paper's §II-C observation that transmission
+// probabilities below one are counterproductive in DTNs — "every
+// encounter is important, and a missed opportunity will likely result in
+// long delays and low delivery ratio". This example sweeps the (P,Q)
+// values the paper experiments with (0.1, 0.5, 1) over the campus trace
+// and prints delivery and delay per configuration and load.
+//
+//	go run ./examples/pqstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtnsim"
+)
+
+func main() {
+	probs := []float64{0.1, 0.5, 1.0}
+	var factories []dtnsim.ProtocolFactory
+	for _, p := range probs {
+		p := p
+		factories = append(factories, dtnsim.ProtocolFactory{
+			Label: fmt.Sprintf("P=Q=%g", p),
+			New:   func() dtnsim.Protocol { return dtnsim.PQ(p, p) },
+		})
+	}
+	res, err := dtnsim.RunSweep(dtnsim.Sweep{
+		Scenario:  dtnsim.TraceScenario(),
+		Protocols: factories,
+		Loads:     []int{10, 30, 50},
+		Runs:      5,
+		BaseSeed:  11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(dtnsim.TableOf(res, dtnsim.MetricDelivery, "Delivery ratio by transmission probability").ASCII())
+	fmt.Println(dtnsim.TableOf(res, dtnsim.MetricDelay, "Delay (s, completed runs) by transmission probability").ASCII())
+	fmt.Println("Lower probabilities squander encounters: with P=Q=0.1 most contact")
+	fmt.Println("slots pass unused, so bundles wait for later meetings that a sparse")
+	fmt.Println("DTN may never provide (§II-C).")
+}

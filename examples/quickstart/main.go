@@ -1,0 +1,46 @@
+// Quickstart: simulate one DTN flow over the Cambridge-style encounter
+// trace and print the paper's four metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtnsim"
+)
+
+func main() {
+	// The trace the paper uses: 12 campus nodes over five days of
+	// irregular encounters (a seeded synthetic stand-in for the
+	// CRAWDAD cambridge/haggle/imote trace; see DESIGN.md §3).
+	schedule, err := dtnsim.CambridgeTrace(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := dtnsim.AnalyzeSchedule(schedule)
+	fmt.Println("mobility:", stats)
+
+	// Node 0 sends 25 bundles to node 7 under the paper's dynamic-TTL
+	// enhancement. Buffers hold 10 bundles; a bundle takes 100 s to
+	// transmit — all §IV defaults.
+	result, err := dtnsim.Run(dtnsim.Config{
+		Schedule: schedule,
+		Protocol: dtnsim.DynamicTTL(),
+		Flows:    []dtnsim.Flow{{Src: 0, Dst: 7, Count: 25}},
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("protocol:", result.Protocol)
+	fmt.Printf("delivery ratio:   %.3f (%d/%d bundles)\n",
+		result.DeliveryRatio, result.Delivered, result.Generated)
+	if result.Completed {
+		fmt.Printf("delay:            %.0f s until the last bundle arrived\n", result.Makespan)
+	}
+	fmt.Printf("buffer occupancy: %.3f\n", result.MeanOccupancy)
+	fmt.Printf("duplication rate: %.3f\n", result.MeanDuplication)
+}

@@ -1,0 +1,77 @@
+// Wildlife: a ZebraNet-style sensing scenario (the paper's first
+// motivating application [1]). Collared animals roam a large area and
+// exchange stored sensor readings when they wander within radio range;
+// researchers collect whatever reaches a basestation-carrying vehicle.
+// Resource limits dominate: small buffers, and signaling overhead costs
+// battery — exactly the trade-off the paper's cumulative-immunity
+// enhancement targets.
+//
+// The example builds a sparse classic random-waypoint world, runs three
+// animal→base flows under plain and cumulative immunity, and compares
+// delivered data against the signaling spent to get it.
+//
+//	go run ./examples/wildlife
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dtnsim"
+)
+
+func main() {
+	// 10 collared animals (nodes 0–9) plus a ranger vehicle (node 10)
+	// in a 3×3 km reserve; radio reaches 150 m. Classic RWP is fine
+	// here: animals genuinely wander, and we keep MinSpeed well above
+	// zero to avoid the RWP speed-decay pathology the paper cites [19].
+	world := dtnsim.ClassicRWP{
+		Nodes:    11,
+		AreaSide: 3000,
+		Range:    150,
+		MinSpeed: 0.5,
+		MaxSpeed: 4, // animal speeds, not vehicles
+		MaxPause: 2000,
+		Span:     600000,
+		Seed:     2024,
+	}
+	schedule, err := world.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reserve:", dtnsim.AnalyzeSchedule(schedule))
+	fmt.Println()
+
+	// Three collars stream 15 readings each to the vehicle (node 10).
+	flows := []dtnsim.Flow{
+		{Src: 0, Dst: 10, Count: 15},
+		{Src: 4, Dst: 10, Count: 15},
+		{Src: 8, Dst: 10, Count: 15},
+	}
+
+	for _, proto := range []dtnsim.Protocol{dtnsim.Immunity(), dtnsim.CumulativeImmunity()} {
+		r, err := dtnsim.Run(dtnsim.Config{
+			Schedule:     schedule,
+			Protocol:     proto,
+			Flows:        flows,
+			BufferCap:    8, // collars are tiny
+			Seed:         5,
+			RunToHorizon: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", r.Protocol)
+		fmt.Printf("  readings collected: %d/%d (%.0f%%)\n",
+			r.Delivered, r.Generated, 100*r.DeliveryRatio)
+		fmt.Printf("  signaling spent:    %d records\n", r.ControlRecords)
+		if r.Delivered > 0 {
+			fmt.Printf("  records per reading: %.1f\n",
+				float64(r.ControlRecords)/float64(r.Delivered))
+		}
+		fmt.Printf("  collar buffer load: %.2f\n\n", r.MeanOccupancy)
+	}
+	fmt.Println("Cumulative immunity collects the same data for a fraction of the")
+	fmt.Println("signaling — the paper's order-of-magnitude overhead claim (§V-C) —")
+	fmt.Println("which is battery the collars do not spend.")
+}

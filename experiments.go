@@ -1,0 +1,96 @@
+package dtnsim
+
+import (
+	"dtnsim/internal/experiment"
+	"dtnsim/internal/report"
+)
+
+// Experiment-harness types, re-exported so downstream users can define
+// their own sweeps and render them like the paper's figures.
+type (
+	// Sweep is a load-sweep experiment specification (§IV: loads
+	// 5..50 step 5, ten seeded runs per point).
+	Sweep = experiment.Sweep
+	// SweepResult is a finished sweep: one Series per protocol.
+	SweepResult = experiment.Result
+	// Series is one protocol's curve across loads.
+	Series = experiment.Series
+	// Point is one averaged (load, protocol) measurement.
+	Point = experiment.Point
+	// Metric selects a measurement: delay, delivery, occupancy,
+	// duplication or overhead.
+	Metric = experiment.Metric
+	// Figure is one of the paper's figures as a runnable experiment.
+	Figure = experiment.Figure
+	// ProtocolFactory builds a fresh protocol instance per run.
+	ProtocolFactory = experiment.ProtocolFactory
+	// ExperimentScenario produces mobility input for sweep runs.
+	ExperimentScenario = experiment.Scenario
+	// TableIIRow is one row of the paper's closing comparison table.
+	TableIIRow = experiment.TableIIRow
+	// ResultTable is a rendered metric table (CSV / ASCII / plot).
+	ResultTable = report.Table
+)
+
+// The paper's metrics (§IV) plus the §V-C signaling-overhead count.
+const (
+	MetricDelay       = experiment.MetricDelay
+	MetricDelivery    = experiment.MetricDelivery
+	MetricOccupancy   = experiment.MetricOccupancy
+	MetricDuplication = experiment.MetricDuplication
+	MetricOverhead    = experiment.MetricOverhead
+)
+
+// Figures returns every reproducible experiment (Fig. 7–20 plus the
+// §V-C overhead comparison) in paper order.
+func Figures() []Figure { return experiment.Figures() }
+
+// Ablations returns the §IV parameter sweeps (constant-TTL values, P=Q
+// values) and enhancement-parameter sensitivity experiments.
+func Ablations() []Figure { return experiment.Ablations() }
+
+// AllExperiments returns Figures followed by Ablations.
+func AllExperiments() []Figure { return experiment.AllExperiments() }
+
+// FigureByID looks up one experiment ("fig07" … "fig20", "overhead",
+// "ttlsweep", "pqsweep", "dynmult", "ecthresh").
+func FigureByID(id string) (Figure, error) { return experiment.FigureByID(id) }
+
+// RunSweep executes a load-sweep experiment.
+func RunSweep(s Sweep) (*SweepResult, error) { return experiment.Run(s) }
+
+// Fig14Pair returns the two controlled-interval sweeps behind Fig. 14
+// (max inter-encounter interval 400 s versus 2000 s).
+func Fig14Pair() (short, long Sweep) { return experiment.Fig14Pair() }
+
+// TableII computes the paper's Table II: load-averaged delivery rate,
+// buffer occupancy and duplication rate for the six §V-B protocols under
+// both mobility sources.
+func TableII(baseSeed uint64, runs int) ([]TableIIRow, error) {
+	return experiment.TableII(baseSeed, runs)
+}
+
+// RenderTableII renders Table II rows in the paper's layout.
+func RenderTableII(rows []TableIIRow) string { return report.TableIIText(rows) }
+
+// TableOf extracts one metric from a sweep result as a renderable table.
+func TableOf(r *SweepResult, m Metric, title string) *ResultTable {
+	return report.FromResult(r, m, title)
+}
+
+// DefaultLoads is the paper's load axis: 5, 10, …, 50.
+func DefaultLoads() []int { return experiment.DefaultLoads() }
+
+// Standard scenarios and protocol factories for sweeps.
+
+// TraceScenario is the trace-based setup (synthetic Cambridge trace,
+// fixed across runs).
+func TraceScenario() ExperimentScenario { return experiment.TraceScenario() }
+
+// RWPScenario is the subscriber-point RWP setup (regenerated per run).
+func RWPScenario() ExperimentScenario { return experiment.RWPScenario() }
+
+// IntervalScenario is the Fig. 14 controlled-interval setup.
+func IntervalScenario(maxInterval float64) ExperimentScenario {
+	return experiment.IntervalScenario(maxInterval)
+}

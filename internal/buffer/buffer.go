@@ -1,0 +1,187 @@
+// Package buffer implements the capacity-bounded bundle store each DTN
+// node carries. The paper fixes capacity at 10 bundles; the policies that
+// decide *which* bundle to drop live in the protocols — the store only
+// enforces mechanics: capacity accounting, pinning of self-originated
+// bundles, TTL purging, and deterministic iteration.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/sim"
+)
+
+// ErrFull is returned by Put when the store is at capacity and the copy
+// is not pinned.
+var ErrFull = errors.New("buffer: store full")
+
+// ErrDuplicate is returned by Put when a copy of the bundle is already
+// stored.
+var ErrDuplicate = errors.New("buffer: duplicate bundle")
+
+// Store holds one node's buffered bundle copies.
+//
+// Pinned copies (a source's own undelivered bundles) are exempt from the
+// capacity check and cannot be evicted — see DESIGN.md §3.3 for why the
+// paper's results imply this behaviour — but they do count in Occupancy,
+// which is how the paper's occupancy plots exceed 1.0.
+type Store struct {
+	cap    int
+	copies map[bundle.ID]*bundle.Copy
+	// controlLoad is the buffer space consumed by stored control
+	// metadata (immunity tables / anti-packets), in bundle-slot units.
+	// The paper observes that "nodes' buffer occupancy is dependent on
+	// immunity tables stored in each node" — tables occupy buffer space
+	// and compete with bundles (DESIGN.md §3).
+	controlLoad float64
+}
+
+// New returns an empty store with the given capacity in bundles.
+// Capacity must be positive.
+func New(capacity int) *Store {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: capacity must be positive, got %d", capacity))
+	}
+	return &Store{cap: capacity, copies: make(map[bundle.ID]*bundle.Copy)}
+}
+
+// Cap returns the configured capacity.
+func (s *Store) Cap() int { return s.cap }
+
+// Len returns the total number of stored copies, pinned included.
+func (s *Store) Len() int { return len(s.copies) }
+
+// Unpinned returns the number of copies that count against capacity.
+func (s *Store) Unpinned() int {
+	n := 0
+	for _, c := range s.copies {
+		if !c.Pinned {
+			n++
+		}
+	}
+	return n
+}
+
+// SetControlLoad records the buffer space consumed by control metadata,
+// in bundle-slot units. Negative values are clamped to zero.
+func (s *Store) SetControlLoad(load float64) {
+	if load < 0 {
+		load = 0
+	}
+	s.controlLoad = load
+}
+
+// ControlLoad returns the buffer space consumed by control metadata.
+func (s *Store) ControlLoad() float64 { return s.controlLoad }
+
+// Free returns the number of unpinned slots still available after
+// accounting for whole slots consumed by control metadata.
+func (s *Store) Free() int {
+	free := s.cap - s.Unpinned() - int(s.controlLoad)
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// Occupancy returns (copies + control load)/Cap(): the paper's "buffer
+// occupancy level". It may exceed 1.0 at a source holding pinned bundles
+// beyond capacity.
+func (s *Store) Occupancy() float64 {
+	return (float64(len(s.copies)) + s.controlLoad) / float64(s.cap)
+}
+
+// Has reports whether a copy of id is stored.
+func (s *Store) Has(id bundle.ID) bool {
+	_, ok := s.copies[id]
+	return ok
+}
+
+// Get returns the stored copy of id, or nil.
+func (s *Store) Get(id bundle.ID) *bundle.Copy { return s.copies[id] }
+
+// Put stores a copy. Unpinned copies are refused with ErrFull when no
+// unpinned slot is free; a second copy of the same bundle is refused with
+// ErrDuplicate.
+func (s *Store) Put(c *bundle.Copy) error {
+	if _, ok := s.copies[c.Bundle.ID]; ok {
+		return fmt.Errorf("%w: %v", ErrDuplicate, c.Bundle.ID)
+	}
+	if !c.Pinned && s.Free() <= 0 {
+		return fmt.Errorf("%w: cap=%d", ErrFull, s.cap)
+	}
+	s.copies[c.Bundle.ID] = c
+	return nil
+}
+
+// Remove deletes the copy of id, reporting whether it was present.
+// Pinned copies can be removed — delivery and immunity purge both apply
+// to sources once a bundle is known delivered.
+func (s *Store) Remove(id bundle.ID) bool {
+	if _, ok := s.copies[id]; !ok {
+		return false
+	}
+	delete(s.copies, id)
+	return true
+}
+
+// Items returns the stored copies in deterministic bundle-ID order.
+func (s *Store) Items() []*bundle.Copy {
+	out := make([]*bundle.Copy, 0, len(s.copies))
+	for _, c := range s.copies {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bundle.ID.Less(out[j].Bundle.ID) })
+	return out
+}
+
+// IDs returns the stored bundle IDs in deterministic order.
+func (s *Store) IDs() []bundle.ID {
+	out := make([]bundle.ID, 0, len(s.copies))
+	for id := range s.copies {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Vector returns a summary vector of the store's current contents.
+func (s *Store) Vector() *bundle.SummaryVector {
+	v := bundle.NewSummaryVector()
+	for id := range s.copies {
+		v.Add(id)
+	}
+	return v
+}
+
+// PurgeExpired removes every unpinned copy whose TTL lapsed at or before
+// now and returns the purged copies in deterministic order. Pinned
+// copies never expire: a source holds its own bundles until delivery.
+func (s *Store) PurgeExpired(now sim.Time) []*bundle.Copy {
+	var purged []*bundle.Copy
+	for _, c := range s.Items() {
+		if !c.Pinned && c.Expired(now) {
+			delete(s.copies, c.Bundle.ID)
+			purged = append(purged, c)
+		}
+	}
+	return purged
+}
+
+// PurgeMatching removes every copy (pinned included) for which match
+// returns true and returns the removed copies in deterministic order.
+// Immunity protocols use this to discard delivered bundles everywhere,
+// including the source.
+func (s *Store) PurgeMatching(match func(*bundle.Copy) bool) []*bundle.Copy {
+	var purged []*bundle.Copy
+	for _, c := range s.Items() {
+		if match(c) {
+			delete(s.copies, c.Bundle.ID)
+			purged = append(purged, c)
+		}
+	}
+	return purged
+}

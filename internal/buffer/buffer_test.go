@@ -1,0 +1,260 @@
+package buffer
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
+	"dtnsim/internal/sim"
+)
+
+func mk(seq int) *bundle.Copy {
+	return &bundle.Copy{
+		Bundle: &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: seq}, Dst: 1},
+		Expiry: sim.Infinity,
+	}
+}
+
+func mkPinned(seq int) *bundle.Copy {
+	c := mk(seq)
+	c.Pinned = true
+	return c
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestPutGetRemove(t *testing.T) {
+	s := New(3)
+	c := mk(1)
+	if err := s.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(c.Bundle.ID) || s.Get(c.Bundle.ID) != c || s.Len() != 1 {
+		t.Fatal("store state wrong after Put")
+	}
+	if err := s.Put(mk(1)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate Put: err=%v", err)
+	}
+	if !s.Remove(c.Bundle.ID) {
+		t.Fatal("Remove returned false for present bundle")
+	}
+	if s.Remove(c.Bundle.ID) {
+		t.Fatal("Remove returned true for absent bundle")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	s := New(2)
+	if err := s.Put(mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(mk(3)); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity Put: err=%v", err)
+	}
+	if s.Free() != 0 {
+		t.Errorf("Free = %d, want 0", s.Free())
+	}
+}
+
+func TestPinnedBypassesCapacity(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(mkPinned(i)); err != nil {
+			t.Fatalf("pinned Put %d: %v", i, err)
+		}
+	}
+	if s.Len() != 5 || s.Unpinned() != 0 || s.Free() != 2 {
+		t.Fatalf("len=%d unpinned=%d free=%d", s.Len(), s.Unpinned(), s.Free())
+	}
+	// Unpinned slots still available despite 5 pinned copies.
+	if err := s.Put(mk(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(mk(11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(mk(12)); !errors.Is(err, ErrFull) {
+		t.Fatalf("unpinned over capacity: err=%v", err)
+	}
+}
+
+func TestOccupancyCanExceedOne(t *testing.T) {
+	s := New(2)
+	for i := 0; i < 6; i++ {
+		if err := s.Put(mkPinned(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Occupancy(); got != 3.0 {
+		t.Errorf("Occupancy = %v, want 3.0", got)
+	}
+}
+
+func TestItemsAndIDsDeterministic(t *testing.T) {
+	s := New(10)
+	for _, seq := range []int{5, 1, 9, 3} {
+		if err := s.Put(mk(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := s.IDs()
+	want := []int{1, 3, 5, 9}
+	for i, id := range ids {
+		if id.Seq != want[i] {
+			t.Fatalf("IDs() = %v", ids)
+		}
+	}
+	items := s.Items()
+	for i, c := range items {
+		if c.Bundle.ID.Seq != want[i] {
+			t.Fatalf("Items() order wrong: %v", c.Bundle.ID)
+		}
+	}
+	v := s.Vector()
+	if v.Len() != 4 || !v.Has(bundle.ID{Src: 0, Seq: 9}) {
+		t.Error("Vector() contents wrong")
+	}
+}
+
+func TestPurgeExpired(t *testing.T) {
+	s := New(10)
+	a := mk(1)
+	a.Expiry = 100
+	b := mk(2)
+	b.Expiry = 200
+	p := mkPinned(3)
+	p.Expiry = 50 // pinned: must survive regardless
+	for _, c := range []*bundle.Copy{a, b, p} {
+		if err := s.Put(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	purged := s.PurgeExpired(150)
+	if len(purged) != 1 || purged[0] != a {
+		t.Fatalf("purged %v, want [a]", purged)
+	}
+	if !s.Has(b.Bundle.ID) || !s.Has(p.Bundle.ID) {
+		t.Error("purge removed live or pinned copies")
+	}
+}
+
+func TestPurgeMatching(t *testing.T) {
+	s := New(10)
+	for i := 1; i <= 5; i++ {
+		c := mk(i)
+		if i == 5 {
+			c.Pinned = true
+		}
+		if err := s.Put(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	purged := s.PurgeMatching(func(c *bundle.Copy) bool { return c.Bundle.ID.Seq >= 4 })
+	if len(purged) != 2 {
+		t.Fatalf("purged %d, want 2 (pinned included)", len(purged))
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+// Property: under any sequence of Put/Remove, Unpinned() never exceeds
+// capacity, and Len() == Unpinned() + pinned count.
+func TestStoreInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 11))
+		s := New(4)
+		pinned := 0
+		live := map[bundle.ID]bool{}
+		for op := 0; op < 200; op++ {
+			seq := r.IntN(20)
+			id := bundle.ID{Src: contact.NodeID(0), Seq: seq}
+			if r.IntN(3) == 0 && live[id] {
+				wasPinned := s.Get(id).Pinned
+				s.Remove(id)
+				delete(live, id)
+				if wasPinned {
+					pinned--
+				}
+			} else if !live[id] {
+				c := mk(seq)
+				c.Pinned = r.IntN(4) == 0
+				if err := s.Put(c); err == nil {
+					live[id] = true
+					if c.Pinned {
+						pinned++
+					}
+				} else if c.Pinned {
+					return false // pinned Put must never fail
+				}
+			}
+			if s.Unpinned() > s.Cap() {
+				return false
+			}
+			if s.Len() != len(live) || s.Len() != s.Unpinned()+pinned {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlLoadAffectsFreeAndOccupancy(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 4; i++ {
+		if err := s.Put(mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Free() != 6 {
+		t.Fatalf("Free = %d, want 6", s.Free())
+	}
+	s.SetControlLoad(2.5) // 25 stored immunity records at 0.1 slots each
+	if s.Free() != 4 {
+		t.Errorf("Free with control load 2.5 = %d, want 4 (whole slots)", s.Free())
+	}
+	if got, want := s.Occupancy(), (4+2.5)/10.0; got != want {
+		t.Errorf("Occupancy = %v, want %v", got, want)
+	}
+	if s.ControlLoad() != 2.5 {
+		t.Errorf("ControlLoad = %v", s.ControlLoad())
+	}
+	s.SetControlLoad(-1)
+	if s.ControlLoad() != 0 {
+		t.Error("negative control load not clamped")
+	}
+}
+
+func TestControlLoadBlocksPut(t *testing.T) {
+	s := New(3)
+	s.SetControlLoad(2.2) // consumes 2 whole slots
+	if err := s.Put(mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(mk(2)); !errors.Is(err, ErrFull) {
+		t.Fatalf("Put with control-consumed buffer: err=%v, want ErrFull", err)
+	}
+	// Pinned copies still bypass.
+	if err := s.Put(mkPinned(3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Free() != 0 {
+		t.Errorf("Free = %d, want 0", s.Free())
+	}
+}

@@ -1,0 +1,147 @@
+// Package bundle defines DTN bundles (the message unit of the Bundle
+// Protocol and of the paper), per-node copy state, and the summary-vector
+// set algebra used by anti-entropy sessions.
+//
+// A Bundle is the immutable identity of a message; a Copy is one node's
+// buffered instance of it, carrying the mutable metadata the protocols
+// manipulate: encounter count (EC) and TTL deadline.
+package bundle
+
+import (
+	"fmt"
+	"sort"
+
+	"dtnsim/internal/contact"
+	"dtnsim/internal/sim"
+)
+
+// ID identifies a bundle globally: the originating node plus a sequence
+// number within that origin's flow. The paper numbers the single flow's
+// bundles 1..k; Seq preserves that numbering so cumulative immunity can
+// acknowledge contiguous prefixes.
+type ID struct {
+	Src contact.NodeID
+	Seq int
+}
+
+func (id ID) String() string { return fmt.Sprintf("b(%d:%d)", id.Src, id.Seq) }
+
+// Less orders IDs by (Src, Seq); used to produce deterministic iteration
+// order everywhere sets are materialized.
+func (id ID) Less(o ID) bool {
+	if id.Src != o.Src {
+		return id.Src < o.Src
+	}
+	return id.Seq < o.Seq
+}
+
+// Bundle is the immutable description of a message.
+type Bundle struct {
+	ID        ID
+	Dst       contact.NodeID
+	CreatedAt sim.Time
+}
+
+// Copy is one node's buffered instance of a bundle.
+type Copy struct {
+	Bundle *Bundle
+	// EC is the encounter count attached to this copy: the number of
+	// times this copy's lineage has been transmitted (paper §II, Davis
+	// et al.). The receiver inherits the sender's incremented value.
+	EC int
+	// Expiry is the sim time at which this copy's TTL lapses;
+	// sim.Infinity means no TTL is set.
+	Expiry sim.Time
+	// StoredAt records when this node buffered the copy.
+	StoredAt sim.Time
+	// Pinned marks self-originated bundles at their source: never
+	// evicted and exempt from the capacity check (DESIGN.md §3.3).
+	Pinned bool
+}
+
+// Expired reports whether the copy's TTL has lapsed at time now.
+func (c *Copy) Expired(now sim.Time) bool { return c.Expiry <= now }
+
+// Clone returns a copy of c suitable for handing to a receiving node.
+// The Bundle pointer is shared (identity is immutable); mutable state is
+// duplicated, and Pinned never propagates.
+func (c *Copy) Clone(now sim.Time) *Copy {
+	return &Copy{Bundle: c.Bundle, EC: c.EC, Expiry: c.Expiry, StoredAt: now}
+}
+
+// SummaryVector is a set of bundle IDs. Pure epidemic calls it the
+// summary vector; the immunity protocol calls the same structure the
+// m-list. The zero value is not usable; call NewSummaryVector.
+type SummaryVector struct {
+	ids map[ID]struct{}
+}
+
+// NewSummaryVector returns an empty vector.
+func NewSummaryVector() *SummaryVector {
+	return &SummaryVector{ids: make(map[ID]struct{})}
+}
+
+// Add inserts id, reporting whether it was newly added.
+func (v *SummaryVector) Add(id ID) bool {
+	if _, ok := v.ids[id]; ok {
+		return false
+	}
+	v.ids[id] = struct{}{}
+	return true
+}
+
+// Remove deletes id from the vector.
+func (v *SummaryVector) Remove(id ID) { delete(v.ids, id) }
+
+// Has reports membership.
+func (v *SummaryVector) Has(id ID) bool {
+	_, ok := v.ids[id]
+	return ok
+}
+
+// Len returns the number of IDs in the vector.
+func (v *SummaryVector) Len() int { return len(v.ids) }
+
+// Items returns the IDs in deterministic (Src, Seq) order.
+func (v *SummaryVector) Items() []ID {
+	out := make([]ID, 0, len(v.ids))
+	for id := range v.ids {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Diff returns the IDs present in v but absent from other, in
+// deterministic order. This is the anti-entropy "what you are missing"
+// computation from Vahdat & Becker.
+func (v *SummaryVector) Diff(other *SummaryVector) []ID {
+	out := make([]ID, 0)
+	for id := range v.ids {
+		if !other.Has(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Union merges other into v, reporting how many IDs were new.
+func (v *SummaryVector) Union(other *SummaryVector) int {
+	added := 0
+	for id := range other.ids {
+		if v.Add(id) {
+			added++
+		}
+	}
+	return added
+}
+
+// Clone returns an independent copy of the vector.
+func (v *SummaryVector) Clone() *SummaryVector {
+	out := NewSummaryVector()
+	for id := range v.ids {
+		out.ids[id] = struct{}{}
+	}
+	return out
+}

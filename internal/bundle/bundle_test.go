@@ -1,0 +1,177 @@
+package bundle
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dtnsim/internal/sim"
+)
+
+func TestIDOrdering(t *testing.T) {
+	cases := []struct {
+		a, b ID
+		less bool
+	}{
+		{ID{0, 1}, ID{0, 2}, true},
+		{ID{0, 2}, ID{0, 1}, false},
+		{ID{1, 0}, ID{2, 0}, true},
+		{ID{1, 5}, ID{1, 5}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestCopyExpiry(t *testing.T) {
+	c := &Copy{Expiry: 100}
+	if c.Expired(99) {
+		t.Error("expired before deadline")
+	}
+	if !c.Expired(100) {
+		t.Error("not expired at deadline")
+	}
+	inf := &Copy{Expiry: sim.Infinity}
+	if inf.Expired(1e17) {
+		t.Error("infinite TTL expired")
+	}
+}
+
+func TestCloneSemantics(t *testing.T) {
+	b := &Bundle{ID: ID{0, 1}, Dst: 3}
+	orig := &Copy{Bundle: b, EC: 4, Expiry: 500, StoredAt: 10, Pinned: true}
+	cl := orig.Clone(200)
+	if cl.Bundle != b {
+		t.Error("Clone must share the immutable Bundle")
+	}
+	if cl.EC != 4 || cl.Expiry != 500 {
+		t.Error("Clone must duplicate EC and Expiry")
+	}
+	if cl.StoredAt != 200 {
+		t.Errorf("Clone StoredAt = %v, want 200", cl.StoredAt)
+	}
+	if cl.Pinned {
+		t.Error("Pinned must not propagate to receivers")
+	}
+	cl.EC = 9
+	if orig.EC != 4 {
+		t.Error("mutating clone affected the original")
+	}
+}
+
+func TestSummaryVectorBasics(t *testing.T) {
+	v := NewSummaryVector()
+	id := ID{1, 1}
+	if v.Has(id) || v.Len() != 0 {
+		t.Fatal("fresh vector not empty")
+	}
+	if !v.Add(id) {
+		t.Fatal("first Add returned false")
+	}
+	if v.Add(id) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !v.Has(id) || v.Len() != 1 {
+		t.Fatal("membership after Add wrong")
+	}
+	v.Remove(id)
+	if v.Has(id) || v.Len() != 0 {
+		t.Fatal("Remove did not delete")
+	}
+}
+
+func TestSummaryVectorDiff(t *testing.T) {
+	// Paper Fig. 2: node A holds {1,2,3,4,8}; node B holds {2,3,4,9,0}.
+	// A sends B the diff {1,8}; B sends A {9,0} (here 0 is seq 0).
+	a := NewSummaryVector()
+	for _, s := range []int{1, 2, 3, 4, 8} {
+		a.Add(ID{0, s})
+	}
+	b := NewSummaryVector()
+	for _, s := range []int{2, 3, 4, 9, 0} {
+		b.Add(ID{0, s})
+	}
+	aToB := a.Diff(b)
+	if len(aToB) != 2 || aToB[0] != (ID{0, 1}) || aToB[1] != (ID{0, 8}) {
+		t.Errorf("A\\B = %v, want [b(0:1) b(0:8)]", aToB)
+	}
+	bToA := b.Diff(a)
+	if len(bToA) != 2 || bToA[0] != (ID{0, 0}) || bToA[1] != (ID{0, 9}) {
+		t.Errorf("B\\A = %v, want [b(0:0) b(0:9)]", bToA)
+	}
+}
+
+func TestSummaryVectorItemsDeterministic(t *testing.T) {
+	v := NewSummaryVector()
+	v.Add(ID{2, 1})
+	v.Add(ID{0, 9})
+	v.Add(ID{0, 2})
+	got := v.Items()
+	want := []ID{{0, 2}, {0, 9}, {2, 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSummaryVectorUnionClone(t *testing.T) {
+	a := NewSummaryVector()
+	a.Add(ID{0, 1})
+	b := NewSummaryVector()
+	b.Add(ID{0, 1})
+	b.Add(ID{0, 2})
+	if n := a.Union(b); n != 1 {
+		t.Errorf("Union added %d, want 1", n)
+	}
+	if a.Len() != 2 {
+		t.Errorf("after union Len = %d", a.Len())
+	}
+	c := a.Clone()
+	c.Add(ID{5, 5})
+	if a.Has(ID{5, 5}) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+// Property: Diff and Union satisfy set identities.
+func TestSummaryVectorSetAlgebraProperty(t *testing.T) {
+	build := func(seed uint64, n int) *SummaryVector {
+		r := rand.New(rand.NewPCG(seed, 7))
+		v := NewSummaryVector()
+		for i := 0; i < n; i++ {
+			v.Add(ID{Src: 0, Seq: r.IntN(30)})
+		}
+		return v
+	}
+	f := func(sa, sb uint64) bool {
+		a := build(sa, 20)
+		b := build(sb, 20)
+		// 1) Diff(a,b) ∩ b = ∅
+		for _, id := range a.Diff(b) {
+			if b.Has(id) {
+				return false
+			}
+		}
+		// 2) |a ∪ b| = |b| + |a \ b|
+		u := b.Clone()
+		added := u.Union(a)
+		if u.Len() != b.Len()+added || added != len(a.Diff(b)) {
+			return false
+		}
+		// 3) after union, a.Diff(u) = ∅
+		if len(a.Diff(u)) != 0 {
+			return false
+		}
+		// 4) union is idempotent
+		if u.Union(a) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package contact defines the contact (encounter) abstraction shared by
+// the mobility models and the simulation engine. A DTN's connectivity is
+// fully described by when pairs of nodes are within radio range; every
+// mobility source in this repository — parsed CRAWDAD-style traces, the
+// synthetic Cambridge generator, and both RWP variants — reduces to a
+// Schedule of Contacts that the engine replays.
+package contact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dtnsim/internal/sim"
+)
+
+// NodeID identifies a node. IDs are dense small integers [0, N).
+type NodeID int
+
+// Contact is one encounter window between two nodes. Invariants
+// (enforced by Validate): A < B, Start < End, both times non-negative.
+type Contact struct {
+	A, B  NodeID
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration returns the length of the encounter window.
+func (c Contact) Duration() sim.Duration { return c.End - c.Start }
+
+// Involves reports whether node n is one of the contact's endpoints.
+func (c Contact) Involves(n NodeID) bool { return c.A == n || c.B == n }
+
+// Peer returns the other endpoint of the contact. It panics if n is not
+// an endpoint.
+func (c Contact) Peer(n NodeID) NodeID {
+	switch n {
+	case c.A:
+		return c.B
+	case c.B:
+		return c.A
+	}
+	panic(fmt.Sprintf("contact: node %d not in contact %v", n, c))
+}
+
+// Normalize returns the contact with endpoints ordered so that A < B.
+func (c Contact) Normalize() Contact {
+	if c.A > c.B {
+		c.A, c.B = c.B, c.A
+	}
+	return c
+}
+
+func (c Contact) String() string {
+	return fmt.Sprintf("contact(%d<->%d, %v..%v)", c.A, c.B, c.Start, c.End)
+}
+
+// Validate checks the contact invariants.
+func (c Contact) Validate() error {
+	switch {
+	case c.A == c.B:
+		return fmt.Errorf("contact: self-contact on node %d", c.A)
+	case c.A > c.B:
+		return fmt.Errorf("contact: endpoints not normalized (%d > %d)", c.A, c.B)
+	case c.Start < 0:
+		return fmt.Errorf("contact: negative start %v", c.Start)
+	case c.End <= c.Start:
+		return fmt.Errorf("contact: empty or inverted window %v..%v", c.Start, c.End)
+	}
+	return nil
+}
+
+// Schedule is a set of contacts ordered by start time (ties broken by
+// (A, B, End) so ordering is total and deterministic).
+type Schedule struct {
+	Contacts []Contact
+	// Nodes is the number of nodes in the scenario; node IDs in
+	// Contacts lie in [0, Nodes).
+	Nodes int
+}
+
+// ErrEmptySchedule is returned when a schedule contains no contacts.
+var ErrEmptySchedule = errors.New("contact: empty schedule")
+
+// Sort orders contacts canonically: by start, then endpoints, then end.
+func (s *Schedule) Sort() {
+	sort.Slice(s.Contacts, func(i, j int) bool {
+		a, b := s.Contacts[i], s.Contacts[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.End < b.End
+	})
+}
+
+// Validate checks every contact, node-ID bounds, and canonical ordering.
+func (s *Schedule) Validate() error {
+	if len(s.Contacts) == 0 {
+		return ErrEmptySchedule
+	}
+	if s.Nodes < 2 {
+		return fmt.Errorf("contact: schedule needs >=2 nodes, has %d", s.Nodes)
+	}
+	for i, c := range s.Contacts {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("contact %d: %w", i, err)
+		}
+		if int(c.B) >= s.Nodes {
+			return fmt.Errorf("contact %d: node %d out of range [0,%d)", i, c.B, s.Nodes)
+		}
+		if i > 0 && s.Contacts[i-1].Start > c.Start {
+			return fmt.Errorf("contact %d: schedule not sorted by start time", i)
+		}
+	}
+	return nil
+}
+
+// Horizon returns the latest end time across all contacts, or zero for an
+// empty schedule.
+func (s *Schedule) Horizon() sim.Time {
+	var h sim.Time
+	for _, c := range s.Contacts {
+		if c.End > h {
+			h = c.End
+		}
+	}
+	return h
+}
+
+// Clip returns a new schedule whose contacts are truncated to [0, t].
+// Contacts entirely after t are dropped; contacts straddling t are
+// shortened.
+func (s *Schedule) Clip(t sim.Time) *Schedule {
+	out := &Schedule{Nodes: s.Nodes}
+	for _, c := range s.Contacts {
+		if c.Start >= t {
+			continue
+		}
+		if c.End > t {
+			c.End = t
+		}
+		if c.End > c.Start {
+			out.Contacts = append(out.Contacts, c)
+		}
+	}
+	return out
+}
+
+// Filter returns a new schedule retaining only contacts for which keep
+// returns true.
+func (s *Schedule) Filter(keep func(Contact) bool) *Schedule {
+	out := &Schedule{Nodes: s.Nodes}
+	for _, c := range s.Contacts {
+		if keep(c) {
+			out.Contacts = append(out.Contacts, c)
+		}
+	}
+	return out
+}
+
+// Merge combines two schedules over the same node population into one
+// sorted schedule. It does not coalesce overlapping windows.
+func Merge(a, b *Schedule) *Schedule {
+	out := &Schedule{Nodes: max(a.Nodes, b.Nodes)}
+	out.Contacts = append(out.Contacts, a.Contacts...)
+	out.Contacts = append(out.Contacts, b.Contacts...)
+	out.Sort()
+	return out
+}
+
+// PairKey identifies an unordered node pair.
+type PairKey struct{ A, B NodeID }
+
+// MakePairKey normalizes (a,b) into a PairKey with A < B.
+func MakePairKey(a, b NodeID) PairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return PairKey{a, b}
+}

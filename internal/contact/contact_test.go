@@ -1,0 +1,207 @@
+package contact
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"dtnsim/internal/sim"
+)
+
+func TestContactValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Contact
+		ok   bool
+	}{
+		{"valid", Contact{0, 1, 10, 20}, true},
+		{"self", Contact{3, 3, 10, 20}, false},
+		{"unordered endpoints", Contact{2, 1, 10, 20}, false},
+		{"negative start", Contact{0, 1, -1, 20}, false},
+		{"empty window", Contact{0, 1, 10, 10}, false},
+		{"inverted window", Contact{0, 1, 20, 10}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.c.Validate()
+			if (err == nil) != tc.ok {
+				t.Errorf("Validate(%v) = %v, want ok=%v", tc.c, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestContactPeerAndInvolves(t *testing.T) {
+	c := Contact{A: 2, B: 7, Start: 0, End: 1}
+	if c.Peer(2) != 7 || c.Peer(7) != 2 {
+		t.Error("Peer returned wrong endpoint")
+	}
+	if !c.Involves(2) || !c.Involves(7) || c.Involves(3) {
+		t.Error("Involves wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Peer on non-member did not panic")
+		}
+	}()
+	c.Peer(5)
+}
+
+func TestNormalize(t *testing.T) {
+	c := Contact{A: 9, B: 2, Start: 1, End: 3}.Normalize()
+	if c.A != 2 || c.B != 9 {
+		t.Errorf("Normalize gave %v", c)
+	}
+}
+
+func TestScheduleSortAndValidate(t *testing.T) {
+	s := &Schedule{Nodes: 4, Contacts: []Contact{
+		{0, 1, 100, 200},
+		{2, 3, 50, 80},
+		{0, 2, 50, 60},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("unsorted schedule validated")
+	}
+	s.Sort()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("sorted schedule failed validation: %v", err)
+	}
+	if s.Contacts[0].B != 2 {
+		t.Errorf("tie at t=50 should order (0,2) before (2,3): got %v", s.Contacts[0])
+	}
+}
+
+func TestScheduleValidateBounds(t *testing.T) {
+	s := &Schedule{Nodes: 2, Contacts: []Contact{{0, 5, 0, 10}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("out-of-range node ID validated")
+	}
+	empty := &Schedule{Nodes: 2}
+	if err := empty.Validate(); !errors.Is(err, ErrEmptySchedule) {
+		t.Fatalf("empty schedule: err=%v", err)
+	}
+}
+
+func TestScheduleHorizonAndClip(t *testing.T) {
+	s := &Schedule{Nodes: 3, Contacts: []Contact{
+		{0, 1, 0, 100},
+		{1, 2, 150, 400},
+		{0, 2, 500, 600},
+	}}
+	if h := s.Horizon(); h != 600 {
+		t.Fatalf("Horizon = %v, want 600", h)
+	}
+	c := s.Clip(200)
+	if len(c.Contacts) != 2 {
+		t.Fatalf("Clip kept %d contacts, want 2", len(c.Contacts))
+	}
+	if c.Contacts[1].End != 200 {
+		t.Errorf("straddling contact not truncated: %v", c.Contacts[1])
+	}
+	if h := c.Horizon(); h != 200 {
+		t.Errorf("clipped horizon = %v", h)
+	}
+}
+
+func TestScheduleFilter(t *testing.T) {
+	s := &Schedule{Nodes: 3, Contacts: []Contact{
+		{0, 1, 0, 10}, {1, 2, 5, 15}, {0, 2, 20, 30},
+	}}
+	f := s.Filter(func(c Contact) bool { return c.Involves(0) })
+	if len(f.Contacts) != 2 {
+		t.Fatalf("Filter kept %d, want 2", len(f.Contacts))
+	}
+}
+
+func TestMergeSorts(t *testing.T) {
+	a := &Schedule{Nodes: 3, Contacts: []Contact{{0, 1, 100, 110}}}
+	b := &Schedule{Nodes: 3, Contacts: []Contact{{1, 2, 50, 60}, {0, 2, 150, 160}}}
+	m := Merge(a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged schedule invalid: %v", err)
+	}
+	if m.Contacts[0].Start != 50 || m.Contacts[2].Start != 150 {
+		t.Errorf("merge not sorted: %v", m.Contacts)
+	}
+}
+
+func TestMakePairKey(t *testing.T) {
+	if MakePairKey(5, 2) != (PairKey{2, 5}) {
+		t.Error("MakePairKey did not normalize")
+	}
+	if MakePairKey(2, 5) != MakePairKey(5, 2) {
+		t.Error("PairKey not symmetric")
+	}
+}
+
+// Property: Clip never yields contacts outside [0, t] and never grows
+// the schedule.
+func TestClipProperty(t *testing.T) {
+	f := func(seed uint64, cut uint16) bool {
+		r := rand.New(rand.NewPCG(seed, 2))
+		s := &Schedule{Nodes: 5}
+		for i := 0; i < 50; i++ {
+			start := sim.Time(r.IntN(1000))
+			end := start + sim.Time(r.IntN(100)+1)
+			a := NodeID(r.IntN(5))
+			b := NodeID(r.IntN(5))
+			if a == b {
+				continue
+			}
+			s.Contacts = append(s.Contacts, Contact{A: a, B: b, Start: start, End: end}.Normalize())
+		}
+		s.Sort()
+		tcut := sim.Time(cut % 1100)
+		c := s.Clip(tcut)
+		if len(c.Contacts) > len(s.Contacts) {
+			return false
+		}
+		for _, cc := range c.Contacts {
+			if cc.End > tcut || cc.Start >= tcut || cc.End <= cc.Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sort is idempotent and produces a valid schedule from any
+// collection of individually valid contacts.
+func TestSortProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		s := &Schedule{Nodes: 6}
+		for i := 0; i < 40; i++ {
+			a, b := NodeID(r.IntN(6)), NodeID(r.IntN(6))
+			if a == b {
+				continue
+			}
+			start := sim.Time(r.IntN(500))
+			s.Contacts = append(s.Contacts, Contact{A: a, B: b, Start: start, End: start + 1 + sim.Time(r.IntN(50))}.Normalize())
+		}
+		if len(s.Contacts) == 0 {
+			return true
+		}
+		s.Sort()
+		if s.Validate() != nil {
+			return false
+		}
+		before := make([]Contact, len(s.Contacts))
+		copy(before, s.Contacts)
+		s.Sort()
+		for i := range before {
+			if before[i] != s.Contacts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

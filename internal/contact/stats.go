@@ -1,0 +1,104 @@
+package contact
+
+import (
+	"fmt"
+	"sort"
+
+	"dtnsim/internal/sim"
+)
+
+// Stats summarizes the encounter structure of a schedule. The paper's
+// arguments all hinge on these statistics (mean inter-contact interval
+// versus TTL value, encounter counts versus EC thresholds), so they are a
+// first-class output used by tests, examples and the tracegen tool.
+type Stats struct {
+	Contacts         int
+	Nodes            int
+	Span             sim.Time // latest end time
+	MeanDuration     float64
+	MinDuration      float64
+	MaxDuration      float64
+	MeanInterval     float64 // mean per-node inter-contact gap, seconds
+	MaxInterval      float64
+	EncountersPer    []int // contact count per node
+	PairsWithContact int   // distinct pairs that ever meet
+}
+
+// Analyze computes Stats for a schedule. The schedule must be sorted
+// (contacts in start-time order), as produced by every generator here.
+func Analyze(s *Schedule) Stats {
+	st := Stats{Nodes: s.Nodes, Contacts: len(s.Contacts), Span: s.Horizon()}
+	st.EncountersPer = make([]int, s.Nodes)
+	if len(s.Contacts) == 0 {
+		return st
+	}
+	st.MinDuration = float64(s.Contacts[0].Duration())
+	pairs := make(map[PairKey]bool)
+	lastSeen := make([]sim.Time, s.Nodes)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	var durSum float64
+	var gapSum float64
+	var gapCount int
+	for _, c := range s.Contacts {
+		d := float64(c.Duration())
+		durSum += d
+		if d < st.MinDuration {
+			st.MinDuration = d
+		}
+		if d > st.MaxDuration {
+			st.MaxDuration = d
+		}
+		pairs[MakePairKey(c.A, c.B)] = true
+		for _, n := range []NodeID{c.A, c.B} {
+			st.EncountersPer[n]++
+			if prev := lastSeen[n]; prev >= 0 && c.Start > prev {
+				gap := float64(c.Start - prev)
+				gapSum += gap
+				gapCount++
+				if gap > st.MaxInterval {
+					st.MaxInterval = gap
+				}
+			}
+			if c.End > lastSeen[n] {
+				lastSeen[n] = c.End
+			}
+		}
+	}
+	st.MeanDuration = durSum / float64(len(s.Contacts))
+	if gapCount > 0 {
+		st.MeanInterval = gapSum / float64(gapCount)
+	}
+	st.PairsWithContact = len(pairs)
+	return st
+}
+
+// InterContactTimes returns, for the given node, the sequence of gaps
+// between the end of one contact and the start of the next. Dynamic TTL
+// (Algorithm 1 in the paper) keys off exactly this sequence.
+func InterContactTimes(s *Schedule, n NodeID) []float64 {
+	var windows []Contact
+	for _, c := range s.Contacts {
+		if c.Involves(n) {
+			windows = append(windows, c)
+		}
+	}
+	sort.Slice(windows, func(i, j int) bool { return windows[i].Start < windows[j].Start })
+	var gaps []float64
+	var last sim.Time = -1
+	for _, w := range windows {
+		if last >= 0 && w.Start > last {
+			gaps = append(gaps, float64(w.Start-last))
+		}
+		if w.End > last {
+			last = w.End
+		}
+	}
+	return gaps
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("contacts=%d nodes=%d span=%v meanDur=%.0fs meanGap=%.0fs pairs=%d",
+		st.Contacts, st.Nodes, st.Span, st.MeanDuration, st.MeanInterval, st.PairsWithContact)
+}

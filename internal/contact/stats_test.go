@@ -1,0 +1,96 @@
+package contact
+
+import (
+	"testing"
+)
+
+func testSchedule() *Schedule {
+	s := &Schedule{Nodes: 3, Contacts: []Contact{
+		{0, 1, 0, 100},   // dur 100
+		{0, 2, 300, 400}, // node0 gap 200; node2 first
+		{1, 2, 500, 700}, // node1 gap 400, node2 gap 100
+	}}
+	s.Sort()
+	return s
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	st := Analyze(testSchedule())
+	if st.Contacts != 3 || st.Nodes != 3 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if st.Span != 700 {
+		t.Errorf("Span = %v, want 700", st.Span)
+	}
+	if st.MinDuration != 100 || st.MaxDuration != 200 {
+		t.Errorf("durations: min=%v max=%v", st.MinDuration, st.MaxDuration)
+	}
+	wantMeanDur := (100.0 + 100.0 + 200.0) / 3
+	if st.MeanDuration != wantMeanDur {
+		t.Errorf("MeanDuration = %v, want %v", st.MeanDuration, wantMeanDur)
+	}
+	// Gaps: node0: 300-100=200; node1: 500-100=400; node2: 500-400=100.
+	wantGap := (200.0 + 400.0 + 100.0) / 3
+	if st.MeanInterval != wantGap {
+		t.Errorf("MeanInterval = %v, want %v", st.MeanInterval, wantGap)
+	}
+	if st.MaxInterval != 400 {
+		t.Errorf("MaxInterval = %v, want 400", st.MaxInterval)
+	}
+	if st.PairsWithContact != 3 {
+		t.Errorf("PairsWithContact = %d, want 3", st.PairsWithContact)
+	}
+	wantEnc := []int{2, 2, 2}
+	for i, w := range wantEnc {
+		if st.EncountersPer[i] != w {
+			t.Errorf("EncountersPer[%d] = %d, want %d", i, st.EncountersPer[i], w)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := Analyze(&Schedule{Nodes: 2})
+	if st.Contacts != 0 || st.MeanDuration != 0 || st.MeanInterval != 0 {
+		t.Errorf("empty schedule stats: %+v", st)
+	}
+}
+
+func TestInterContactTimes(t *testing.T) {
+	s := testSchedule()
+	gaps := InterContactTimes(s, 0)
+	if len(gaps) != 1 || gaps[0] != 200 {
+		t.Errorf("node 0 gaps = %v, want [200]", gaps)
+	}
+	gaps = InterContactTimes(s, 1)
+	if len(gaps) != 1 || gaps[0] != 400 {
+		t.Errorf("node 1 gaps = %v, want [400]", gaps)
+	}
+	if got := InterContactTimes(s, 2); len(got) != 1 || got[0] != 100 {
+		t.Errorf("node 2 gaps = %v, want [100]", got)
+	}
+}
+
+func TestInterContactOverlapping(t *testing.T) {
+	// Overlapping windows produce no negative gaps.
+	s := &Schedule{Nodes: 3, Contacts: []Contact{
+		{0, 1, 0, 100},
+		{0, 2, 50, 150}, // overlaps previous for node 0
+		{0, 1, 200, 250},
+	}}
+	s.Sort()
+	gaps := InterContactTimes(s, 0)
+	if len(gaps) != 1 || gaps[0] != 50 {
+		t.Errorf("gaps = %v, want [50] (150..200)", gaps)
+	}
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if Analyze(testSchedule()).String() == "" {
+		t.Error("empty String()")
+	}
+}

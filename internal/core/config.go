@@ -1,0 +1,136 @@
+// Package core is the unified DTN simulation engine — the paper's
+// central artifact. It replays a contact schedule through a routing
+// protocol under the paper's §IV semantics: anti-entropy control
+// sessions at contact start, half-duplex links with a fixed per-bundle
+// transmission time and lower-ID-sends-first arbitration, 10-bundle
+// relay buffers with pinned source bundles, periodic metric sampling,
+// and early termination once every flow completes.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dtnsim/internal/contact"
+	"dtnsim/internal/protocol"
+	"dtnsim/internal/sim"
+)
+
+// Defaults from the paper's §IV methodology.
+const (
+	// DefaultBufferCap is the per-node buffer size in bundles ("we set
+	// each node to hold 10 bundles").
+	DefaultBufferCap = 10
+	// DefaultTxTime is the per-bundle transmission time in seconds ("we
+	// fix the transmission time to 100 seconds").
+	DefaultTxTime = 100
+	// DefaultSampleEvery is the metric sampling period in seconds.
+	DefaultSampleEvery = 1000
+	// DefaultRecordsPerSlot is how many control records fit in one
+	// bundle-slot time: anti-packets are small relative to the paper's
+	// hundreds-of-megabytes bundles, but not free.
+	DefaultRecordsPerSlot = 10
+)
+
+// Flow is one source→destination stream of Count bundles created at
+// StartAt. The paper's workload is a single flow of k ∈ {5..50} bundles
+// created at t=0.
+type Flow struct {
+	Src, Dst contact.NodeID
+	Count    int
+	StartAt  sim.Time
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Schedule is the contact plan to replay. Required, validated.
+	Schedule *contact.Schedule
+	// Protocol is the routing policy under test. Required.
+	Protocol protocol.Protocol
+	// Flows is the workload. Required, non-empty. Each source node may
+	// appear in at most one flow (bundle sequence numbers are per
+	// source; see bundle.ID).
+	Flows []Flow
+	// BufferCap is the per-node buffer capacity in bundles.
+	BufferCap int
+	// TxTime is the seconds needed to transmit one bundle.
+	TxTime float64
+	// RecordsPerSlot scales the control-record budget of a contact.
+	RecordsPerSlot int
+	// SampleEvery is the metric sampling period in seconds.
+	SampleEvery float64
+	// Horizon caps the run; zero means the schedule's horizon.
+	Horizon sim.Time
+	// Seed drives the protocol's random choices (P-Q draws).
+	Seed uint64
+	// RunToHorizon disables early termination when all flows complete,
+	// so buffer/duplication dynamics can be observed afterwards.
+	RunToHorizon bool
+}
+
+// ErrConfig wraps configuration validation failures.
+var ErrConfig = errors.New("core: invalid config")
+
+// withDefaults returns cfg with zero fields replaced by the paper's
+// defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.BufferCap == 0 {
+		cfg.BufferCap = DefaultBufferCap
+	}
+	if cfg.TxTime == 0 {
+		cfg.TxTime = DefaultTxTime
+	}
+	if cfg.RecordsPerSlot == 0 {
+		cfg.RecordsPerSlot = DefaultRecordsPerSlot
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = DefaultSampleEvery
+	}
+	if cfg.Horizon == 0 && cfg.Schedule != nil {
+		cfg.Horizon = cfg.Schedule.Horizon()
+	}
+	return cfg
+}
+
+// validate checks the configuration after defaulting.
+func (cfg Config) validate() error {
+	if cfg.Schedule == nil {
+		return fmt.Errorf("%w: nil schedule", ErrConfig)
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	if cfg.Protocol == nil {
+		return fmt.Errorf("%w: nil protocol", ErrConfig)
+	}
+	if len(cfg.Flows) == 0 {
+		return fmt.Errorf("%w: no flows", ErrConfig)
+	}
+	if cfg.BufferCap < 1 {
+		return fmt.Errorf("%w: buffer capacity %d", ErrConfig, cfg.BufferCap)
+	}
+	if cfg.TxTime <= 0 {
+		return fmt.Errorf("%w: tx time %v", ErrConfig, cfg.TxTime)
+	}
+	seenSrc := make(map[contact.NodeID]bool)
+	for i, f := range cfg.Flows {
+		if f.Count <= 0 {
+			return fmt.Errorf("%w: flow %d has count %d", ErrConfig, i, f.Count)
+		}
+		if f.Src == f.Dst {
+			return fmt.Errorf("%w: flow %d is a self-loop on node %d", ErrConfig, i, f.Src)
+		}
+		if f.StartAt < 0 {
+			return fmt.Errorf("%w: flow %d starts at %v", ErrConfig, i, f.StartAt)
+		}
+		n := contact.NodeID(cfg.Schedule.Nodes)
+		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
+			return fmt.Errorf("%w: flow %d endpoints (%d,%d) outside [0,%d)", ErrConfig, i, f.Src, f.Dst, n)
+		}
+		if seenSrc[f.Src] {
+			return fmt.Errorf("%w: node %d sources more than one flow (per-source sequence numbers would collide)", ErrConfig, f.Src)
+		}
+		seenSrc[f.Src] = true
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
+	"dtnsim/internal/metrics"
+	"dtnsim/internal/node"
+	"dtnsim/internal/sim"
+	"dtnsim/internal/stats"
+)
+
+// Result summarizes one run.
+type Result struct {
+	// Protocol is the display name of the protocol under test.
+	Protocol string
+	// Generated and Delivered count workload bundles.
+	Generated, Delivered int
+	// DeliveryRatio is Delivered/Generated: the paper's delivery ratio.
+	DeliveryRatio float64
+	// Completed reports whether every flow delivered all bundles before
+	// the horizon. Failed runs record no delay (§IV).
+	Completed bool
+	// Makespan is the paper's delay metric: seconds from the earliest
+	// flow start until the last bundle arrived. Valid only if Completed.
+	Makespan float64
+	// MeanDelay is the mean per-bundle delivery delay of the bundles
+	// that did arrive (an auxiliary metric, defined even for failed
+	// runs with at least one delivery).
+	MeanDelay float64
+	// DelayP50 and DelayP95 are per-bundle delay quantiles over the
+	// delivered bundles; zero when nothing was delivered.
+	DelayP50, DelayP95 float64
+	// MeanOccupancy is the time- and node-averaged buffer occupancy.
+	MeanOccupancy float64
+	// MeanDuplication is the time- and bundle-averaged duplication rate.
+	MeanDuplication float64
+	// ControlRecords is the total signaling overhead in records.
+	ControlRecords int64
+	// DataTransmissions counts bundle transmissions.
+	DataTransmissions int64
+	// Refused, Evicted and Expired aggregate buffer-policy events.
+	Refused, Evicted, Expired int64
+	// FinishedAt is the virtual time the run ended.
+	FinishedAt sim.Time
+	// DeliveryTimes maps each delivered bundle to its arrival time.
+	DeliveryTimes map[bundle.ID]sim.Time
+	// FinalOccupancy is each node's buffer occupancy when the run
+	// ended, indexed by node ID.
+	FinalOccupancy []float64
+	// FinalBuffered is the number of copies each node held at the end.
+	FinalBuffered []int
+}
+
+// engine is the per-run state.
+type engine struct {
+	cfg   Config
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	nodes []*node.Node
+	coll  *metrics.Collector
+
+	remaining   int
+	deliveredAt map[bundle.ID]sim.Time
+	firstStart  sim.Time
+	lastArrival sim.Time
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:         cfg,
+		sched:       sim.NewScheduler(cfg.Horizon),
+		rng:         sim.NewRNG(cfg.Seed),
+		deliveredAt: make(map[bundle.ID]sim.Time),
+		firstStart:  sim.Infinity,
+	}
+	e.nodes = make([]*node.Node, cfg.Schedule.Nodes)
+	for i := range e.nodes {
+		e.nodes[i] = node.New(contact.NodeID(i), cfg.BufferCap)
+		cfg.Protocol.Init(e.nodes[i])
+	}
+	e.coll = metrics.NewCollector(e.nodes)
+
+	if err := e.scheduleWorkload(); err != nil {
+		return nil, err
+	}
+	e.scheduleContacts()
+	e.scheduleSampling()
+
+	end := e.sched.Run()
+	if e.lastArrival > end {
+		// Deliveries inside the final contact complete after the
+		// contact-start event's timestamp.
+		end = e.lastArrival
+	}
+	return e.result(end), nil
+}
+
+// scheduleWorkload creates flow bundles at their start times. Sequence
+// numbers are 1-based per source, matching the paper's "bundles 1 to k".
+func (e *engine) scheduleWorkload() error {
+	for _, f := range e.cfg.Flows {
+		f := f
+		if f.StartAt < e.firstStart {
+			e.firstStart = f.StartAt
+		}
+		e.remaining += f.Count
+		if _, err := e.sched.At(f.StartAt, func() { e.generate(f) }); err != nil {
+			return fmt.Errorf("core: scheduling flow: %w", err)
+		}
+	}
+	return nil
+}
+
+func (e *engine) generate(f Flow) {
+	src := e.nodes[f.Src]
+	now := e.sched.Now()
+	for seq := 1; seq <= f.Count; seq++ {
+		b := &bundle.Bundle{
+			ID:        bundle.ID{Src: f.Src, Seq: seq},
+			Dst:       f.Dst,
+			CreatedAt: now,
+		}
+		cp := &bundle.Copy{Bundle: b, StoredAt: now, Pinned: true, Expiry: sim.Infinity}
+		e.cfg.Protocol.OnGenerate(src, cp, now)
+		if err := src.Store.Put(cp); err != nil {
+			// Pinned puts bypass capacity; failure means a duplicate ID,
+			// which validate() rules out.
+			panic(fmt.Sprintf("core: generating %v: %v", b.ID, err))
+		}
+		e.coll.Track(b)
+	}
+}
+
+func (e *engine) scheduleContacts() {
+	for _, c := range e.cfg.Schedule.Contacts {
+		c := c
+		if c.Start > e.cfg.Horizon {
+			break // sorted by start; the rest are out of range too
+		}
+		if _, err := e.sched.At(c.Start, func() { e.contact(c) }); err != nil {
+			panic(fmt.Sprintf("core: scheduling contact %v: %v", c, err))
+		}
+	}
+}
+
+func (e *engine) scheduleSampling() {
+	var tick func()
+	tick = func() {
+		e.coll.Sample(e.sched.Now())
+		if _, err := e.sched.After(sim.Time(e.cfg.SampleEvery), tick); err != nil {
+			panic(fmt.Sprintf("core: rescheduling sampler: %v", err)) // future time: unreachable
+		}
+	}
+	// First sample lands after workload generation at t=firstStart.
+	at := e.firstStart
+	if at >= sim.Infinity {
+		at = 0
+	}
+	if _, err := e.sched.At(at, tick); err != nil {
+		panic(fmt.Sprintf("core: scheduling sampler: %v", err))
+	}
+}
+
+// contact processes one encounter per DESIGN.md §5: purge, control
+// exchange, then budgeted half-duplex transmissions, lower ID first.
+func (e *engine) contact(c contact.Contact) {
+	if e.remaining == 0 && !e.cfg.RunToHorizon {
+		return
+	}
+	now := e.sched.Now()
+	a, b := e.nodes[c.A], e.nodes[c.B]
+	a.PurgeExpired(now)
+	b.PurgeExpired(now)
+	a.ObserveEncounter(now)
+	b.ObserveEncounter(now)
+
+	dur := float64(c.Duration())
+	recordBudget := int(dur / e.cfg.TxTime * float64(e.cfg.RecordsPerSlot))
+	e.cfg.Protocol.Exchange(a, b, now, recordBudget)
+
+	slots := int(dur / e.cfg.TxTime)
+	if slots <= 0 {
+		return
+	}
+	// Lower-ID node sends first (§IV collision avoidance); the peer uses
+	// whatever budget remains.
+	used := e.transmitBatch(a, b, now, slots, 0)
+	e.transmitBatch(b, a, now, slots, used)
+}
+
+// transmitBatch sends the sender's wanted bundles while slots remain.
+// used is the number of slots already consumed in this contact; the
+// return value is the updated count. Transmission i completes at
+// start + (i+1)·TxTime.
+func (e *engine) transmitBatch(sender, receiver *node.Node, start sim.Time, slots, used int) int {
+	if used >= slots {
+		return used
+	}
+	wants := e.cfg.Protocol.Wants(sender, receiver, start, e.rng)
+	for _, id := range wants {
+		if used >= slots {
+			break
+		}
+		if e.remaining == 0 && !e.cfg.RunToHorizon {
+			break
+		}
+		cp := sender.Store.Get(id)
+		if cp == nil {
+			// Purged mid-contact (e.g. covered by a fresh immunity
+			// table); the node would not put it on the air.
+			continue
+		}
+		if receiver.Store.Has(id) || receiver.Received.Has(id) {
+			continue
+		}
+		used++
+		at := start + sim.Time(float64(used)*e.cfg.TxTime)
+		e.transmit(sender, receiver, cp, at)
+	}
+	return used
+}
+
+// transmit performs one bundle transmission. OnTransmit (EC increments,
+// TTL renewal) applies only to transfers the receiver actually takes —
+// delivered or stored. A refused transfer burns the slot and is counted,
+// but mutates no copy state: a sender cannot renew a bundle's TTL by
+// shouting into a full buffer.
+func (e *engine) transmit(sender, receiver *node.Node, cp *bundle.Copy, at sim.Time) {
+	sender.DataSent++
+	rcpt := cp.Clone(at)
+	if cp.Bundle.Dst == receiver.ID {
+		e.cfg.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
+		e.deliver(sender, receiver, cp.Bundle, at)
+		return
+	}
+	if e.cfg.Protocol.Admit(receiver, rcpt, at) {
+		e.cfg.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
+		if err := receiver.Store.Put(rcpt); err != nil {
+			panic(fmt.Sprintf("core: admit promised room for %v at node %d: %v",
+				cp.Bundle.ID, receiver.ID, err))
+		}
+	}
+}
+
+func (e *engine) deliver(sender, dst *node.Node, b *bundle.Bundle, at sim.Time) {
+	if dst.Received.Has(b.ID) {
+		return // duplicate delivery; Wants filtering should prevent this
+	}
+	dst.Received.Add(b.ID)
+	e.deliveredAt[b.ID] = at
+	if at > e.lastArrival {
+		e.lastArrival = at
+	}
+	e.remaining--
+	e.cfg.Protocol.OnDelivered(dst, sender, b.ID, at)
+	if e.remaining == 0 && !e.cfg.RunToHorizon {
+		e.sched.Stop()
+	}
+}
+
+func (e *engine) result(end sim.Time) *Result {
+	generated := 0
+	for _, f := range e.cfg.Flows {
+		generated += f.Count
+	}
+	delivered := len(e.deliveredAt)
+	r := &Result{
+		Protocol:          e.cfg.Protocol.Name(),
+		Generated:         generated,
+		Delivered:         delivered,
+		DeliveryRatio:     float64(delivered) / float64(generated),
+		Completed:         delivered == generated,
+		Makespan:          -1,
+		MeanOccupancy:     e.coll.MeanOccupancy(),
+		MeanDuplication:   e.coll.MeanDuplication(),
+		ControlRecords:    metrics.Overhead(e.nodes),
+		DataTransmissions: metrics.DataTransmissions(e.nodes),
+		FinishedAt:        end,
+		DeliveryTimes:     e.deliveredAt,
+	}
+	if r.Completed {
+		r.Makespan = float64(e.lastArrival - e.firstStart)
+	}
+	if delivered > 0 {
+		delays := make([]float64, 0, delivered)
+		for id, at := range e.deliveredAt {
+			var created sim.Time
+			for _, f := range e.cfg.Flows {
+				if f.Src == id.Src {
+					created = f.StartAt
+					break
+				}
+			}
+			delays = append(delays, float64(at-created))
+		}
+		sort.Float64s(delays)
+		r.MeanDelay = stats.Mean(delays)
+		r.DelayP50 = stats.Quantile(delays, 0.5)
+		r.DelayP95 = stats.Quantile(delays, 0.95)
+	}
+	r.FinalOccupancy = make([]float64, len(e.nodes))
+	r.FinalBuffered = make([]int, len(e.nodes))
+	for i, n := range e.nodes {
+		r.Refused += n.Refused
+		r.Evicted += n.Evicted
+		r.Expired += n.Expired
+		r.FinalOccupancy[i] = n.Store.Occupancy()
+		r.FinalBuffered[i] = n.Store.Len()
+	}
+	return r
+}

@@ -1,0 +1,252 @@
+// Package experiment is the paper's evaluation harness (§IV–V): it
+// sweeps bundle load k = 5..50 in steps of 5, runs each point several
+// times with fresh seeds and a fresh random source/destination pair,
+// averages the four metrics, and exposes each of the paper's figures and
+// tables as a ready-to-run specification.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"dtnsim/internal/contact"
+	"dtnsim/internal/core"
+	"dtnsim/internal/protocol"
+	"dtnsim/internal/sim"
+	"dtnsim/internal/stats"
+)
+
+// Metric selects which of the paper's measurements a figure plots.
+type Metric string
+
+// The paper's metrics (§IV) plus the §V-C signaling-overhead count.
+const (
+	MetricDelay       Metric = "delay"       // seconds until all bundles arrive
+	MetricDelivery    Metric = "delivery"    // delivered / generated
+	MetricOccupancy   Metric = "occupancy"   // buffer occupancy level
+	MetricDuplication Metric = "duplication" // bundle duplication rate
+	MetricOverhead    Metric = "overhead"    // control records transmitted
+)
+
+// Scenario produces the mobility input for each run.
+type Scenario struct {
+	// Name labels the scenario in reports ("trace", "rwp", …).
+	Name string
+	// Generate builds the contact schedule for a given seed.
+	Generate func(seed uint64) (*contact.Schedule, error)
+	// PerRunSchedule regenerates mobility for every run (RWP); when
+	// false the schedule is generated once from the sweep's base seed
+	// and shared by all runs, as with a fixed trace file.
+	PerRunSchedule bool
+	// TxTime and BufferCap override the engine defaults when non-zero.
+	TxTime    float64
+	BufferCap int
+}
+
+// ProtocolFactory builds a fresh protocol instance per run.
+type ProtocolFactory struct {
+	// Label names the series as in the paper's legends.
+	Label string
+	// New constructs the protocol.
+	New func() protocol.Protocol
+}
+
+// Sweep is one load-sweep experiment specification.
+type Sweep struct {
+	Scenario  Scenario
+	Protocols []ProtocolFactory
+	// Loads defaults to 5,10,…,50 (§IV).
+	Loads []int
+	// Runs per point; the paper uses 10.
+	Runs int
+	// BaseSeed anchors all derived randomness.
+	BaseSeed uint64
+	// Metrics to collect; defaults to all five.
+	Metrics []Metric
+	// OnPoint, if set, is called after each (protocol, load) point for
+	// progress reporting.
+	OnPoint func(label string, load int)
+}
+
+// Point is one averaged (load, protocol) measurement.
+type Point struct {
+	Load int
+	// Values holds the run-averaged value per metric. Delay averages
+	// only completed runs and is NaN when no run completed (§IV: failed
+	// transmissions record no delay).
+	Values map[Metric]float64
+	// Completed counts runs that delivered every bundle.
+	Completed int
+	// Runs is the number of runs aggregated.
+	Runs int
+}
+
+// Series is one protocol's curve across loads.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Result is a finished sweep.
+type Result struct {
+	Scenario string
+	Loads    []int
+	Series   []Series
+}
+
+// DefaultLoads is the paper's load axis.
+func DefaultLoads() []int { return []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50} }
+
+// AllMetrics lists every metric.
+func AllMetrics() []Metric {
+	return []Metric{MetricDelay, MetricDelivery, MetricOccupancy, MetricDuplication, MetricOverhead}
+}
+
+// seedFor derives a deterministic 64-bit seed for (base, load, run) via a
+// splitmix64 round, so points are independent of sweep iteration order.
+func seedFor(base uint64, load, run int) uint64 {
+	x := base ^ (uint64(load) << 32) ^ uint64(run)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Run executes the sweep.
+func Run(sw Sweep) (*Result, error) {
+	if sw.Scenario.Generate == nil {
+		return nil, fmt.Errorf("experiment: scenario %q has no generator", sw.Scenario.Name)
+	}
+	if len(sw.Protocols) == 0 {
+		return nil, fmt.Errorf("experiment: no protocols in sweep")
+	}
+	if len(sw.Loads) == 0 {
+		sw.Loads = DefaultLoads()
+	}
+	if sw.Runs == 0 {
+		sw.Runs = 10
+	}
+	if len(sw.Metrics) == 0 {
+		sw.Metrics = AllMetrics()
+	}
+
+	var shared *contact.Schedule
+	if !sw.Scenario.PerRunSchedule {
+		s, err := sw.Scenario.Generate(sw.BaseSeed)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: generating %s schedule: %w", sw.Scenario.Name, err)
+		}
+		shared = s
+	}
+
+	res := &Result{Scenario: sw.Scenario.Name, Loads: sw.Loads}
+	for _, pf := range sw.Protocols {
+		series := Series{Label: pf.Label}
+		for _, load := range sw.Loads {
+			pt, err := runPoint(sw, shared, pf, load)
+			if err != nil {
+				return nil, err
+			}
+			series.Points = append(series.Points, pt)
+			if sw.OnPoint != nil {
+				sw.OnPoint(pf.Label, load)
+			}
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+func runPoint(sw Sweep, shared *contact.Schedule, pf ProtocolFactory, load int) (Point, error) {
+	acc := make(map[Metric]*stats.Welford, len(sw.Metrics))
+	for _, m := range sw.Metrics {
+		acc[m] = &stats.Welford{}
+	}
+	completed := 0
+	for run := 0; run < sw.Runs; run++ {
+		seed := seedFor(sw.BaseSeed, load, run)
+		schedule := shared
+		if sw.Scenario.PerRunSchedule {
+			s, err := sw.Scenario.Generate(seed)
+			if err != nil {
+				return Point{}, fmt.Errorf("experiment: %s run schedule: %w", sw.Scenario.Name, err)
+			}
+			schedule = s
+		}
+		// The pair depends only on the run index so every load point
+		// compares the same set of source/destination pairs, keeping
+		// curves comparable along the load axis (§IV re-randomizes the
+		// pair per run).
+		src, dst := pickPair(schedule.Nodes, seedFor(sw.BaseSeed, 0, run))
+		r, err := core.Run(core.Config{
+			Schedule:  schedule,
+			Protocol:  pf.New(),
+			Flows:     []core.Flow{{Src: src, Dst: dst, Count: load}},
+			TxTime:    sw.Scenario.TxTime,
+			BufferCap: sw.Scenario.BufferCap,
+			Seed:      seed,
+			// Run the full trace so occupancy and duplication are
+			// steady-state time averages as in the paper; delay and
+			// delivery ratio are unaffected (§IV end conditions).
+			RunToHorizon: true,
+		})
+		if err != nil {
+			return Point{}, fmt.Errorf("experiment: %s/%s load %d: %w", sw.Scenario.Name, pf.Label, load, err)
+		}
+		if r.Completed {
+			completed++
+		}
+		for _, m := range sw.Metrics {
+			switch m {
+			case MetricDelay:
+				if r.Completed {
+					acc[m].Add(r.Makespan)
+				}
+			case MetricDelivery:
+				acc[m].Add(r.DeliveryRatio)
+			case MetricOccupancy:
+				acc[m].Add(r.MeanOccupancy)
+			case MetricDuplication:
+				acc[m].Add(r.MeanDuplication)
+			case MetricOverhead:
+				acc[m].Add(float64(r.ControlRecords))
+			default:
+				return Point{}, fmt.Errorf("experiment: unknown metric %q", m)
+			}
+		}
+	}
+	pt := Point{Load: load, Values: make(map[Metric]float64, len(sw.Metrics)), Completed: completed, Runs: sw.Runs}
+	for _, m := range sw.Metrics {
+		if m == MetricDelay && acc[m].N() == 0 {
+			pt.Values[m] = math.NaN()
+			continue
+		}
+		pt.Values[m] = acc[m].Mean()
+	}
+	return pt, nil
+}
+
+// pickPair chooses a random source and distinct destination, changed
+// every run per §IV.
+func pickPair(nodes int, seed uint64) (contact.NodeID, contact.NodeID) {
+	rng := sim.NewRNG(seed ^ 0xfeed)
+	src := rng.IntN(nodes)
+	dst := rng.IntN(nodes - 1)
+	if dst >= src {
+		dst++
+	}
+	return contact.NodeID(src), contact.NodeID(dst)
+}
+
+// MeanOf averages a series' metric across its loads, ignoring NaN
+// points; used to build Table II.
+func MeanOf(s Series, m Metric) float64 {
+	var vals []float64
+	for _, p := range s.Points {
+		v := p.Values[m]
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	return stats.Mean(vals)
+}

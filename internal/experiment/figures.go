@@ -1,0 +1,172 @@
+package experiment
+
+import "fmt"
+
+// Figure specifies one of the paper's figures (or Table II / the §V-C
+// overhead comparison) as a runnable experiment.
+type Figure struct {
+	// ID is the short identifier ("fig07" … "fig20", "table2",
+	// "overhead").
+	ID string
+	// Title matches the paper's caption.
+	Title string
+	// Metric is the plotted measurement.
+	Metric Metric
+	// Sweep is the experiment to run. BaseSeed and Runs may be
+	// overridden by the caller before running.
+	Sweep Sweep
+	// Expect documents the qualitative shape the paper reports, for
+	// EXPERIMENTS.md and for the shape tests.
+	Expect string
+}
+
+// comparisonProtocols is the §V-A existing-protocol lineup.
+func comparisonProtocols() []ProtocolFactory {
+	return []ProtocolFactory{PQ11(), TTL300(), Immunity(), EC()}
+}
+
+// enhancedProtocols is the §V-B modified-vs-unmodified lineup.
+func enhancedProtocols() []ProtocolFactory {
+	return []ProtocolFactory{TTL300(), DynTTL(), EC(), ECTTL(), Immunity(), CumImmunity()}
+}
+
+// Figures returns every reproducible experiment in paper order. Each
+// figure's sweep uses the paper's loads (5..50 step 5) and 10 runs per
+// point; callers may reduce Runs for quick previews.
+func Figures() []Figure {
+	fig := func(id, title string, m Metric, sc Scenario, ps []ProtocolFactory, expect string) Figure {
+		return Figure{
+			ID: id, Title: title, Metric: m,
+			Sweep:  Sweep{Scenario: sc, Protocols: ps, Runs: 10, Metrics: []Metric{m, MetricDelivery}},
+			Expect: expect,
+		}
+	}
+	return []Figure{
+		// The paper's delay discussion treats P-Q as §II defines it —
+		// with anti-packets (it reports P-Q(1,1) delay identical to
+		// immunity's) — so the delay figures carry both variants.
+		fig("fig07", "Delay comparison of epidemic-based protocols (trace)",
+			MetricDelay, TraceScenario(), []ProtocolFactory{PQ11(), PQ11Anti(), TTL300(), EC()},
+			"delay grows with load for all; EC grows fastest; P-Q (anti-packets) slowest"),
+		fig("fig08", "Delay comparison of epidemic-based protocols (RWP)",
+			MetricDelay, RWPScenario(), []ProtocolFactory{PQ11(), PQ11Anti(), TTL300(), Immunity(), EC()},
+			"same ordering as fig07 with immunity close to P-Q"),
+		fig("fig09", "Average bundle duplication rate (trace)",
+			MetricDuplication, TraceScenario(), comparisonProtocols(),
+			"EC lowest; immunity highest (>60%); P-Q high"),
+		fig("fig10", "Average bundle duplication rate (RWP)",
+			MetricDuplication, RWPScenario(), comparisonProtocols(),
+			"EC lowest duplication; immunity and P-Q highest"),
+		fig("fig11", "Buffer occupancy level (trace)",
+			MetricOccupancy, TraceScenario(), comparisonProtocols(),
+			"P-Q >80% for load>10; immunity ~10% below P-Q; TTL lowest"),
+		fig("fig12", "Buffer occupancy level (RWP)",
+			MetricOccupancy, RWPScenario(), comparisonProtocols(),
+			"same ordering as fig11"),
+		fig("fig13", "Delivery ratio of epidemic with TTL and EC (trace)",
+			MetricDelivery, TraceScenario(), []ProtocolFactory{EC(), TTL300()},
+			"both degrade with load; EC above TTL"),
+		fig("fig14", "Delivery ratio of TTL=300 under interval 400 vs 2000",
+			MetricDelivery, IntervalScenario(400), []ProtocolFactory{TTL300()},
+			"2000 s intervals deliver >=20% less than 400 s (run against both scenarios)"),
+		fig("fig15", "Delivery ratio, modified vs unmodified (RWP)",
+			MetricDelivery, RWPScenario(), enhancedProtocols(),
+			"dynTTL > TTL; EC+TTL >= EC at high load; cum ~= immunity"),
+		fig("fig16", "Delivery ratio, modified vs unmodified (trace)",
+			MetricDelivery, TraceScenario(), enhancedProtocols(),
+			"dynTTL > TTL by >=12%; EC+TTL > EC when load >= 30"),
+		fig("fig17", "Buffer occupancy, modified vs unmodified (RWP)",
+			MetricOccupancy, RWPScenario(), enhancedProtocols(),
+			"dynTTL slightly above TTL; EC+TTL ~20pp below EC; cum below immunity"),
+		fig("fig18", "Buffer occupancy, modified vs unmodified (trace)",
+			MetricOccupancy, TraceScenario(), enhancedProtocols(),
+			"same ordering as fig17"),
+		fig("fig19", "Bundle duplication rate, modified vs unmodified (RWP)",
+			MetricDuplication, RWPScenario(), enhancedProtocols(),
+			"dynTTL above TTL; cum below immunity; EC+TTL >= EC past load 30"),
+		fig("fig20", "Bundle duplication rate, modified vs unmodified (trace)",
+			MetricDuplication, TraceScenario(), enhancedProtocols(),
+			"same ordering as fig19"),
+		fig("overhead", "Signaling overhead: immunity vs cumulative immunity",
+			MetricOverhead, TraceScenario(), []ProtocolFactory{Immunity(), CumImmunity()},
+			"cumulative transmits ~an order of magnitude fewer records at high load"),
+	}
+}
+
+// AllExperiments returns the paper's figures followed by the parameter
+// ablations.
+func AllExperiments() []Figure {
+	return append(Figures(), Ablations()...)
+}
+
+// FigureByID looks up a figure or ablation specification.
+func FigureByID(id string) (Figure, error) {
+	for _, f := range AllExperiments() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("experiment: unknown figure %q", id)
+}
+
+// Fig14Pair returns the two controlled-interval sweeps behind Fig. 14:
+// the same TTL=300 protocol under max intervals of 400 s and 2000 s.
+func Fig14Pair() (short, long Sweep) {
+	mk := func(maxI float64) Sweep {
+		return Sweep{
+			Scenario:  IntervalScenario(maxI),
+			Protocols: []ProtocolFactory{TTL300()},
+			Runs:      10,
+			Metrics:   []Metric{MetricDelivery},
+		}
+	}
+	return mk(400), mk(2000)
+}
+
+// TableIIRow is one row of the paper's Table II.
+type TableIIRow struct {
+	Protocol                  string
+	DeliveryRWP, DeliveryTr   float64 // percent
+	OccupancyRWP, OccupancyTr float64 // percent
+	DupRWP, DupTr             float64 // percent
+}
+
+// TableII computes the paper's closing comparison: load-averaged
+// delivery rate, buffer occupancy level and duplication rate for the
+// six §V-B protocols under both mobility sources.
+func TableII(baseSeed uint64, runs int) ([]TableIIRow, error) {
+	if runs == 0 {
+		runs = 10
+	}
+	metrics := []Metric{MetricDelivery, MetricOccupancy, MetricDuplication}
+	sweep := func(sc Scenario) (*Result, error) {
+		return Run(Sweep{
+			Scenario:  sc,
+			Protocols: enhancedProtocols(),
+			Runs:      runs,
+			BaseSeed:  baseSeed,
+			Metrics:   metrics,
+		})
+	}
+	rwp, err := sweep(RWPScenario())
+	if err != nil {
+		return nil, err
+	}
+	trace, err := sweep(TraceScenario())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableIIRow, len(rwp.Series))
+	for i := range rwp.Series {
+		rows[i] = TableIIRow{
+			Protocol:     rwp.Series[i].Label,
+			DeliveryRWP:  100 * MeanOf(rwp.Series[i], MetricDelivery),
+			DeliveryTr:   100 * MeanOf(trace.Series[i], MetricDelivery),
+			OccupancyRWP: 100 * MeanOf(rwp.Series[i], MetricOccupancy),
+			OccupancyTr:  100 * MeanOf(trace.Series[i], MetricOccupancy),
+			DupRWP:       100 * MeanOf(rwp.Series[i], MetricDuplication),
+			DupTr:        100 * MeanOf(trace.Series[i], MetricDuplication),
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/node"
+	"dtnsim/internal/sim"
+)
+
+func TestCollectorOccupancy(t *testing.T) {
+	nodes := []*node.Node{node.New(0, 10), node.New(1, 10)}
+	c := NewCollector(nodes)
+	put := func(n *node.Node, seq int) {
+		cp := &bundle.Copy{Bundle: &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: seq}, Dst: 1}, Expiry: sim.Infinity}
+		if err := n.Store.Put(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(nodes[0], 1)
+	put(nodes[0], 2)
+	// Node0: 2/10, node1: 0/10 → mean 0.1.
+	c.Sample(0)
+	if got := c.MeanOccupancy(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("occupancy = %v, want 0.1", got)
+	}
+	put(nodes[1], 1)
+	put(nodes[1], 2)
+	// Second sample: (0.2+0.2)/2 = 0.2; time-average (0.1+0.2)/2 = 0.15.
+	c.Sample(1000)
+	if got := c.MeanOccupancy(); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("occupancy after 2 samples = %v, want 0.15", got)
+	}
+	if c.Samples() != 2 {
+		t.Errorf("Samples = %d", c.Samples())
+	}
+}
+
+func TestCollectorDuplication(t *testing.T) {
+	nodes := []*node.Node{node.New(0, 10), node.New(1, 10), node.New(2, 10), node.New(3, 10)}
+	c := NewCollector(nodes)
+	b1 := &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 1}, Dst: 3}
+	b2 := &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 2}, Dst: 3}
+	c.Track(b1)
+	c.Track(b2)
+	store := func(n *node.Node, b *bundle.Bundle) {
+		if err := n.Store.Put(&bundle.Copy{Bundle: b, Expiry: sim.Infinity}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b1 at 2/4 nodes, b2 at 1/4 nodes → mean (0.5+0.25)/2 = 0.375.
+	store(nodes[0], b1)
+	store(nodes[1], b1)
+	store(nodes[0], b2)
+	c.Sample(0)
+	if got := c.MeanDuplication(); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("duplication = %v, want 0.375", got)
+	}
+}
+
+func TestCollectorNoBundlesNoDuplicationSamples(t *testing.T) {
+	c := NewCollector([]*node.Node{node.New(0, 10)})
+	c.Sample(0)
+	if c.MeanDuplication() != 0 {
+		t.Error("duplication with no tracked bundles should be 0")
+	}
+}
+
+func TestOverheadAndDataTotals(t *testing.T) {
+	a, b := node.New(0, 10), node.New(1, 10)
+	a.ControlSent = 7
+	b.ControlSent = 5
+	a.DataSent = 3
+	if Overhead([]*node.Node{a, b}) != 12 {
+		t.Error("Overhead sum wrong")
+	}
+	if DataTransmissions([]*node.Node{a, b}) != 3 {
+		t.Error("DataTransmissions sum wrong")
+	}
+}
+
+func TestCollectorDuplicationSkipsDeadBundles(t *testing.T) {
+	nodes := []*node.Node{node.New(0, 10), node.New(1, 10)}
+	c := NewCollector(nodes)
+	alive := &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 1}, Dst: 1}
+	dead := &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 2}, Dst: 1}
+	c.Track(alive)
+	c.Track(dead)
+	if err := nodes[0].Store.Put(&bundle.Copy{Bundle: alive, Expiry: sim.Infinity}); err != nil {
+		t.Fatal(err)
+	}
+	// dead has zero holders: it must not drag the average down.
+	c.Sample(0)
+	if got := c.MeanDuplication(); got != 0.5 {
+		t.Errorf("duplication = %v, want 0.5 (alive bundle at 1/2 nodes)", got)
+	}
+}
+
+func TestCollectorAllDeadSkipsSample(t *testing.T) {
+	c := NewCollector([]*node.Node{node.New(0, 10)})
+	c.Track(&bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 1}, Dst: 1})
+	c.Sample(0) // no holders anywhere: sample contributes nothing
+	if c.MeanDuplication() != 0 {
+		t.Error("all-dead sample counted")
+	}
+}

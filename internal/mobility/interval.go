@@ -1,0 +1,100 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"dtnsim/internal/contact"
+	"dtnsim/internal/sim"
+)
+
+// ControlledInterval generates the Fig. 14 scenarios: a population where
+// every node has a bounded number of encounters and the gap between a
+// node's successive encounters never exceeds MaxInterval. The paper runs
+// it with 20 nodes, at most 20 encounters per node, and MaxInterval of
+// 400 s versus 2000 s to show constant-TTL's sensitivity to encounter
+// intervals: with TTL=300 s most 100–400 s gaps can be bridged by a
+// relayed copy before it expires, while 100–2000 s gaps mostly cannot.
+//
+// Encounters happen in rounds: each round the population is randomly
+// paired off; a pair's meeting starts Uniform(MinInterval, MaxInterval)
+// seconds after the later partner's previous meeting *started* (the
+// paper bounds the interval between successive encounters, which is a
+// start-to-start measure), and lasts Uniform(MinDur, MaxDur) seconds.
+// Consecutive meetings of a node may therefore overlap slightly, which
+// the engine permits — a node can exchange with two peers in one
+// window. Every node gets exactly Encounters meetings (one per round
+// when the population is even).
+type ControlledInterval struct {
+	Nodes       int
+	Encounters  int     // encounters per node
+	MinInterval float64 // seconds
+	MaxInterval float64 // seconds
+	MinDur      float64 // seconds
+	MaxDur      float64 // seconds
+	Seed        uint64
+}
+
+// Defaults fills unset fields with the Fig. 14 parameters (the 400 s
+// scenario; set MaxInterval explicitly for the 2000 s one). Run this
+// scenario with a faster link than the trace (experiment.IntervalScenario
+// uses 25 s/bundle) so twenty encounters carry a workload-scale number
+// of bundles while contacts stay short relative to the TTL, as the
+// paper's delivery ratios imply.
+func (g ControlledInterval) Defaults() ControlledInterval {
+	if g.Nodes == 0 {
+		g.Nodes = 20
+	}
+	if g.Encounters == 0 {
+		g.Encounters = 20
+	}
+	if g.MinInterval == 0 {
+		g.MinInterval = 100
+	}
+	if g.MaxInterval == 0 {
+		g.MaxInterval = 400
+	}
+	if g.MinDur == 0 {
+		g.MinDur = 100
+	}
+	if g.MaxDur == 0 {
+		g.MaxDur = 300
+	}
+	return g
+}
+
+// Generate produces the controlled-interval schedule.
+func (g ControlledInterval) Generate() (*contact.Schedule, error) {
+	g = g.Defaults()
+	if g.Nodes < 2 {
+		return nil, fmt.Errorf("mobility: ControlledInterval needs >=2 nodes, got %d", g.Nodes)
+	}
+	if g.MaxInterval < g.MinInterval {
+		return nil, fmt.Errorf("mobility: MaxInterval %v < MinInterval %v", g.MaxInterval, g.MinInterval)
+	}
+	rng := sim.NewRNG(g.Seed)
+	s := &contact.Schedule{Nodes: g.Nodes}
+	lastStart := make([]float64, g.Nodes)
+	for round := 0; round < g.Encounters; round++ {
+		perm := rng.Perm(g.Nodes)
+		for k := 0; k+1 < len(perm); k += 2 {
+			a := contact.NodeID(perm[k])
+			b := contact.NodeID(perm[k+1])
+			start := math.Max(lastStart[a], lastStart[b]) + rng.Uniform(g.MinInterval, g.MaxInterval)
+			end := start + rng.Uniform(g.MinDur, g.MaxDur)
+			rs, re := math.Round(start), math.Round(end)
+			if re > rs {
+				s.Contacts = append(s.Contacts, contact.Contact{
+					A: a, B: b, Start: sim.Time(rs), End: sim.Time(re),
+				}.Normalize())
+			}
+			lastStart[a] = start
+			lastStart[b] = start
+		}
+	}
+	s.Sort()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("mobility: controlled-interval schedule invalid: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,164 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dtnsim/internal/contact"
+	"dtnsim/internal/sim"
+)
+
+// RWPSpan is the simulated period for RWP experiments (§IV: "within a
+// 600,000 seconds period").
+const RWPSpan sim.Time = 600000
+
+// SubscriberPointRWP is the paper's modified Random-WayPoint model (§IV).
+// Nodes hop between subscriber points scattered over a square area.
+// At each point a node pauses for a random time, then travels to another
+// random point; two nodes are in contact while co-located at a point,
+// with contact duration capped at MaxContact.
+//
+// The paper's parameters: fewer than 100 subscriber points per km²,
+// pauses under 1000 s, node speed in (0, 10] m/s (derived from distance
+// over interval), contacts capped at 500 s.
+type SubscriberPointRWP struct {
+	Nodes      int
+	Points     int      // subscriber points in the area
+	AreaSide   float64  // metres; area is AreaSide × AreaSide
+	Span       sim.Time // simulated period
+	Seed       uint64
+	MaxPause   float64 // seconds, pause at a point is Uniform(MinPause, MaxPause)
+	MinPause   float64
+	MinSpeed   float64 // m/s
+	MaxSpeed   float64 // m/s
+	MaxContact float64 // seconds, contact duration cap
+}
+
+// Defaults fills unset fields with the paper's §IV values.
+func (g SubscriberPointRWP) Defaults() SubscriberPointRWP {
+	if g.Nodes == 0 {
+		g.Nodes = CambridgeNodes
+	}
+	if g.Points == 0 {
+		g.Points = 96
+	}
+	if g.AreaSide == 0 {
+		g.AreaSide = 1000
+	}
+	if g.Span == 0 {
+		g.Span = RWPSpan
+	}
+	if g.MaxPause == 0 {
+		g.MaxPause = 1000
+	}
+	if g.MinPause == 0 {
+		g.MinPause = 50
+	}
+	if g.MinSpeed == 0 {
+		g.MinSpeed = 0.5
+	}
+	if g.MaxSpeed == 0 {
+		g.MaxSpeed = 10
+	}
+	if g.MaxContact == 0 {
+		g.MaxContact = 500
+	}
+	return g
+}
+
+type point struct{ x, y float64 }
+
+// visit is one node's dwell interval at a subscriber point.
+type visit struct {
+	node   contact.NodeID
+	arrive float64
+	depart float64
+}
+
+// Generate simulates the itineraries and extracts the contact schedule.
+func (g SubscriberPointRWP) Generate() (*contact.Schedule, error) {
+	g = g.Defaults()
+	if g.Nodes < 2 {
+		return nil, fmt.Errorf("mobility: RWP needs >=2 nodes, got %d", g.Nodes)
+	}
+	if g.Points < 2 {
+		return nil, fmt.Errorf("mobility: RWP needs >=2 subscriber points, got %d", g.Points)
+	}
+	if g.Points > 100 {
+		return nil, fmt.Errorf("mobility: paper bounds subscriber points at 100/km², got %d", g.Points)
+	}
+	root := sim.NewRNG(g.Seed)
+	placeRNG := root.Derive(0xA11)
+	pts := make([]point, g.Points)
+	for i := range pts {
+		pts[i] = point{placeRNG.Uniform(0, g.AreaSide), placeRNG.Uniform(0, g.AreaSide)}
+	}
+
+	// Build itineraries: per-point visit lists.
+	visitsAt := make([][]visit, g.Points)
+	for n := 0; n < g.Nodes; n++ {
+		rng := root.Derive(0xB00 + uint64(n))
+		cur := rng.IntN(g.Points)
+		t := rng.Uniform(0, g.MaxPause) // staggered starts
+		for sim.Time(t) < g.Span {
+			pause := rng.Uniform(g.MinPause, g.MaxPause)
+			depart := t + pause
+			if sim.Time(depart) > g.Span {
+				depart = float64(g.Span)
+			}
+			visitsAt[cur] = append(visitsAt[cur], visit{node: contact.NodeID(n), arrive: t, depart: depart})
+			if sim.Time(depart) >= g.Span {
+				break
+			}
+			// Choose a different next point and travel there.
+			next := rng.IntN(g.Points - 1)
+			if next >= cur {
+				next++
+			}
+			d := dist(pts[cur], pts[next])
+			speed := rng.Uniform(g.MinSpeed, g.MaxSpeed)
+			t = depart + d/speed
+			cur = next
+		}
+	}
+
+	// Sweep each point's visits for pairwise dwell overlaps.
+	s := &contact.Schedule{Nodes: g.Nodes}
+	for _, vs := range visitsAt {
+		sort.Slice(vs, func(i, j int) bool { return vs[i].arrive < vs[j].arrive })
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				if vs[j].arrive >= vs[i].depart {
+					break // sorted by arrival: no later visit overlaps vs[i]
+				}
+				if vs[i].node == vs[j].node {
+					continue
+				}
+				start := vs[j].arrive
+				end := math.Min(vs[i].depart, vs[j].depart)
+				if end-start > g.MaxContact {
+					end = start + g.MaxContact
+				}
+				rs, re := math.Round(start), math.Round(end)
+				if re <= rs {
+					continue
+				}
+				c := contact.Contact{
+					A: vs[i].node, B: vs[j].node,
+					Start: sim.Time(rs), End: sim.Time(re),
+				}.Normalize()
+				s.Contacts = append(s.Contacts, c)
+			}
+		}
+	}
+	s.Sort()
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("mobility: RWP schedule invalid: %w", err)
+	}
+	return s, nil
+}
+
+func dist(a, b point) float64 {
+	return math.Hypot(a.x-b.x, a.y-b.y)
+}

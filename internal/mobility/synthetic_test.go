@@ -1,0 +1,145 @@
+package mobility
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dtnsim/internal/contact"
+)
+
+func TestSyntheticCambridgeDeterminism(t *testing.T) {
+	a, err := SyntheticCambridge{Seed: 7}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticCambridge{Seed: 7}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatalf("same seed gave %d vs %d contacts", len(a.Contacts), len(b.Contacts))
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatalf("same seed diverged at contact %d", i)
+		}
+	}
+	c, err := SyntheticCambridge{Seed: 8}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Contacts) == len(a.Contacts) {
+		same := true
+		for i := range a.Contacts {
+			if a.Contacts[i] != c.Contacts[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestSyntheticCambridgeShape(t *testing.T) {
+	s, err := SyntheticCambridge{Seed: 1}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != CambridgeNodes {
+		t.Errorf("Nodes = %d, want %d", s.Nodes, CambridgeNodes)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h := s.Horizon(); h > CambridgeSpan {
+		t.Errorf("Horizon %v exceeds span %v", h, CambridgeSpan)
+	}
+	st := contact.Analyze(s)
+	// The paper's arguments need a sparse DTN: node-level inter-contact
+	// gaps well above the 300 s TTL, and contacts that usually carry a
+	// couple of 100 s bundle slots.
+	if st.MeanInterval < 500 || st.MeanInterval > 20000 {
+		t.Errorf("mean node inter-contact interval = %.0fs, want sparse-DTN range [500,20000]", st.MeanInterval)
+	}
+	if st.MeanDuration < 100 || st.MeanDuration > 1500 {
+		t.Errorf("mean contact duration = %.0fs, want [100,1500]", st.MeanDuration)
+	}
+	if st.Contacts < 500 {
+		t.Errorf("only %d contacts over 5 days; trace too sparse to exercise protocols", st.Contacts)
+	}
+	// Every pair should eventually meet in a campus trace.
+	wantPairs := CambridgeNodes * (CambridgeNodes - 1) / 2
+	if st.PairsWithContact < wantPairs*3/4 {
+		t.Errorf("only %d/%d pairs ever meet", st.PairsWithContact, wantPairs)
+	}
+	// All nodes participate.
+	for n, e := range st.EncountersPer {
+		if e == 0 {
+			t.Errorf("node %d has no encounters", n)
+		}
+	}
+}
+
+func TestSyntheticCambridgeHeavyTail(t *testing.T) {
+	s, err := SyntheticCambridge{Seed: 3}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := contact.InterContactTimes(s, 0)
+	if len(gaps) < 20 {
+		t.Fatalf("node 0 has only %d gaps", len(gaps))
+	}
+	mean, over := 0.0, 0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	for _, g := range gaps {
+		if g > 2*mean {
+			over++
+		}
+	}
+	// A heavy-tailed gap distribution has a meaningful share of gaps far
+	// above the mean (an exponential would have ~13.5% above 2×mean; we
+	// only require the tail to exist).
+	if over == 0 {
+		t.Error("no inter-contact gaps above 2×mean; distribution not heavy-tailed")
+	}
+}
+
+func TestSyntheticCambridgeErrors(t *testing.T) {
+	if _, err := (SyntheticCambridge{Seed: 1, Nodes: 1}).Generate(); err == nil {
+		t.Error("1 node accepted")
+	}
+	if _, err := (SyntheticCambridge{Seed: 1, Span: -5}).Generate(); err == nil {
+		t.Error("negative span accepted")
+	}
+}
+
+func TestSyntheticCambridgeCustomSizes(t *testing.T) {
+	f := func(seed uint64) bool {
+		s, err := SyntheticCambridge{Seed: seed, Nodes: 4, Span: 100000}.Generate()
+		if err != nil {
+			return false
+		}
+		return s.Validate() == nil && s.Horizon() <= 100000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiurnalFactor(t *testing.T) {
+	g := SyntheticCambridge{}.Defaults()
+	if f := g.diurnalFactor(3 * 3600); f != g.NightQuiet {
+		t.Errorf("night factor = %v", f)
+	}
+	if f := g.diurnalFactor(12 * 3600); f != 1.0 {
+		t.Errorf("day factor = %v", f)
+	}
+	if f := g.diurnalFactor(daySeconds + 3*3600); f != g.NightQuiet {
+		t.Errorf("night factor on day 2 = %v", f)
+	}
+}

@@ -1,0 +1,115 @@
+package mobility
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dtnsim/internal/contact"
+	"dtnsim/internal/sim"
+)
+
+// ParseTrace reads an encounter trace in the canonical text format:
+//
+//	# comment lines and blank lines are ignored
+//	<nodeA> <nodeB> <start-seconds> <end-seconds>
+//
+// Node IDs are non-negative integers; fields are whitespace-separated.
+// This is the column layout of CRAWDAD Haggle-style sighting records
+// (device, peer, first-seen, last-seen), so converted iMote traces load
+// directly. Contacts are normalized, sorted, and validated; the node
+// count is inferred as max(ID)+1 unless a "# nodes: N" header raises it.
+func ParseTrace(r io.Reader) (*contact.Schedule, error) {
+	s := &contact.Schedule{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	maxID := contact.NodeID(-1)
+	declaredNodes := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if n, ok := parseNodesHeader(text); ok {
+				declaredNodes = n
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("mobility: trace line %d: want 4 fields, got %d", line, len(fields))
+		}
+		var vals [4]float64
+		for i := 0; i < 4; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mobility: trace line %d field %d: %v", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		a, b := contact.NodeID(vals[0]), contact.NodeID(vals[1])
+		if float64(a) != vals[0] || float64(b) != vals[1] || a < 0 || b < 0 {
+			return nil, fmt.Errorf("mobility: trace line %d: node IDs must be non-negative integers", line)
+		}
+		c := contact.Contact{A: a, B: b, Start: sim.Time(vals[2]), End: sim.Time(vals[3])}.Normalize()
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("mobility: trace line %d: %w", line, err)
+		}
+		if c.B > maxID {
+			maxID = c.B
+		}
+		s.Contacts = append(s.Contacts, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mobility: reading trace: %w", err)
+	}
+	s.Nodes = int(maxID) + 1
+	if declaredNodes > s.Nodes {
+		s.Nodes = declaredNodes
+	}
+	s.Sort()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseNodesHeader(line string) (int, bool) {
+	rest, ok := strings.CutPrefix(line, "#")
+	if !ok {
+		return 0, false
+	}
+	rest = strings.TrimSpace(rest)
+	rest, ok = strings.CutPrefix(rest, "nodes:")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// WriteTrace emits a schedule in the canonical text format read by
+// ParseTrace, including the node-count header.
+func WriteTrace(w io.Writer, s *contact.Schedule) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes: %d\n", s.Nodes); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "# contacts: %d\n", len(s.Contacts)); err != nil {
+		return err
+	}
+	for _, c := range s.Contacts {
+		if _, err := fmt.Fprintf(bw, "%d %d %.0f %.0f\n", c.A, c.B, float64(c.Start), float64(c.End)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

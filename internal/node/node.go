@@ -1,0 +1,79 @@
+// Package node defines the per-node state a DTN participant carries:
+// its bundle store, the encounter history that drives dynamic TTL
+// (Algorithm 1 in the paper), delivery bookkeeping, and overhead
+// counters. Protocol-specific state (immunity lists, cumulative ack
+// tables) hangs off the Ext field, attached by the protocol's Init.
+package node
+
+import (
+	"fmt"
+
+	"dtnsim/internal/buffer"
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
+	"dtnsim/internal/sim"
+)
+
+// Node is one DTN participant.
+type Node struct {
+	ID    contact.NodeID
+	Store *buffer.Store
+
+	// Received records bundles this node has consumed as their
+	// destination; a destination never re-accepts a received bundle.
+	Received *bundle.SummaryVector
+
+	// LastEncounterStart is the start time of this node's most recent
+	// encounter, or -1 before the first.
+	LastEncounterStart sim.Time
+	// LastInterval is the gap in seconds between the starts of the last
+	// two encounters; 0 until the node has seen two encounters. This is
+	// GetLastInterval from the paper's Algorithm 1.
+	LastInterval float64
+
+	// ControlSent counts control records (immunity tables, anti-packets,
+	// cumulative acks) this node has transmitted: the paper's signaling
+	// overhead metric.
+	ControlSent int64
+	// DataSent counts bundle transmissions originated by this node.
+	DataSent int64
+	// Refused counts incoming bundles this node declined (buffer full
+	// and no evictable victim).
+	Refused int64
+	// Expired counts copies this node dropped to TTL expiry.
+	Expired int64
+	// Evicted counts copies this node dropped to make room.
+	Evicted int64
+
+	// Ext holds protocol-specific state, attached by Protocol.Init.
+	Ext any
+}
+
+// New returns a node with an empty store of the given capacity.
+func New(id contact.NodeID, bufCap int) *Node {
+	return &Node{
+		ID:                 id,
+		Store:              buffer.New(bufCap),
+		Received:           bundle.NewSummaryVector(),
+		LastEncounterStart: -1,
+	}
+}
+
+// ObserveEncounter updates the node's encounter history at the start of a
+// contact. Per Algorithm 1, the interval is measured between the starts
+// of the last two encounters.
+func (n *Node) ObserveEncounter(start sim.Time) {
+	if n.LastEncounterStart >= 0 && start > n.LastEncounterStart {
+		n.LastInterval = float64(start - n.LastEncounterStart)
+	}
+	n.LastEncounterStart = start
+}
+
+// PurgeExpired removes lapsed copies and accounts for them.
+func (n *Node) PurgeExpired(now sim.Time) {
+	n.Expired += int64(len(n.Store.PurgeExpired(now)))
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("node(%d, %d/%d buffered)", n.ID, n.Store.Len(), n.Store.Cap())
+}

@@ -1,0 +1,58 @@
+package node
+
+import (
+	"testing"
+)
+
+func TestNewNode(t *testing.T) {
+	n := New(3, 10)
+	if n.ID != 3 || n.Store.Cap() != 10 {
+		t.Fatalf("node misconstructed: %v", n)
+	}
+	if n.LastEncounterStart != -1 {
+		t.Errorf("LastEncounterStart = %v, want -1", n.LastEncounterStart)
+	}
+	if n.LastInterval != 0 {
+		t.Errorf("LastInterval = %v, want 0", n.LastInterval)
+	}
+	if n.Received.Len() != 0 {
+		t.Error("Received not empty")
+	}
+}
+
+func TestObserveEncounterIntervals(t *testing.T) {
+	n := New(0, 10)
+	n.ObserveEncounter(100)
+	if n.LastInterval != 0 {
+		t.Errorf("after first encounter LastInterval = %v, want 0 (no history)", n.LastInterval)
+	}
+	if n.LastEncounterStart != 100 {
+		t.Errorf("LastEncounterStart = %v", n.LastEncounterStart)
+	}
+	n.ObserveEncounter(700)
+	if n.LastInterval != 600 {
+		t.Errorf("LastInterval = %v, want 600", n.LastInterval)
+	}
+	n.ObserveEncounter(800)
+	if n.LastInterval != 100 {
+		t.Errorf("LastInterval = %v, want 100", n.LastInterval)
+	}
+}
+
+func TestObserveEncounterSimultaneous(t *testing.T) {
+	// Two contacts starting at the same instant must not zero the
+	// interval history.
+	n := New(0, 10)
+	n.ObserveEncounter(100)
+	n.ObserveEncounter(700)
+	n.ObserveEncounter(700)
+	if n.LastInterval != 600 {
+		t.Errorf("simultaneous encounter clobbered interval: %v", n.LastInterval)
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	if New(1, 5).String() == "" {
+		t.Error("empty String")
+	}
+}

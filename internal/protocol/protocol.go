@@ -1,0 +1,123 @@
+// Package protocol implements every epidemic routing protocol the paper
+// studies (§II) and the three enhancements it proposes (§III):
+//
+//	Pure epidemic          (Vahdat & Becker)        pure.go
+//	P-Q epidemic           (Matsuda & Takine)       pq.go
+//	Epidemic with TTL      (Harras et al.)          ttl.go
+//	Epidemic with EC       (Davis et al.)           ec.go
+//	Epidemic with immunity (Mundur et al.)          immunity.go
+//	Dynamic TTL            (paper Algorithm 1)      dynttl.go
+//	EC+TTL                 (paper Algorithm 2)      ecttl.go
+//	Cumulative immunity    (paper §III)             cumimmunity.go
+//
+// Protocols are pure policy: the engine (internal/core) owns time, links
+// and budgets, and calls the hooks below at well-defined points of each
+// contact. All hooks are single-goroutine.
+package protocol
+
+import (
+	"sort"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/node"
+	"dtnsim/internal/sim"
+)
+
+// Protocol is the policy interface every epidemic variant implements.
+//
+// Hook order within one contact between nodes a (lower ID) and b:
+//
+//  1. Init was called once per node at simulation start.
+//  2. Exchange(a, b, …) — the anti-entropy control session: summary
+//     vectors are implicit (Wants may inspect the peer), immunity
+//     variants merge tables here, bounded by recordBudget per direction.
+//  3. Wants(a, b, …) then per-bundle transmission; Wants(b, a, …) with
+//     the remaining slot budget.
+//  4. Per transmission: OnTransmit on the copies; then either the
+//     engine records a delivery and calls OnDelivered, or it calls
+//     Admit on the receiver and stores the accepted copy.
+type Protocol interface {
+	// Name returns the protocol's display name as used in the paper's
+	// figure legends.
+	Name() string
+
+	// Init attaches per-node protocol state before the run starts.
+	Init(n *node.Node)
+
+	// OnGenerate initializes protocol state (TTL, EC) on a copy newly
+	// created at its source. The copy is pinned by the engine.
+	OnGenerate(src *node.Node, cp *bundle.Copy, now sim.Time)
+
+	// Exchange runs the control plane of an encounter in both
+	// directions. recordBudget bounds how many control records each
+	// direction may carry (the engine derives it from the contact
+	// duration). Implementations update node.ControlSent and may purge
+	// buffers.
+	Exchange(a, b *node.Node, now sim.Time, recordBudget int)
+
+	// Wants returns the bundle IDs sender should offer receiver, in
+	// transmission order. The engine transmits a prefix of this list
+	// bounded by the remaining slot budget.
+	Wants(sender, receiver *node.Node, now sim.Time, rng *sim.RNG) []bundle.ID
+
+	// OnTransmit updates copy state for one transmission: sent is the
+	// sender's copy, rcpt the receiver-bound clone. Called for both
+	// relay and destination receivers.
+	OnTransmit(sender, receiver *node.Node, sent, rcpt *bundle.Copy, now sim.Time)
+
+	// Admit makes room for an incoming copy at a relay, evicting
+	// according to the protocol's buffer policy. It returns true if the
+	// receiver should store the copy. The engine guarantees the
+	// receiver does not already hold the bundle and is not its
+	// destination.
+	Admit(receiver *node.Node, incoming *bundle.Copy, now sim.Time) bool
+
+	// OnDelivered notifies the protocol that a bundle just reached its
+	// destination dst via sender (link-layer acknowledgment). Immunity
+	// variants update tables and purge here.
+	OnDelivered(dst, sender *node.Node, id bundle.ID, now sim.Time)
+}
+
+// missing returns sender's stored bundles the receiver lacks, skipping
+// bundles the receiver already consumed as destination. This is the
+// anti-entropy diff every variant starts from.
+//
+// Ordering: bundles addressed to the receiver itself go first in
+// sequence order — no implementation relays third-party traffic ahead
+// of the peer's own, and lowest-sequence-first delivery fills reception
+// gaps, which is what lets cumulative immunity advance its prefix. The
+// remaining bundles are offered in random order: a summary vector is an
+// unordered set, and randomized offers are what diversify relay buffers
+// — with a fixed order every relay would fill with the same
+// lowest-sequence bundles and bundles beyond the buffer size could
+// never ride relays at all.
+func missing(sender, receiver *node.Node, rng *sim.RNG) []bundle.ID {
+	items := sender.Store.Items()
+	direct := make([]*bundle.Copy, 0, len(items))
+	relay := make([]*bundle.Copy, 0, len(items))
+	for _, cp := range items {
+		id := cp.Bundle.ID
+		if receiver.Store.Has(id) || receiver.Received.Has(id) {
+			continue
+		}
+		if cp.Bundle.Dst == receiver.ID {
+			direct = append(direct, cp)
+		} else {
+			relay = append(relay, cp)
+		}
+	}
+	sort.SliceStable(direct, func(i, j int) bool {
+		return direct[i].Bundle.ID.Less(direct[j].Bundle.ID)
+	})
+	if rng != nil {
+		rng.Shuffle(len(relay), func(i, j int) { relay[i], relay[j] = relay[j], relay[i] })
+	}
+	ids := make([]bundle.ID, 0, len(direct)+len(relay))
+	for _, cp := range direct {
+		ids = append(ids, cp.Bundle.ID)
+	}
+	for _, cp := range relay {
+		ids = append(ids, cp.Bundle.ID)
+	}
+	return ids
+}

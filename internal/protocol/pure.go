@@ -1,0 +1,52 @@
+package protocol
+
+import (
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/node"
+	"dtnsim/internal/sim"
+)
+
+// Pure is Vahdat & Becker's epidemic routing: on every encounter, nodes
+// exchange summary vectors and transmit every bundle the peer is missing.
+// There is no discard policy — a full relay simply refuses new bundles —
+// so buffer occupancy only ever grows (§II-A).
+type Pure struct{}
+
+// NewPure returns the pure epidemic protocol.
+func NewPure() *Pure { return &Pure{} }
+
+// Name implements Protocol.
+func (*Pure) Name() string { return "Pure epidemic" }
+
+// Init implements Protocol; pure epidemic keeps no per-node state beyond
+// the store itself.
+func (*Pure) Init(*node.Node) {}
+
+// OnGenerate implements Protocol: no TTL, no EC.
+func (*Pure) OnGenerate(_ *node.Node, cp *bundle.Copy, _ sim.Time) {
+	cp.Expiry = sim.Infinity
+}
+
+// Exchange implements Protocol: the summary-vector session carries no
+// extra control records.
+func (*Pure) Exchange(_, _ *node.Node, _ sim.Time, _ int) {}
+
+// Wants implements Protocol: everything the receiver is missing.
+func (*Pure) Wants(sender, receiver *node.Node, _ sim.Time, rng *sim.RNG) []bundle.ID {
+	return missing(sender, receiver, rng)
+}
+
+// OnTransmit implements Protocol: copies carry no mutable state.
+func (*Pure) OnTransmit(_, _ *node.Node, _, _ *bundle.Copy, _ sim.Time) {}
+
+// Admit implements Protocol: drop-tail — refuse when full.
+func (*Pure) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
+	if receiver.Store.Free() <= 0 {
+		receiver.Refused++
+		return false
+	}
+	return true
+}
+
+// OnDelivered implements Protocol: pure epidemic has no feedback channel.
+func (*Pure) OnDelivered(_, _ *node.Node, _ bundle.ID, _ sim.Time) {}

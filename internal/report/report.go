@@ -1,0 +1,213 @@
+// Package report renders experiment results as aligned text tables,
+// CSV, and ASCII line charts, so every figure in the paper can be
+// regenerated on a terminal without plotting dependencies.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dtnsim/internal/experiment"
+)
+
+// Table is a rectangular result: one row per load, one column per
+// series.
+type Table struct {
+	Title   string
+	XLabel  string
+	Columns []string    // series labels
+	XS      []float64   // row keys (loads)
+	Cells   [][]float64 // Cells[row][col]; NaN renders as "-"
+}
+
+// FromResult extracts one metric from a sweep result as a Table.
+func FromResult(r *experiment.Result, m experiment.Metric, title string) *Table {
+	t := &Table{Title: title, XLabel: "load"}
+	for _, s := range r.Series {
+		t.Columns = append(t.Columns, s.Label)
+	}
+	for i, load := range r.Loads {
+		t.XS = append(t.XS, float64(load))
+		row := make([]float64, len(r.Series))
+		for j, s := range r.Series {
+			row[j] = s.Points[i].Values[m]
+		}
+		t.Cells = append(t.Cells, row)
+		_ = i
+	}
+	return t
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for i, x := range t.XS {
+		fmt.Fprintf(&b, "%g", x)
+		for _, v := range t.Cells[i] {
+			if math.IsNaN(v) {
+				b.WriteString(",")
+			} else {
+				fmt.Fprintf(&b, ",%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// ASCII renders the table with aligned columns.
+func (t *Table) ASCII() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len(t.XLabel)
+	header := append([]string{t.XLabel}, t.Columns...)
+	rows := make([][]string, len(t.XS))
+	for i := range t.XS {
+		rows[i] = make([]string, len(t.Columns)+1)
+		rows[i][0] = fmt.Sprintf("%g", t.XS[i])
+		for j, v := range t.Cells[i] {
+			if math.IsNaN(v) {
+				rows[i][j+1] = "-"
+			} else {
+				rows[i][j+1] = formatValue(v)
+			}
+		}
+	}
+	for j, h := range header {
+		if len(h) > widths[j] {
+			widths[j] = len(h)
+		}
+		for i := range rows {
+			if len(rows[i][j]) > widths[j] {
+				widths[j] = len(rows[i][j])
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for j, c := range cells {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[j], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Plot renders an ASCII line chart of the table, one symbol per series.
+func (t *Table) Plot(width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	symbols := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range t.Cells {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	xmin, xmax := t.XS[0], t.XS[len(t.XS)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	for j := range t.Columns {
+		sym := symbols[j%len(symbols)]
+		for i, x := range t.XS {
+			v := t.Cells[i][j]
+			if math.IsNaN(v) {
+				continue
+			}
+			cx := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			cy := height - 1 - int((v-lo)/(hi-lo)*float64(height-1))
+			grid[cy][cx] = sym
+		}
+	}
+	for i, line := range grid {
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%10s |%s\n", formatValue(hi), line)
+		case height - 1:
+			fmt.Fprintf(&b, "%10s |%s\n", formatValue(lo), line)
+		default:
+			fmt.Fprintf(&b, "%10s |%s\n", "", line)
+		}
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", t.XLabel, width/2, xmin, width-width/2, xmax)
+	for j, c := range t.Columns {
+		fmt.Fprintf(&b, "  %c %s\n", symbols[j%len(symbols)], c)
+	}
+	return b.String()
+}
+
+// TableIIText renders the paper's Table II layout.
+func TableIIText(rows []experiment.TableIIRow) string {
+	var b strings.Builder
+	b.WriteString("Comparison of original and enhanced protocols (Table II)\n")
+	fmt.Fprintf(&b, "%-36s %9s %9s %9s %9s %9s %9s\n", "",
+		"Dlvy RWP", "Dlvy Trc", "Occ RWP", "Occ Trc", "Dup RWP", "Dup Trc")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			r.Protocol, r.DeliveryRWP, r.DeliveryTr,
+			r.OccupancyRWP, r.OccupancyTr, r.DupRWP, r.DupTr)
+	}
+	return b.String()
+}

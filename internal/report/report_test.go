@@ -1,0 +1,125 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dtnsim/internal/experiment"
+)
+
+func sampleResult() *experiment.Result {
+	return &experiment.Result{
+		Scenario: "trace",
+		Loads:    []int{5, 10},
+		Series: []experiment.Series{
+			{Label: "A", Points: []experiment.Point{
+				{Load: 5, Values: map[experiment.Metric]float64{experiment.MetricDelivery: 1.0}},
+				{Load: 10, Values: map[experiment.Metric]float64{experiment.MetricDelivery: 0.5}},
+			}},
+			{Label: "B, with comma", Points: []experiment.Point{
+				{Load: 5, Values: map[experiment.Metric]float64{experiment.MetricDelivery: 0.8}},
+				{Load: 10, Values: map[experiment.Metric]float64{experiment.MetricDelivery: math.NaN()}},
+			}},
+		},
+	}
+}
+
+func TestFromResult(t *testing.T) {
+	tab := FromResult(sampleResult(), experiment.MetricDelivery, "title")
+	if tab.Title != "title" || len(tab.Columns) != 2 || len(tab.XS) != 2 {
+		t.Fatalf("table structure: %+v", tab)
+	}
+	if tab.Cells[0][0] != 1.0 || tab.Cells[1][0] != 0.5 {
+		t.Errorf("cells wrong: %v", tab.Cells)
+	}
+	if !math.IsNaN(tab.Cells[1][1]) {
+		t.Error("NaN not preserved")
+	}
+}
+
+func TestCSVEscapingAndNaN(t *testing.T) {
+	csv := FromResult(sampleResult(), experiment.MetricDelivery, "").CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != `load,A,"B, with comma"` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[2] != "10,0.5," {
+		t.Errorf("NaN row = %q, want trailing empty cell", lines[2])
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	out := FromResult(sampleResult(), experiment.MetricDelivery, "My Title").ASCII()
+	if !strings.Contains(out, "My Title") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("NaN placeholder missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Errorf("ascii lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	tab := FromResult(sampleResult(), experiment.MetricDelivery, "plot")
+	out := tab.Plot(40, 10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("series symbols missing:\n%s", out)
+	}
+	if !strings.Contains(out, "load") {
+		t.Error("x label missing")
+	}
+	// Legend lists both series.
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B, with comma") {
+		t.Error("legend incomplete")
+	}
+}
+
+func TestPlotEmptyData(t *testing.T) {
+	tab := &Table{Title: "empty", XLabel: "load", Columns: []string{"A"},
+		XS: []float64{1}, Cells: [][]float64{{math.NaN()}}}
+	if out := tab.Plot(40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot:\n%s", out)
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	tab := &Table{XLabel: "load", Columns: []string{"A"},
+		XS: []float64{1, 2}, Cells: [][]float64{{3}, {3}}}
+	if out := tab.Plot(40, 10); out == "" {
+		t.Error("flat series render failed")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.5, "0.500"},
+		{42.42, "42.4"},
+		{123456, "1.23e+05"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.in); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableIIText(t *testing.T) {
+	rows := []experiment.TableIIRow{{
+		Protocol: "Epidemic with TTL", DeliveryRWP: 24.6, DeliveryTr: 74.4,
+		OccupancyRWP: 5.1, OccupancyTr: 11.3, DupRWP: 13.8, DupTr: 66.3,
+	}}
+	out := TableIIText(rows)
+	if !strings.Contains(out, "Epidemic with TTL") || !strings.Contains(out, "24.6%") {
+		t.Errorf("Table II rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import "container/heap"
+
+// Event is a unit of work scheduled at a point in virtual time.
+type Event struct {
+	At       Time
+	Do       func()
+	seq      uint64 // FIFO tie-break for equal timestamps
+	index    int    // heap index; -1 once popped or cancelled
+	canceled bool
+}
+
+// Cancel marks the event so the scheduler skips it when its time comes.
+// Cancelling an already-executed event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether the event has been cancelled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventHeap orders events by (At, seq): earlier times first, insertion
+// order among equal times. Deterministic ordering is essential for
+// reproducible runs.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Queue is a deterministic priority queue of events.
+// The zero value is ready to use.
+type Queue struct {
+	h       eventHeap
+	nextSeq uint64
+}
+
+// Len returns the number of pending events, including cancelled ones that
+// have not yet been popped.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules an event. Events pushed with equal timestamps pop in
+// insertion order.
+func (q *Queue) Push(e *Event) {
+	e.seq = q.nextSeq
+	q.nextSeq++
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the earliest pending event, skipping cancelled
+// events. It returns nil when the queue is empty.
+func (q *Queue) Pop() *Event {
+	for len(q.h) > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		if e.canceled {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// PeekTime returns the timestamp of the earliest pending event, or
+// Infinity when the queue is empty. Cancelled events at the head are
+// discarded first.
+func (q *Queue) PeekTime() Time {
+	for len(q.h) > 0 {
+		if q.h[0].canceled {
+			heap.Pop(&q.h)
+			continue
+		}
+		return q.h[0].At
+	}
+	return Infinity
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueOrdersByTime(t *testing.T) {
+	var q Queue
+	times := []Time{50, 10, 30, 20, 40}
+	for _, at := range times {
+		q.Push(&Event{At: at})
+	}
+	var got []Time
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		got = append(got, e.At)
+	}
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("popped %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pop %d: got t=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQueueFIFOAmongEqualTimes(t *testing.T) {
+	var q Queue
+	const n = 100
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		q.Push(&Event{At: 7, Do: func() { order = append(order, i) }})
+	}
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Do()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events popped out of insertion order: pos %d got %d", i, v)
+		}
+	}
+}
+
+func TestQueueCancel(t *testing.T) {
+	var q Queue
+	e1 := &Event{At: 1}
+	e2 := &Event{At: 2}
+	e3 := &Event{At: 3}
+	q.Push(e1)
+	q.Push(e2)
+	q.Push(e3)
+	e2.Cancel()
+	if got := q.Pop(); got != e1 {
+		t.Fatalf("first pop: got %v, want e1", got)
+	}
+	if got := q.Pop(); got != e3 {
+		t.Fatalf("second pop skipped cancel: got %+v, want e3", got)
+	}
+	if got := q.Pop(); got != nil {
+		t.Fatalf("third pop: got %+v, want nil", got)
+	}
+}
+
+func TestQueuePeekTimeSkipsCanceled(t *testing.T) {
+	var q Queue
+	e1 := &Event{At: 5}
+	q.Push(e1)
+	q.Push(&Event{At: 9})
+	e1.Cancel()
+	if got := q.PeekTime(); got != 9 {
+		t.Fatalf("PeekTime = %v, want 9", got)
+	}
+}
+
+func TestQueuePeekTimeEmpty(t *testing.T) {
+	var q Queue
+	if got := q.PeekTime(); got != Infinity {
+		t.Fatalf("PeekTime on empty queue = %v, want Infinity", got)
+	}
+}
+
+// Property: for any multiset of timestamps, popping yields the sorted
+// sequence.
+func TestQueuePopSortedProperty(t *testing.T) {
+	f := func(stamps []uint16) bool {
+		var q Queue
+		for _, s := range stamps {
+			q.Push(&Event{At: Time(s)})
+		}
+		sorted := make([]Time, len(stamps))
+		for i, s := range stamps {
+			sorted[i] = Time(s)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := 0; i < len(sorted); i++ {
+			e := q.Pop()
+			if e == nil || e.At != sorted[i] {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset never disturbs the relative
+// order of the survivors.
+func TestQueueCancelSubsetProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		var q Queue
+		events := make([]*Event, n)
+		for i := range events {
+			events[i] = &Event{At: Time(r.IntN(50))}
+			q.Push(events[i])
+		}
+		keep := make([]*Event, 0, n)
+		for _, e := range events {
+			if r.IntN(2) == 0 {
+				e.Cancel()
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		sort.SliceStable(keep, func(i, j int) bool { return keep[i].At < keep[j].At })
+		for _, want := range keep {
+			if got := q.Pop(); got != want {
+				return false
+			}
+		}
+		return q.Pop() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

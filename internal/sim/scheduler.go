@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTimeReversal is returned by Scheduler.At when an event is scheduled
+// in the past relative to the current virtual clock.
+var ErrTimeReversal = errors.New("sim: event scheduled before current time")
+
+// Scheduler owns a virtual clock and an event queue and runs events in
+// timestamp order. A Scheduler is single-goroutine by design: DTN
+// simulation at this scale is sequential, and determinism matters more
+// than parallelism (see DESIGN.md §5).
+type Scheduler struct {
+	now     Time
+	queue   Queue
+	horizon Time
+	stopped bool
+}
+
+// NewScheduler returns a scheduler whose clock starts at zero and which
+// refuses to run events past the given horizon. A non-positive horizon
+// means no limit.
+func NewScheduler(horizon Time) *Scheduler {
+	if horizon <= 0 {
+		horizon = Infinity
+	}
+	return &Scheduler{horizon: horizon}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Horizon returns the time at which the scheduler stops processing events.
+func (s *Scheduler) Horizon() Time { return s.horizon }
+
+// At schedules fn to run at time t. It returns the event handle so the
+// caller may cancel it, or an error if t precedes the current time.
+func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
+	if t < s.now {
+		return nil, fmt.Errorf("%w: now=%v event=%v", ErrTimeReversal, s.now, t)
+	}
+	e := &Event{At: t, Do: fn}
+	s.queue.Push(e)
+	return e, nil
+}
+
+// After schedules fn to run d seconds from now.
+func (s *Scheduler) After(d Duration, fn func()) (*Event, error) {
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
+// Pending returns the number of events still queued.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// Run executes events in order until the queue drains, the horizon is
+// reached, or Stop is called. It returns the final virtual time.
+//
+// Events scheduled exactly at the horizon still run; events beyond it are
+// left in the queue.
+func (s *Scheduler) Run() Time {
+	s.stopped = false
+	for !s.stopped {
+		next := s.queue.PeekTime()
+		if next > s.horizon {
+			break
+		}
+		e := s.queue.Pop()
+		if e == nil {
+			break
+		}
+		s.now = e.At
+		e.Do()
+	}
+	if s.now < s.horizon && s.queue.PeekTime() > s.horizon && !s.stopped {
+		// Queue drained (or only post-horizon events remain): the
+		// simulation observed nothing further; advance to horizon so
+		// time-weighted metrics cover the full window.
+		s.now = s.horizon
+	}
+	return s.now
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSchedulerRunsInOrder(t *testing.T) {
+	s := NewScheduler(0)
+	var trace []Time
+	for _, at := range []Time{30, 10, 20} {
+		at := at
+		if _, err := s.At(at, func() { trace = append(trace, s.Now()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := s.Run()
+	want := []Time{10, 20, 30}
+	if len(trace) != 3 {
+		t.Fatalf("ran %d events, want 3", len(trace))
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Errorf("event %d ran at %v, want %v", i, trace[i], want[i])
+		}
+	}
+	if end != 30 {
+		t.Errorf("Run returned %v, want 30", end)
+	}
+}
+
+func TestSchedulerRejectsPastEvents(t *testing.T) {
+	s := NewScheduler(0)
+	if _, err := s.At(10, func() {
+		if _, err := s.At(5, func() {}); !errors.Is(err, ErrTimeReversal) {
+			t.Errorf("scheduling in the past: err = %v, want ErrTimeReversal", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+}
+
+func TestSchedulerHorizon(t *testing.T) {
+	s := NewScheduler(100)
+	ran := make(map[Time]bool)
+	for _, at := range []Time{50, 100, 150} {
+		at := at
+		if _, err := s.At(at, func() { ran[at] = true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := s.Run()
+	if !ran[50] || !ran[100] {
+		t.Errorf("events at/before horizon must run: ran=%v", ran)
+	}
+	if ran[150] {
+		t.Error("event past horizon ran")
+	}
+	if end != 100 {
+		t.Errorf("final time = %v, want horizon 100", end)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1 (the post-horizon event)", s.Pending())
+	}
+}
+
+func TestSchedulerAdvancesToHorizonOnDrain(t *testing.T) {
+	s := NewScheduler(1000)
+	if _, err := s.At(10, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if end := s.Run(); end != 1000 {
+		t.Errorf("drained run should end at horizon: got %v", end)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler(0)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		i := i
+		if _, err := s.At(Time(i), func() {
+			count++
+			if i == 3 {
+				s.Stop()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := s.Run()
+	if count != 3 {
+		t.Errorf("ran %d events, want 3 (stopped mid-run)", count)
+	}
+	if end != 3 {
+		t.Errorf("stopped at %v, want 3", end)
+	}
+}
+
+func TestSchedulerEventChaining(t *testing.T) {
+	// Events scheduled by running events must execute, supporting the
+	// engine's pattern of contacts scheduling per-slot transmissions.
+	s := NewScheduler(0)
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 10 {
+			if _, err := s.After(1, chain); err != nil {
+				t.Errorf("chain scheduling failed: %v", err)
+			}
+		}
+	}
+	if _, err := s.At(0, chain); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if depth != 10 {
+		t.Errorf("chain depth = %d, want 10", depth)
+	}
+}
+
+func TestSchedulerAfter(t *testing.T) {
+	s := NewScheduler(0)
+	var at Time = -1
+	if _, err := s.At(5, func() {
+		if _, err := s.After(7, func() { at = s.Now() }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if at != 12 {
+		t.Errorf("After(7) from t=5 ran at %v, want 12", at)
+	}
+}

@@ -1,0 +1,37 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// DTN engine: a virtual clock, a priority event queue with deterministic
+// tie-breaking, and seeded random-number streams.
+//
+// The kernel is deliberately independent of DTN concepts so it can be
+// tested in isolation and reused by the mobility generators.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation. Sub-second resolution is supported (mobility models may
+// produce fractional travel times) but all paper scenarios use integral
+// seconds.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// Infinity is a time later than any event the kernel will ever schedule.
+const Infinity Time = 1e18
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Before reports whether t occurs strictly before u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t occurs strictly after u.
+func (t Time) After(u Time) bool { return t > u }
+
+func (t Time) String() string {
+	if t >= Infinity {
+		return "+inf"
+	}
+	return fmt.Sprintf("%.0fs", float64(t))
+}

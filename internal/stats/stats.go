@@ -1,0 +1,138 @@
+// Package stats provides the small statistical toolkit the simulator and
+// experiment harness need: streaming accumulators, summary statistics
+// and series averaging across runs. Everything is deterministic and
+// allocation-light.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm), numerically stable for long sample streams.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N                int
+	Min, Max         float64
+	Mean, Std        float64
+	P25, Median, P75 float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var w Welford
+	for _, x := range sorted {
+		w.Add(x)
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   w.Mean(),
+		Std:    w.Std(),
+		P25:    Quantile(sorted, 0.25),
+		Median: Quantile(sorted, 0.5),
+		P75:    Quantile(sorted, 0.75),
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an ascending-sorted
+// sample using linear interpolation. It panics on unsorted input being
+// undetected; callers must sort first.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MeanSeries averages several equal-length series point-wise: the
+// cross-run averaging step of the experiment harness. It returns an
+// error if the series lengths differ.
+func MeanSeries(series [][]float64) ([]float64, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("stats: no series to average")
+	}
+	n := len(series[0])
+	for i, s := range series {
+		if len(s) != n {
+			return nil, fmt.Errorf("stats: series %d has length %d, want %d", i, len(s), n)
+		}
+	}
+	out := make([]float64, n)
+	for _, s := range series {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(series))
+	}
+	return out, nil
+}
