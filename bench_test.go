@@ -22,10 +22,21 @@ const benchRuns = 3
 
 const benchSeed = 2012
 
-// runFigure executes a figure's sweep once per benchmark iteration and
-// reports the value of the figure's metric at the lowest and highest
-// load for every series.
+// runFigure executes a figure's sweep sequentially (Workers: 1) once
+// per benchmark iteration and reports the value of the figure's metric
+// at the lowest and highest load for every series. The sequential pool
+// keeps timings comparable with pre-parallel-harness records; the
+// *Parallel variants below time the same sweeps on all CPUs, so the
+// recorded pair documents the worker-pool speedup.
 func runFigure(b *testing.B, id string) {
+	b.Helper()
+	runFigureWorkers(b, id, 1)
+}
+
+// runFigureWorkers is runFigure with an explicit Sweep.Workers value
+// (0 = all CPUs). Metric values are identical for every worker count;
+// only the wall clock changes.
+func runFigureWorkers(b *testing.B, id string, workers int) {
 	b.Helper()
 	f, err := dtnsim.FigureByID(id)
 	if err != nil {
@@ -33,6 +44,7 @@ func runFigure(b *testing.B, id string) {
 	}
 	f.Sweep.Runs = benchRuns
 	f.Sweep.BaseSeed = benchSeed
+	f.Sweep.Workers = workers
 	var res *dtnsim.SweepResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -119,13 +131,26 @@ func BenchmarkFig14IntervalSensitivity(b *testing.B) {
 }
 
 // BenchmarkTableIIComparison regenerates the paper's closing table and
-// reports the six protocols' load-averaged delivery rates.
+// reports the six protocols' load-averaged delivery rates. Workers: 1
+// times the sequential reference path.
 func BenchmarkTableIIComparison(b *testing.B) {
+	benchmarkTableII(b, 1)
+}
+
+// BenchmarkTableIIComparisonParallel is the same computation on a
+// worker pool sized to all CPUs; its wall clock against the sequential
+// benchmark above records the sweep harness's parallel speedup.
+func BenchmarkTableIIComparisonParallel(b *testing.B) {
+	benchmarkTableII(b, 0)
+}
+
+func benchmarkTableII(b *testing.B, workers int) {
+	b.Helper()
 	var rows []dtnsim.TableIIRow
 	var err error
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows, err = dtnsim.TableII(benchSeed, benchRuns)
+		rows, err = dtnsim.TableIIWorkers(benchSeed, benchRuns, workers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,6 +162,16 @@ func BenchmarkTableIIComparison(b *testing.B) {
 		b.ReportMetric(r.OccupancyTr, tag+"-occupancy-trace-%")
 	}
 }
+
+// Parallel variants of figure sweeps (same metrics, all-CPU worker
+// pool): paired with their sequential counterparts they record the
+// speedup in BENCH_*.json.
+
+func BenchmarkFig07DelayTraceParallel(b *testing.B) { runFigureWorkers(b, "fig07", 0) }
+func BenchmarkFig16DeliveryEnhancedTraceParallel(b *testing.B) {
+	runFigureWorkers(b, "fig16", 0)
+}
+func BenchmarkFig19DupEnhancedRWPParallel(b *testing.B) { runFigureWorkers(b, "fig19", 0) }
 
 // --- engine micro-benchmarks -------------------------------------------------
 //

@@ -1,11 +1,22 @@
 // Command dtnsim runs a single DTN simulation and prints the paper's
-// metrics for it.
+// metrics for it, or — with -sweep — the full §IV load sweep (loads
+// 5..50 step 5, several seeded runs per point) for one protocol.
 //
 // Usage:
 //
 //	dtnsim -mobility trace -protocol dynttl -load 25 -src 0 -dst 7
 //	dtnsim -mobility rwp -protocol pq -p 0.5 -q 0.5 -load 50 -seed 3
 //	dtnsim -trace contacts.txt -protocol immunity -load 30
+//	dtnsim -sweep -mobility rwp -protocol ecttl -runs 10 -workers 4
+//
+// In sweep mode the (load, run) grid executes on a worker pool of
+// -workers goroutines (0, the default, uses all CPUs; 1 forces the
+// sequential path). Results are bit-identical for every worker count:
+// each run's seed derives only from (-seed, load, run). Sweep mode
+// drives the paper's own methodology, so -src and -dst (pairs are
+// re-randomized per run), -load (the full 5..50 axis is swept) and
+// -full (sweeps always run to the horizon for steady-state buffer
+// metrics) are ignored there.
 package main
 
 import (
@@ -33,8 +44,33 @@ func main() {
 		txFlag       = flag.Float64("txtime", dtnsim.DefaultTxTime, "seconds to transmit one bundle")
 		horizonFlag  = flag.Bool("full", false, "run to the mobility horizon instead of stopping at delivery")
 		maxIFlag     = flag.Float64("maxinterval", 400, "interval mobility: max inter-encounter gap in seconds")
+		sweepFlag    = flag.Bool("sweep", false, "run the paper's §IV load sweep (5..50) instead of a single simulation")
+		runsFlag     = flag.Int("runs", 10, "sweep mode: seeded runs per load point")
+		workersFlag  = flag.Int("workers", 0, "sweep mode: concurrent runs (0 = all CPUs, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
+
+	if *sweepFlag {
+		// Scenario presets (e.g. interval mobility's faster link) win
+		// unless the user set -txtime/-buffer explicitly.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"src", "dst", "load", "full"} {
+			if set[name] {
+				fmt.Fprintf(os.Stderr, "dtnsim: -%s is ignored in sweep mode (pairs re-randomize per run; the full load axis runs to the horizon)\n", name)
+			}
+		}
+		txTime, bufferCap := 0.0, 0
+		if set["txtime"] {
+			txTime = *txFlag
+		}
+		if set["buffer"] {
+			bufferCap = *bufFlag
+		}
+		runSweep(*mobilityFlag, *traceFile, *protoFlag, *pFlag, *qFlag, *antiFlag, *ttlFlag,
+			*maxIFlag, bufferCap, txTime, *seedFlag, *runsFlag, *workersFlag)
+		return
+	}
 
 	schedule, err := buildSchedule(*mobilityFlag, *traceFile, *seedFlag, *maxIFlag)
 	if err != nil {
@@ -77,6 +113,85 @@ func main() {
 	fmt.Printf("bundle transmissions: %d (refused %d, evicted %d, expired %d)\n",
 		result.DataTransmissions, result.Refused, result.Evicted, result.Expired)
 	fmt.Printf("finished at: %v\n", result.FinishedAt)
+}
+
+// runSweep executes the paper's load sweep for one protocol on the
+// selected mobility source and prints the per-metric tables.
+func runSweep(mobility, traceFile, proto string, p, q float64, anti bool, ttl, maxInterval float64,
+	bufferCap int, txTime float64, seed uint64, runs, workers int) {
+	// Fail fast on a bad protocol spec before any simulation runs.
+	if _, err := buildProtocol(proto, p, q, anti, ttl); err != nil {
+		fatal(err)
+	}
+	sc, err := buildScenario(mobility, traceFile, maxInterval)
+	if err != nil {
+		fatal(err)
+	}
+	if txTime != 0 {
+		sc.TxTime = txTime
+	}
+	if bufferCap != 0 {
+		sc.BufferCap = bufferCap
+	}
+	res, err := dtnsim.RunSweep(dtnsim.Sweep{
+		Scenario: sc,
+		Protocols: []dtnsim.ProtocolFactory{{
+			Label: proto,
+			New: func() dtnsim.Protocol {
+				pr, err := buildProtocol(proto, p, q, anti, ttl)
+				if err != nil {
+					panic(err) // validated above
+				}
+				return pr
+			},
+		}},
+		Runs:     runs,
+		BaseSeed: seed,
+		Workers:  workers,
+		OnPoint: func(label string, load int) {
+			fmt.Fprintf(os.Stderr, "\r%-20s load %2d   ", label, load)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr)
+	for _, m := range []dtnsim.Metric{dtnsim.MetricDelivery, dtnsim.MetricDelay,
+		dtnsim.MetricOccupancy, dtnsim.MetricDuplication} {
+		fmt.Println(dtnsim.TableOf(res, m, fmt.Sprintf("%s (%s, %d runs/point)", m, sc.Name, runs)).ASCII())
+	}
+}
+
+// buildScenario wraps the mobility flags as a sweep scenario. Synthetic
+// models regenerate mobility per run like the paper's RWP experiments;
+// a trace file is parsed once and shared by all runs.
+func buildScenario(kind, traceFile string, maxInterval float64) (dtnsim.ExperimentScenario, error) {
+	if traceFile != "" {
+		return dtnsim.ExperimentScenario{
+			Name: "tracefile",
+			Generate: func(uint64) (*dtnsim.Schedule, error) {
+				return buildSchedule(kind, traceFile, 0, maxInterval)
+			},
+		}, nil
+	}
+	switch kind {
+	case "trace":
+		return dtnsim.TraceScenario(), nil
+	case "rwp":
+		return dtnsim.RWPScenario(), nil
+	case "interval":
+		return dtnsim.IntervalScenario(maxInterval), nil
+	case "classic":
+		return dtnsim.ExperimentScenario{
+			Name: "classic",
+			Generate: func(seed uint64) (*dtnsim.Schedule, error) {
+				return dtnsim.ClassicRWP{Seed: seed}.Generate()
+			},
+			PerRunSchedule: true,
+		}, nil
+	default:
+		return dtnsim.ExperimentScenario{}, fmt.Errorf("unknown mobility %q (want trace|rwp|classic|interval)", kind)
+	}
 }
 
 func buildSchedule(kind, traceFile string, seed uint64, maxInterval float64) (*dtnsim.Schedule, error) {

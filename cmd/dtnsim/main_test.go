@@ -51,6 +51,62 @@ func TestBuildScheduleFromFile(t *testing.T) {
 	}
 }
 
+func TestBuildScenarioKinds(t *testing.T) {
+	// Synthetic models regenerate per run; the fixed trace does not.
+	perRun := map[string]bool{"trace": false, "rwp": true, "classic": true, "interval": true}
+	for kind, want := range perRun {
+		sc, err := buildScenario(kind, "", 400)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if sc.PerRunSchedule != want {
+			t.Errorf("%s: PerRunSchedule = %v, want %v", kind, sc.PerRunSchedule, want)
+		}
+		s, err := sc.Generate(3)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, err := buildScenario("bogus", "", 400); err == nil {
+		t.Error("unknown mobility accepted")
+	}
+}
+
+func TestBuildScenarioFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	gen, err := dtnsim.CambridgeTrace(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dtnsim.WriteTrace(f, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := buildScenario("ignored", path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.PerRunSchedule {
+		t.Error("a fixed trace file must be shared across runs")
+	}
+	s, err := sc.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Contacts) != len(gen.Contacts) {
+		t.Errorf("file round trip: %d contacts, want %d", len(s.Contacts), len(gen.Contacts))
+	}
+}
+
 func TestBuildProtocolKinds(t *testing.T) {
 	kinds := []string{"pure", "pq", "ttl", "dynttl", "ec", "ecttl", "immunity", "cumimmunity"}
 	for _, k := range kinds {

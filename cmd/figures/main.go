@@ -8,6 +8,12 @@
 //	figures                     # everything, paper parameters (10 runs)
 //	figures -runs 3 -only fig07,fig13
 //	figures -out results -seed 7
+//	figures -workers 4          # bound the simulation worker pool
+//
+// Each experiment's (protocol, load, run) grid executes on a worker
+// pool of -workers goroutines (default: all CPUs). Results are
+// bit-identical for every worker count; -workers 1 forces the
+// sequential path.
 package main
 
 import (
@@ -22,12 +28,13 @@ import (
 
 func main() {
 	var (
-		outDir = flag.String("out", "results", "directory for CSV output")
-		runs   = flag.Int("runs", 10, "runs per (protocol, load) point; the paper uses 10")
-		seed   = flag.Uint64("seed", 2012, "base seed")
-		only   = flag.String("only", "", "comma-separated experiment ids (default: all, plus fig14 and table2)")
-		plots  = flag.Bool("plots", true, "print ASCII charts")
-		quiet  = flag.Bool("q", false, "suppress progress output")
+		outDir  = flag.String("out", "results", "directory for CSV output")
+		runs    = flag.Int("runs", 10, "runs per (protocol, load) point; the paper uses 10")
+		seed    = flag.Uint64("seed", 2012, "base seed")
+		only    = flag.String("only", "", "comma-separated experiment ids (default: all, plus fig14 and table2)")
+		plots   = flag.Bool("plots", true, "print ASCII charts")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		workers = flag.Int("workers", 0, "concurrent simulation runs per sweep (0 = all CPUs, 1 = sequential; results are identical)")
 	)
 	flag.Parse()
 
@@ -51,6 +58,7 @@ func main() {
 		}
 		f.Sweep.Runs = *runs
 		f.Sweep.BaseSeed = *seed
+		f.Sweep.Workers = *workers
 		if !*quiet {
 			f.Sweep.OnPoint = func(label string, load int) {
 				fmt.Fprintf(os.Stderr, "\r%s: %-40s load %2d   ", f.ID, label, load)
@@ -69,17 +77,18 @@ func main() {
 	}
 
 	if want("fig14") {
-		runFig14(*outDir, *runs, *seed, *plots)
+		runFig14(*outDir, *runs, *seed, *workers, *plots)
 	}
 	if want("table2") {
-		runTableII(*outDir, *runs, *seed)
+		runTableII(*outDir, *runs, *seed, *workers)
 	}
 }
 
-func runFig14(outDir string, runs int, seed uint64, plots bool) {
+func runFig14(outDir string, runs int, seed uint64, workers int, plots bool) {
 	short, long := dtnsim.Fig14Pair()
 	short.Runs, long.Runs = runs, runs
 	short.BaseSeed, long.BaseSeed = seed, seed
+	short.Workers, long.Workers = workers, workers
 	rs, err := dtnsim.RunSweep(short)
 	if err != nil {
 		fatal(err)
@@ -103,9 +112,9 @@ func runFig14(outDir string, runs int, seed uint64, plots bool) {
 	fmt.Printf("expected shape: the 2000 s scenario delivers >=20%% less\n\n")
 }
 
-func runTableII(outDir string, runs int, seed uint64) {
+func runTableII(outDir string, runs int, seed uint64, workers int) {
 	fmt.Fprintln(os.Stderr, "table2: running both mobility sources...")
-	rows, err := dtnsim.TableII(seed, runs)
+	rows, err := dtnsim.TableIIWorkers(seed, runs, workers)
 	if err != nil {
 		fatal(err)
 	}

@@ -9,7 +9,10 @@ import (
 // their own sweeps and render them like the paper's figures.
 type (
 	// Sweep is a load-sweep experiment specification (§IV: loads
-	// 5..50 step 5, ten seeded runs per point).
+	// 5..50 step 5, ten seeded runs per point). Its (protocol, load,
+	// run) grid executes on a worker pool bounded by Sweep.Workers
+	// (0 = all CPUs, 1 = sequential) with bit-identical results for
+	// every worker count.
 	Sweep = experiment.Sweep
 	// SweepResult is a finished sweep: one Series per protocol.
 	SweepResult = experiment.Result
@@ -65,9 +68,17 @@ func Fig14Pair() (short, long Sweep) { return experiment.Fig14Pair() }
 
 // TableII computes the paper's Table II: load-averaged delivery rate,
 // buffer occupancy and duplication rate for the six §V-B protocols under
-// both mobility sources.
+// both mobility sources. Runs execute on a worker pool sized to
+// runtime.GOMAXPROCS(0); use TableIIWorkers to bound it explicitly.
 func TableII(baseSeed uint64, runs int) ([]TableIIRow, error) {
-	return experiment.TableII(baseSeed, runs)
+	return experiment.TableII(baseSeed, runs, 0)
+}
+
+// TableIIWorkers is TableII with an explicit worker-pool bound, with
+// the same semantics as Sweep.Workers: 0 means GOMAXPROCS(0), 1 runs
+// sequentially. Results are identical for every worker count.
+func TableIIWorkers(baseSeed uint64, runs, workers int) ([]TableIIRow, error) {
+	return experiment.TableII(baseSeed, runs, workers)
 }
 
 // RenderTableII renders Table II rows in the paper's layout.

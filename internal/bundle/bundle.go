@@ -40,6 +40,14 @@ type Bundle struct {
 	ID        ID
 	Dst       contact.NodeID
 	CreatedAt sim.Time
+	// FirstSeq is the lowest sequence number any flow with this bundle's
+	// (Src, Dst) pair uses — 1 for the paper's single-flow workloads,
+	// higher when flows to other destinations occupy the source's earlier
+	// sequence blocks. Cumulative immunity keys its tables by that pair
+	// and uses FirstSeq to anchor contiguous-prefix acknowledgements; an
+	// anchor above the pair's lowest block would falsely cover undelivered
+	// bundles. A zero value (hand-built bundles) is treated as 1.
+	FirstSeq int
 }
 
 // Copy is one node's buffered instance of a bundle.

@@ -47,9 +47,10 @@ type Config struct {
 	Schedule *contact.Schedule
 	// Protocol is the routing policy under test. Required.
 	Protocol protocol.Protocol
-	// Flows is the workload. Required, non-empty. Each source node may
-	// appear in at most one flow (bundle sequence numbers are per
-	// source; see bundle.ID).
+	// Flows is the workload. Required, non-empty. A source node may
+	// appear in several flows (e.g. bursts with different start times or
+	// destinations); each flow takes the next contiguous block of the
+	// source's sequence numbers in declaration order.
 	Flows []Flow
 	// BufferCap is the per-node buffer capacity in bundles.
 	BufferCap int
@@ -112,7 +113,6 @@ func (cfg Config) validate() error {
 	if cfg.TxTime <= 0 {
 		return fmt.Errorf("%w: tx time %v", ErrConfig, cfg.TxTime)
 	}
-	seenSrc := make(map[contact.NodeID]bool)
 	for i, f := range cfg.Flows {
 		if f.Count <= 0 {
 			return fmt.Errorf("%w: flow %d has count %d", ErrConfig, i, f.Count)
@@ -127,10 +127,6 @@ func (cfg Config) validate() error {
 		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
 			return fmt.Errorf("%w: flow %d endpoints (%d,%d) outside [0,%d)", ErrConfig, i, f.Src, f.Dst, n)
 		}
-		if seenSrc[f.Src] {
-			return fmt.Errorf("%w: node %d sources more than one flow (per-source sequence numbers would collide)", ErrConfig, f.Src)
-		}
-		seenSrc[f.Src] = true
 	}
 	return nil
 }

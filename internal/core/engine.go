@@ -64,6 +64,10 @@ type engine struct {
 
 	remaining   int
 	deliveredAt map[bundle.ID]sim.Time
+	// delays accumulates per-bundle delivery delays, measured from each
+	// bundle's own CreatedAt (bundles from late-starting flows must not
+	// inherit another flow's start time).
+	delays      []float64
 	firstStart  sim.Time
 	lastArrival sim.Time
 }
@@ -104,35 +108,54 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // scheduleWorkload creates flow bundles at their start times. Sequence
-// numbers are 1-based per source, matching the paper's "bundles 1 to k".
+// numbers are 1-based per source, matching the paper's "bundles 1 to k";
+// when several flows share a source, each flow takes the next contiguous
+// block in flow-declaration order so IDs never collide. FirstSeq is the
+// lowest block base among the flows sharing a bundle's (Src, Dst) pair:
+// cumulative immunity keys its tables by that pair, so an acknowledgement
+// anchored any higher could falsely cover another block of the same pair.
 func (e *engine) scheduleWorkload() error {
-	for _, f := range e.cfg.Flows {
+	type pair struct{ src, dst contact.NodeID }
+	nextSeq := make(map[contact.NodeID]int)
+	firstSeq := make(map[pair]int)
+	bases := make([]int, len(e.cfg.Flows))
+	for i, f := range e.cfg.Flows {
+		bases[i] = nextSeq[f.Src] + 1
+		nextSeq[f.Src] += f.Count
+		key := pair{f.Src, f.Dst}
+		if fs, ok := firstSeq[key]; !ok || bases[i] < fs {
+			firstSeq[key] = bases[i]
+		}
+	}
+	for i, f := range e.cfg.Flows {
 		f := f
+		base, first := bases[i], firstSeq[pair{f.Src, f.Dst}]
 		if f.StartAt < e.firstStart {
 			e.firstStart = f.StartAt
 		}
 		e.remaining += f.Count
-		if _, err := e.sched.At(f.StartAt, func() { e.generate(f) }); err != nil {
+		if _, err := e.sched.At(f.StartAt, func() { e.generate(f, base, first) }); err != nil {
 			return fmt.Errorf("core: scheduling flow: %w", err)
 		}
 	}
 	return nil
 }
 
-func (e *engine) generate(f Flow) {
+func (e *engine) generate(f Flow, base, firstSeq int) {
 	src := e.nodes[f.Src]
 	now := e.sched.Now()
-	for seq := 1; seq <= f.Count; seq++ {
+	for i := 0; i < f.Count; i++ {
 		b := &bundle.Bundle{
-			ID:        bundle.ID{Src: f.Src, Seq: seq},
+			ID:        bundle.ID{Src: f.Src, Seq: base + i},
 			Dst:       f.Dst,
 			CreatedAt: now,
+			FirstSeq:  firstSeq,
 		}
 		cp := &bundle.Copy{Bundle: b, StoredAt: now, Pinned: true, Expiry: sim.Infinity}
 		e.cfg.Protocol.OnGenerate(src, cp, now)
 		if err := src.Store.Put(cp); err != nil {
 			// Pinned puts bypass capacity; failure means a duplicate ID,
-			// which validate() rules out.
+			// which per-source block allocation rules out.
 			panic(fmt.Sprintf("core: generating %v: %v", b.ID, err))
 		}
 		e.coll.Track(b)
@@ -256,6 +279,7 @@ func (e *engine) deliver(sender, dst *node.Node, b *bundle.Bundle, at sim.Time) 
 	}
 	dst.Received.Add(b.ID)
 	e.deliveredAt[b.ID] = at
+	e.delays = append(e.delays, float64(at-b.CreatedAt))
 	if at > e.lastArrival {
 		e.lastArrival = at
 	}
@@ -290,21 +314,10 @@ func (e *engine) result(end sim.Time) *Result {
 		r.Makespan = float64(e.lastArrival - e.firstStart)
 	}
 	if delivered > 0 {
-		delays := make([]float64, 0, delivered)
-		for id, at := range e.deliveredAt {
-			var created sim.Time
-			for _, f := range e.cfg.Flows {
-				if f.Src == id.Src {
-					created = f.StartAt
-					break
-				}
-			}
-			delays = append(delays, float64(at-created))
-		}
-		sort.Float64s(delays)
-		r.MeanDelay = stats.Mean(delays)
-		r.DelayP50 = stats.Quantile(delays, 0.5)
-		r.DelayP95 = stats.Quantile(delays, 0.95)
+		sort.Float64s(e.delays)
+		r.MeanDelay = stats.Mean(e.delays)
+		r.DelayP50 = stats.Quantile(e.delays, 0.5)
+		r.DelayP95 = stats.Quantile(e.delays, 0.95)
 	}
 	r.FinalOccupancy = make([]float64, len(e.nodes))
 	r.FinalBuffered = make([]int, len(e.nodes))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"dtnsim/internal/bundle"
@@ -293,8 +294,6 @@ func TestConfigValidation(t *testing.T) {
 		{"zero count", Config{Schedule: good, Protocol: protocol.NewPure(), Flows: []Flow{{Src: 0, Dst: 1}}}},
 		{"self flow", Config{Schedule: good, Protocol: protocol.NewPure(), Flows: []Flow{{Src: 1, Dst: 1, Count: 1}}}},
 		{"out of range", Config{Schedule: good, Protocol: protocol.NewPure(), Flows: []Flow{{Src: 0, Dst: 9, Count: 1}}}},
-		{"duplicate source", Config{Schedule: good, Protocol: protocol.NewPure(),
-			Flows: []Flow{{Src: 0, Dst: 1, Count: 1}, {Src: 0, Dst: 2, Count: 1}}}},
 		{"negative start", Config{Schedule: good, Protocol: protocol.NewPure(),
 			Flows: []Flow{{Src: 0, Dst: 1, Count: 1, StartAt: -5}}}},
 	}
@@ -325,6 +324,118 @@ func TestMultiFlowDistinctSources(t *testing.T) {
 	}
 	if !r.Completed || r.Generated != 4 {
 		t.Fatalf("delivered %d/%d", r.Delivered, r.Generated)
+	}
+}
+
+func TestMultiFlowSharedSourceDelays(t *testing.T) {
+	// Two bursts from node 0 to node 1: two bundles at t=0 (seqs 1-2)
+	// and two more at t=2000 (seqs 3-4, contiguous block). Per-bundle
+	// delay must be measured from each bundle's own creation time, not
+	// from the first flow's StartAt.
+	s := sched(2,
+		contact.Contact{A: 0, B: 1, Start: 0, End: 250},
+		contact.Contact{A: 0, B: 1, Start: 2100, End: 2450},
+	)
+	r, err := Run(Config{
+		Schedule: s,
+		Protocol: protocol.NewPure(),
+		Flows: []Flow{
+			{Src: 0, Dst: 1, Count: 2, StartAt: 0},
+			{Src: 0, Dst: 1, Count: 2, StartAt: 2000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed || r.Delivered != 4 {
+		t.Fatalf("delivered %d/4, completed=%v", r.Delivered, r.Completed)
+	}
+	// First burst arrives at 100 and 200; second at 2200 and 2300.
+	want := map[int]sim.Time{1: 100, 2: 200, 3: 2200, 4: 2300}
+	for seq, at := range want {
+		if got := r.DeliveryTimes[bundle.ID{Src: 0, Seq: seq}]; got != at {
+			t.Errorf("bundle %d delivered at %v, want %v", seq, got, at)
+		}
+	}
+	// Delays: 100, 200 (created at 0) and 200, 300 (created at 2000).
+	if r.MeanDelay != 200 {
+		t.Errorf("MeanDelay = %v, want 200 (second burst measured from t=2000)", r.MeanDelay)
+	}
+	if math.Abs(r.DelayP95-285) > 1e-9 {
+		t.Errorf("DelayP95 = %v, want 285", r.DelayP95)
+	}
+	if r.Makespan != 2300 {
+		t.Errorf("Makespan = %v, want 2300", r.Makespan)
+	}
+}
+
+func TestMultiFlowSharedSourceCumulativeImmunity(t *testing.T) {
+	// Node 0 sources two flows: seq 1 to node 1 and seqs 2-3 to node 2.
+	// The second flow's sequence block starts at 2, so its cumulative
+	// prefix must anchor at FirstSeq=2 — a table of 3 then covers the
+	// whole flow, and relay 3 purges its copies after hearing the table
+	// second-hand from relay 4 (which never received the bundles).
+	s := sched(5,
+		contact.Contact{A: 0, B: 3, Start: 0, End: 350},     // 3 copies to relay 3
+		contact.Contact{A: 0, B: 2, Start: 1000, End: 1350}, // deliver seqs 2,3 to dst 2
+		contact.Contact{A: 2, B: 4, Start: 2000, End: 2150}, // relay 4 learns the table
+		contact.Contact{A: 3, B: 4, Start: 3000, End: 3100}, // relay 3 purges via table
+	)
+	r, err := Run(Config{
+		Schedule: s,
+		Protocol: protocol.NewCumulativeImmunity(),
+		Flows: []Flow{
+			{Src: 0, Dst: 1, Count: 1},
+			{Src: 0, Dst: 2, Count: 2},
+		},
+		RunToHorizon: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Delivered != 2 {
+		t.Fatalf("delivered %d, want 2 (flow to node 2)", r.Delivered)
+	}
+	// Relay 3 received seqs 1, 2, 3; the table ack of 3 for flow (0→2)
+	// must purge seqs 2 and 3, leaving only the seq-1 copy bound for
+	// node 1. A prefix wrongly anchored at 1 would never advance and
+	// relay 3 would still hold all three copies.
+	if r.FinalBuffered[3] != 1 {
+		t.Errorf("relay 3 ended with %d buffered copies, want 1 (delivered flow purged by table)",
+			r.FinalBuffered[3])
+	}
+}
+
+func TestMultiFlowSameSrcDstOutOfOrderBursts(t *testing.T) {
+	// Two bursts from node 0 to node 1 where the LATER-declared block
+	// (seqs 3-4) starts — and delivers — first. Both blocks share the
+	// cumulative-immunity flow key (0→1), so the early delivery of the
+	// second block must not anchor an acknowledgement that falsely
+	// covers the still-undelivered seqs 1-2 (which would purge them
+	// everywhere, including the pinned source copies, and lose them).
+	s := sched(2,
+		contact.Contact{A: 0, B: 1, Start: 100, End: 350},   // seqs 3-4 delivered
+		contact.Contact{A: 0, B: 1, Start: 6000, End: 6250}, // seqs 1-2 delivered
+	)
+	r, err := Run(Config{
+		Schedule: s,
+		Protocol: protocol.NewCumulativeImmunity(),
+		Flows: []Flow{
+			{Src: 0, Dst: 1, Count: 2, StartAt: 5000}, // seqs 1-2, created late
+			{Src: 0, Dst: 1, Count: 2, StartAt: 0},    // seqs 3-4, created first
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed || r.Delivered != 4 {
+		t.Fatalf("delivered %d/4, completed=%v; the first block was lost to a false ack",
+			r.Delivered, r.Completed)
+	}
+	// Deliveries: seqs 3-4 at 200, 300 (created 0); seqs 1-2 at 6100,
+	// 6200 (created 5000) → delays 200, 300, 1100, 1200.
+	if r.MeanDelay != 700 {
+		t.Errorf("MeanDelay = %v, want 700", r.MeanDelay)
 	}
 }
 

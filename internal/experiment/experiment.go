@@ -3,11 +3,19 @@
 // times with fresh seeds and a fresh random source/destination pair,
 // averages the four metrics, and exposes each of the paper's figures and
 // tables as a ready-to-run specification.
+//
+// Sweeps execute their (protocol, load, run) grid on a bounded worker
+// pool sized by Sweep.Workers (default runtime.GOMAXPROCS(0)); every
+// run's seed derives only from (BaseSeed, load, run), so parallel and
+// sequential execution produce bit-identical results.
 package experiment
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dtnsim/internal/contact"
 	"dtnsim/internal/core"
@@ -32,7 +40,9 @@ const (
 type Scenario struct {
 	// Name labels the scenario in reports ("trace", "rwp", …).
 	Name string
-	// Generate builds the contact schedule for a given seed.
+	// Generate builds the contact schedule for a given seed. It must be
+	// safe for concurrent calls: sweeps with Workers > 1 invoke it from
+	// several goroutines when PerRunSchedule is set.
 	Generate func(seed uint64) (*contact.Schedule, error)
 	// PerRunSchedule regenerates mobility for every run (RWP); when
 	// false the schedule is generated once from the sweep's base seed
@@ -64,8 +74,15 @@ type Sweep struct {
 	// Metrics to collect; defaults to all five.
 	Metrics []Metric
 	// OnPoint, if set, is called after each (protocol, load) point for
-	// progress reporting.
+	// progress reporting. Regardless of Workers it is invoked from the
+	// goroutine that called Run, in the sequential sweep order.
 	OnPoint func(label string, load int)
+	// Workers bounds the number of runs simulated concurrently. Zero
+	// means runtime.GOMAXPROCS(0); 1 runs the grid strictly
+	// sequentially. Results are bit-identical for every value: each
+	// run's seed depends only on (BaseSeed, load, run), and per-point
+	// averages are folded in run order after collection.
+	Workers int
 }
 
 // Point is one averaged (load, protocol) measurement.
@@ -112,7 +129,9 @@ func seedFor(base uint64, load, run int) uint64 {
 	return x ^ (x >> 31)
 }
 
-// Run executes the sweep.
+// Run executes the sweep. With Workers != 1 the (protocol, load, run)
+// grid is fanned out over a worker pool; see Sweep.Workers for the
+// determinism contract.
 func Run(sw Sweep) (*Result, error) {
 	if sw.Scenario.Generate == nil {
 		return nil, fmt.Errorf("experiment: scenario %q has no generator", sw.Scenario.Name)
@@ -123,13 +142,27 @@ func Run(sw Sweep) (*Result, error) {
 	if len(sw.Loads) == 0 {
 		sw.Loads = DefaultLoads()
 	}
-	if sw.Runs == 0 {
+	if sw.Runs <= 0 {
 		sw.Runs = 10
 	}
 	if len(sw.Metrics) == 0 {
 		sw.Metrics = AllMetrics()
 	}
+	for _, m := range sw.Metrics {
+		switch m {
+		case MetricDelay, MetricDelivery, MetricOccupancy, MetricDuplication, MetricOverhead:
+		default:
+			return nil, fmt.Errorf("experiment: unknown metric %q", m)
+		}
+	}
+	workers := sw.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
+	// Shared (non-PerRunSchedule) schedules are generated once from the
+	// base seed and treated as read-only by every run, so the one
+	// instance is safe to hand to all workers.
 	var shared *contact.Schedule
 	if !sw.Scenario.PerRunSchedule {
 		s, err := sw.Scenario.Generate(sw.BaseSeed)
@@ -139,11 +172,24 @@ func Run(sw Sweep) (*Result, error) {
 		shared = s
 	}
 
+	if workers == 1 {
+		return runSequential(sw, shared)
+	}
+	return runParallel(sw, shared, workers)
+}
+
+// runSequential is the reference execution order: protocol-major,
+// load-minor, runs in index order, OnPoint after each point.
+func runSequential(sw Sweep, shared *contact.Schedule) (*Result, error) {
 	res := &Result{Scenario: sw.Scenario.Name, Loads: sw.Loads}
 	for _, pf := range sw.Protocols {
 		series := Series{Label: pf.Label}
 		for _, load := range sw.Loads {
-			pt, err := runPoint(sw, shared, pf, load)
+			outcomes := make([]runOutcome, sw.Runs)
+			for run := 0; run < sw.Runs; run++ {
+				outcomes[run] = runOne(sw, shared, pf, load, run)
+			}
+			pt, err := aggregatePoint(sw, load, outcomes)
 			if err != nil {
 				return nil, err
 			}
@@ -157,42 +203,181 @@ func Run(sw Sweep) (*Result, error) {
 	return res, nil
 }
 
-func runPoint(sw Sweep, shared *contact.Schedule, pf ProtocolFactory, load int) (Point, error) {
+// job addresses one simulation run in the sweep grid.
+type job struct{ pi, li, run int }
+
+// runOutcome is one run's result or failure.
+type runOutcome struct {
+	res *core.Result
+	err error
+}
+
+// errSkipped marks jobs short-circuited after another job failed; the
+// grid scan in runParallel replaces it with the underlying failure.
+var errSkipped = fmt.Errorf("experiment: run skipped after earlier failure")
+
+// runParallel fans the grid out over workers goroutines. The calling
+// goroutine aggregates points — and fires OnPoint — in the sequential
+// order as soon as each point's runs have all finished, folding run
+// results in run order so floating-point accumulation matches the
+// sequential path bit for bit.
+func runParallel(sw Sweep, shared *contact.Schedule, workers int) (*Result, error) {
+	nP, nL := len(sw.Protocols), len(sw.Loads)
+	outcomes := make([][][]runOutcome, nP)
+	pending := make([][]sync.WaitGroup, nP)
+	for pi := 0; pi < nP; pi++ {
+		outcomes[pi] = make([][]runOutcome, nL)
+		pending[pi] = make([]sync.WaitGroup, nL)
+		for li := 0; li < nL; li++ {
+			outcomes[pi][li] = make([]runOutcome, sw.Runs)
+			pending[pi][li].Add(sw.Runs)
+		}
+	}
+
+	jobs := make(chan job)
+	abort := make(chan struct{})
+	// window bounds how many points may be in flight (dispatched but not
+	// yet folded): without it, one straggler run in an early point lets
+	// the pool complete the entire remaining grid while the in-order
+	// aggregator is blocked, holding every run's Result live at once.
+	window := make(chan struct{}, workers+4)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if failed.Load() {
+					outcomes[j.pi][j.li][j.run] = runOutcome{err: errSkipped}
+				} else {
+					out := runOne(sw, shared, sw.Protocols[j.pi], sw.Loads[j.li], j.run)
+					if out.err != nil {
+						failed.Store(true)
+					}
+					outcomes[j.pi][j.li][j.run] = out
+				}
+				pending[j.pi][j.li].Done()
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for pi := 0; pi < nP; pi++ {
+			for li := 0; li < nL; li++ {
+				select {
+				case window <- struct{}{}:
+				case <-abort:
+					return
+				}
+				for run := 0; run < sw.Runs; run++ {
+					jobs <- job{pi, li, run}
+				}
+			}
+		}
+	}()
+
+	res := &Result{Scenario: sw.Scenario.Name, Loads: sw.Loads}
+	for pi := 0; pi < nP; pi++ {
+		series := Series{Label: sw.Protocols[pi].Label}
+		for li := 0; li < nL; li++ {
+			pending[pi][li].Wait()
+			pt, err := aggregatePoint(sw, sw.Loads[li], outcomes[pi][li])
+			if err != nil {
+				// Short-circuit the rest of the grid, wait it out, then
+				// report a concrete run failure rather than a skip marker.
+				failed.Store(true)
+				close(abort)
+				wg.Wait()
+				return nil, firstFailure(outcomes)
+			}
+			outcomes[pi][li] = nil // release the point's run results once folded
+			series.Points = append(series.Points, pt)
+			if sw.OnPoint != nil {
+				sw.OnPoint(sw.Protocols[pi].Label, sw.Loads[li])
+			}
+			<-window
+		}
+		res.Series = append(res.Series, series)
+	}
+	wg.Wait()
+	return res, nil
+}
+
+// firstFailure returns the first non-skip error in grid order; skipped
+// runs only exist when some run failed for real.
+func firstFailure(outcomes [][][]runOutcome) error {
+	var skip error
+	for _, byLoad := range outcomes {
+		for _, byRun := range byLoad {
+			for _, out := range byRun {
+				if out.err == nil {
+					continue
+				}
+				if out.err != errSkipped {
+					return out.err
+				}
+				skip = out.err
+			}
+		}
+	}
+	return skip
+}
+
+// runOne executes a single (protocol, load, run) simulation. Everything
+// mutable — the schedule when PerRunSchedule is set, and always the
+// protocol instance — is created here, per job, so jobs never share
+// state across workers.
+func runOne(sw Sweep, shared *contact.Schedule, pf ProtocolFactory, load, run int) runOutcome {
+	seed := seedFor(sw.BaseSeed, load, run)
+	schedule := shared
+	if sw.Scenario.PerRunSchedule {
+		s, err := sw.Scenario.Generate(seed)
+		if err != nil {
+			return runOutcome{err: fmt.Errorf("experiment: %s run schedule: %w", sw.Scenario.Name, err)}
+		}
+		schedule = s
+	}
+	if schedule.Nodes < 2 {
+		return runOutcome{err: fmt.Errorf("experiment: %s schedule has %d node(s); need at least 2 for a source/destination pair",
+			sw.Scenario.Name, schedule.Nodes)}
+	}
+	// The pair depends only on the run index so every load point
+	// compares the same set of source/destination pairs, keeping
+	// curves comparable along the load axis (§IV re-randomizes the
+	// pair per run).
+	src, dst := pickPair(schedule.Nodes, seedFor(sw.BaseSeed, 0, run))
+	r, err := core.Run(core.Config{
+		Schedule:  schedule,
+		Protocol:  pf.New(),
+		Flows:     []core.Flow{{Src: src, Dst: dst, Count: load}},
+		TxTime:    sw.Scenario.TxTime,
+		BufferCap: sw.Scenario.BufferCap,
+		Seed:      seed,
+		// Run the full trace so occupancy and duplication are
+		// steady-state time averages as in the paper; delay and
+		// delivery ratio are unaffected (§IV end conditions).
+		RunToHorizon: true,
+	})
+	if err != nil {
+		return runOutcome{err: fmt.Errorf("experiment: %s/%s load %d: %w", sw.Scenario.Name, pf.Label, load, err)}
+	}
+	return runOutcome{res: r}
+}
+
+// aggregatePoint folds one point's run results, in run order, into the
+// per-metric Welford accumulators and builds the averaged Point.
+func aggregatePoint(sw Sweep, load int, outcomes []runOutcome) (Point, error) {
 	acc := make(map[Metric]*stats.Welford, len(sw.Metrics))
 	for _, m := range sw.Metrics {
 		acc[m] = &stats.Welford{}
 	}
 	completed := 0
-	for run := 0; run < sw.Runs; run++ {
-		seed := seedFor(sw.BaseSeed, load, run)
-		schedule := shared
-		if sw.Scenario.PerRunSchedule {
-			s, err := sw.Scenario.Generate(seed)
-			if err != nil {
-				return Point{}, fmt.Errorf("experiment: %s run schedule: %w", sw.Scenario.Name, err)
-			}
-			schedule = s
+	for _, out := range outcomes {
+		if out.err != nil {
+			return Point{}, out.err
 		}
-		// The pair depends only on the run index so every load point
-		// compares the same set of source/destination pairs, keeping
-		// curves comparable along the load axis (§IV re-randomizes the
-		// pair per run).
-		src, dst := pickPair(schedule.Nodes, seedFor(sw.BaseSeed, 0, run))
-		r, err := core.Run(core.Config{
-			Schedule:  schedule,
-			Protocol:  pf.New(),
-			Flows:     []core.Flow{{Src: src, Dst: dst, Count: load}},
-			TxTime:    sw.Scenario.TxTime,
-			BufferCap: sw.Scenario.BufferCap,
-			Seed:      seed,
-			// Run the full trace so occupancy and duplication are
-			// steady-state time averages as in the paper; delay and
-			// delivery ratio are unaffected (§IV end conditions).
-			RunToHorizon: true,
-		})
-		if err != nil {
-			return Point{}, fmt.Errorf("experiment: %s/%s load %d: %w", sw.Scenario.Name, pf.Label, load, err)
-		}
+		r := out.res
 		if r.Completed {
 			completed++
 		}

@@ -209,7 +209,7 @@ func TestScenariosProduceValidSchedules(t *testing.T) {
 }
 
 func TestTableIISmall(t *testing.T) {
-	rows, err := TableII(5, 1)
+	rows, err := TableII(5, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

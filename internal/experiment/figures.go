@@ -133,8 +133,10 @@ type TableIIRow struct {
 
 // TableII computes the paper's closing comparison: load-averaged
 // delivery rate, buffer occupancy level and duplication rate for the
-// six §V-B protocols under both mobility sources.
-func TableII(baseSeed uint64, runs int) ([]TableIIRow, error) {
+// six §V-B protocols under both mobility sources. workers bounds the
+// concurrent runs per sweep exactly as Sweep.Workers does (0 means
+// GOMAXPROCS, 1 sequential); results are identical for every value.
+func TableII(baseSeed uint64, runs, workers int) ([]TableIIRow, error) {
 	if runs == 0 {
 		runs = 10
 	}
@@ -146,6 +148,7 @@ func TableII(baseSeed uint64, runs int) ([]TableIIRow, error) {
 			Runs:      runs,
 			BaseSeed:  baseSeed,
 			Metrics:   metrics,
+			Workers:   workers,
 		})
 	}
 	rwp, err := sweep(RWPScenario())

@@ -99,7 +99,12 @@ func (g SyntheticCambridge) diurnalFactor(t float64) float64 {
 	return 1.0
 }
 
-// Generate produces the synthetic trace.
+// Generate produces the synthetic trace. With few nodes or a short
+// span, a draw can place every pair's first encounter beyond the span;
+// an empty schedule is unusable (contact.Validate rejects it), so
+// Generate deterministically retries with a derived stream until some
+// pair meets. The first attempt matches the historical output bit for
+// bit, so existing seeds reproduce their traces.
 func (g SyntheticCambridge) Generate() (*contact.Schedule, error) {
 	g = g.Defaults()
 	if g.Nodes < 2 {
@@ -108,7 +113,24 @@ func (g SyntheticCambridge) Generate() (*contact.Schedule, error) {
 	if g.Span <= 0 {
 		return nil, fmt.Errorf("mobility: SyntheticCambridge needs positive span, got %v", g.Span)
 	}
-	root := sim.NewRNG(g.Seed)
+	const maxAttempts = 16
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		s := g.generateOnce(sim.NewRNG(g.Seed + uint64(attempt)*0x9e3779b97f4a7c15))
+		if len(s.Contacts) == 0 {
+			continue
+		}
+		s.Sort()
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("mobility: synthetic trace invalid: %w", err)
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("mobility: no contacts within span %v after %d attempts; increase Span or Nodes",
+		g.Span, maxAttempts)
+}
+
+// generateOnce runs every pair's renewal process from one root stream.
+func (g SyntheticCambridge) generateOnce(root *sim.RNG) *contact.Schedule {
 	s := &contact.Schedule{Nodes: g.Nodes}
 	for i := 0; i < g.Nodes; i++ {
 		for j := i + 1; j < g.Nodes; j++ {
@@ -146,9 +168,5 @@ func (g SyntheticCambridge) Generate() (*contact.Schedule, error) {
 			}
 		}
 	}
-	s.Sort()
-	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("mobility: synthetic trace invalid: %w", err)
-	}
-	return s, nil
+	return s
 }

@@ -118,6 +118,22 @@ func TestSyntheticCambridgeErrors(t *testing.T) {
 	}
 }
 
+func TestSyntheticCambridgeRetriesEmptyDraw(t *testing.T) {
+	// This seed's first draw places every pair's first encounter beyond
+	// the 100,000 s span; Generate must retry with a derived stream
+	// instead of returning an "empty schedule" validation error.
+	s, err := SyntheticCambridge{Seed: 0xae8dd413d6aea8a6, Nodes: 4, Span: 100000}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Contacts) == 0 {
+		t.Fatal("retry produced an empty schedule")
+	}
+	if s.Horizon() > 100000 {
+		t.Errorf("horizon %v beyond span", s.Horizon())
+	}
+}
+
 func TestSyntheticCambridgeCustomSizes(t *testing.T) {
 	f := func(seed uint64) bool {
 		s, err := SyntheticCambridge{Seed: seed, Nodes: 4, Span: 100000}.Generate()

@@ -43,6 +43,11 @@ type cumState struct {
 	// rcvd tracks out-of-order deliveries at a destination so the
 	// contiguous prefix can advance when gaps fill.
 	rcvd map[Flow]map[int]bool
+	// base[f] is the flow's first sequence number once learned from a
+	// delivered copy (bundle.FirstSeq); 0 means still unknown. Flows
+	// sharing a source take contiguous sequence blocks, so a flow's
+	// prefix must anchor at its own base rather than at 1.
+	base map[Flow]int
 }
 
 func cumOf(n *node.Node) *cumState { return n.Ext.(*cumState) }
@@ -52,7 +57,7 @@ func (*CumulativeImmunity) Name() string { return "Epidemic with cumulative immu
 
 // Init implements Protocol.
 func (*CumulativeImmunity) Init(n *node.Node) {
-	n.Ext = &cumState{acks: make(map[Flow]int), rcvd: make(map[Flow]map[int]bool)}
+	n.Ext = &cumState{acks: make(map[Flow]int), rcvd: make(map[Flow]map[int]bool), base: make(map[Flow]int)}
 }
 
 // OnGenerate implements Protocol.
@@ -164,19 +169,35 @@ func (*CumulativeImmunity) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time
 func (ci *CumulativeImmunity) OnDelivered(dst, sender *node.Node, id bundle.ID, _ sim.Time) {
 	cp := sender.Store.Get(id)
 	var f Flow
+	ds := cumOf(dst)
 	if cp != nil {
 		f = flowOf(cp.Bundle)
+		if ds.base[f] == 0 {
+			if b := cp.Bundle.FirstSeq; b > 1 {
+				ds.base[f] = b
+			} else {
+				ds.base[f] = 1
+			}
+		}
 	} else {
 		// Copy already gone (e.g. purged mid-contact); the destination
 		// is the flow's endpoint, so reconstruct the key from the
-		// delivery itself.
+		// delivery itself. The flow base stays unknown until a delivery
+		// arrives with its copy intact.
 		f = Flow{Src: id.Src, Dst: dst.ID}
 	}
-	ds := cumOf(dst)
 	if ds.rcvd[f] == nil {
 		ds.rcvd[f] = make(map[int]bool)
 	}
 	ds.rcvd[f][id.Seq] = true
+	// Once the flow's base is known, skip the nonexistent sequences
+	// below it; without this a flow whose block starts above 1 could
+	// never advance past its (vacuously missing) low seqs. Walking the
+	// received set itself is always sound: it only acks sequences that
+	// actually arrived.
+	if base := ds.base[f]; base != 0 && ds.acks[f] < base-1 {
+		ds.acks[f] = base - 1
+	}
 	for ds.rcvd[f][ds.acks[f]+1] {
 		ds.acks[f]++
 	}
