@@ -2,12 +2,21 @@
 // metrics for it, or — with -sweep — the full §IV load sweep (loads
 // 5..50 step 5, several seeded runs per point) for one protocol.
 //
+// Runs are defined by registry specs (-proto, -mob), by legacy flags
+// (-protocol/-p/-q/-ttl, -mobility), or entirely as data with
+// -scenario file.json; -dump prints the scenario JSON equivalent to
+// the current flags instead of running, so any flag-built run can be
+// saved and replayed bit-identically. -list shows every registered
+// protocol and mobility spec.
+//
 // Usage:
 //
 //	dtnsim -mobility trace -protocol dynttl -load 25 -src 0 -dst 7
-//	dtnsim -mobility rwp -protocol pq -p 0.5 -q 0.5 -load 50 -seed 3
+//	dtnsim -proto pq:p=0.5,q=0.5 -mob subscriber -load 50 -seed 3
+//	dtnsim -scenario run.json -events events.csv
 //	dtnsim -trace contacts.txt -protocol immunity -load 30
-//	dtnsim -sweep -mobility rwp -protocol ecttl -runs 10 -workers 4
+//	dtnsim -sweep -mob subscriber -proto ecttl -runs 10 -workers 4
+//	dtnsim -list
 //
 // In sweep mode the (load, run) grid executes on a worker pool of
 // -workers goroutines (0, the default, uses all CPUs; 1 forces the
@@ -20,6 +29,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +39,16 @@ import (
 
 func main() {
 	var (
-		mobilityFlag = flag.String("mobility", "trace", "mobility source: trace | rwp | classic | interval")
+		mobilityFlag = flag.String("mobility", "trace", "legacy mobility source: trace | rwp | classic | interval")
+		mobFlag      = flag.String("mob", "", "mobility registry spec (overrides -mobility): cambridge | subscriber | rwp | interval:max=400 | trace:PATH, with k=v args")
 		traceFile    = flag.String("trace", "", "read mobility from a trace file instead (nodeA nodeB start end lines)")
-		protoFlag    = flag.String("protocol", "pure", "protocol: pure | pq | ttl | dynttl | ec | ecttl | immunity | cumimmunity")
+		protoKind    = flag.String("protocol", "pure", "legacy protocol: pure | pq | ttl | dynttl | ec | ecttl | immunity | cumimmunity")
+		protoFlag    = flag.String("proto", "", "protocol registry spec (overrides -protocol), e.g. pq:p=0.8,q=0.5 or ttl:300")
+		scenarioFlag = flag.String("scenario", "", "run a JSON scenario file instead of building one from flags")
+		listFlag     = flag.Bool("list", false, "list every registered protocol and mobility spec, then exit")
+		dumpFlag     = flag.Bool("dump", false, "print the scenario JSON equivalent to the flags instead of running")
+		seriesFlag   = flag.String("series", "", "write the periodic metric samples to this CSV file as the run progresses")
+		eventsFlag   = flag.String("events", "", "write every engine event (generate/transmit/deliver/drop) plus samples to this CSV file")
 		pFlag        = flag.Float64("p", 1, "P-Q epidemic: source transmission probability")
 		qFlag        = flag.Float64("q", 1, "P-Q epidemic: relay transmission probability")
 		antiFlag     = flag.Bool("antipackets", false, "P-Q epidemic: enable the §II anti-packet channel")
@@ -50,6 +67,37 @@ func main() {
 	)
 	flag.Parse()
 
+	if *listFlag {
+		printSpecLists()
+		return
+	}
+
+	// Effective registry specs: -proto/-mob win; otherwise the legacy
+	// flags are translated. Either way parsing happens in the registries,
+	// which return errors instead of panicking on bad parameters. A spec
+	// flag that overrides set legacy flags warns, as -scenario does.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	warnOverridden := func(winner string, losers ...string) {
+		for _, name := range losers {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "dtnsim: -%s is ignored because -%s is set\n", name, winner)
+			}
+		}
+	}
+	protoSpec := *protoFlag
+	if protoSpec == "" {
+		protoSpec = legacyProtocolSpec(*protoKind, *pFlag, *qFlag, *antiFlag, *ttlFlag)
+	} else {
+		warnOverridden("proto", "protocol", "p", "q", "antipackets", "ttl")
+	}
+	mobSpec := *mobFlag
+	if mobSpec == "" {
+		mobSpec = legacyMobilitySpec(*mobilityFlag, *traceFile, *maxIFlag)
+	} else {
+		warnOverridden("mob", "mobility", "trace", "maxinterval")
+	}
+
 	if *sweepFlag {
 		// Scenario presets (e.g. interval mobility's faster link) win
 		// unless the user set -txtime/-buffer explicitly.
@@ -60,6 +108,11 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dtnsim: -%s is ignored in sweep mode (pairs re-randomize per run; the full load axis runs to the horizon)\n", name)
 			}
 		}
+		for _, name := range []string{"scenario", "series", "events"} {
+			if set[name] {
+				fmt.Fprintf(os.Stderr, "dtnsim: -%s is ignored in sweep mode (it applies to single runs only)\n", name)
+			}
+		}
 		txTime, bufferCap := 0.0, 0
 		if set["txtime"] {
 			txTime = *txFlag
@@ -67,33 +120,78 @@ func main() {
 		if set["buffer"] {
 			bufferCap = *bufFlag
 		}
-		runSweep(*mobilityFlag, *traceFile, *protoFlag, *pFlag, *qFlag, *antiFlag, *ttlFlag,
-			*maxIFlag, bufferCap, txTime, *seedFlag, *runsFlag, *workersFlag)
+		// A -mob spec names the scenario itself; the legacy -mobility
+		// label applies only when the spec flag is unset.
+		legacyName := ""
+		if *mobFlag == "" {
+			legacyName = *mobilityFlag
+		}
+		runSweep(mobSpec, legacyName, protoSpec, bufferCap, txTime, *seedFlag, *runsFlag, *workersFlag, *dumpFlag)
 		return
 	}
 
-	schedule, err := buildSchedule(*mobilityFlag, *traceFile, *seedFlag, *maxIFlag)
+	var sc dtnsim.Scenario
+	if *scenarioFlag != "" {
+		// The file defines the whole run; warn about any set flag it
+		// overrides so a "-scenario run.json -seed 7" invocation cannot
+		// silently record the file's seed as the user's.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"mobility", "mob", "trace", "protocol", "proto",
+			"p", "q", "antipackets", "ttl", "load", "src", "dst", "seed",
+			"buffer", "txtime", "full", "maxinterval"} {
+			if set[name] {
+				fmt.Fprintf(os.Stderr, "dtnsim: -%s is ignored with -scenario (the file defines the run)\n", name)
+			}
+		}
+		data, err := os.ReadFile(*scenarioFlag)
+		if err != nil {
+			fatal(err)
+		}
+		sc, err = dtnsim.ParseScenario(data)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		sc = dtnsim.Scenario{
+			Mobility:     dtnsim.MobilitySpec(mobSpec),
+			Protocol:     dtnsim.ProtocolSpec(protoSpec),
+			Flows:        []dtnsim.Flow{{Src: dtnsim.NodeID(*srcFlag), Dst: dtnsim.NodeID(*dstFlag), Count: *loadFlag}},
+			BufferCap:    *bufFlag,
+			TxTime:       *txFlag,
+			Seed:         *seedFlag,
+			RunToHorizon: *horizonFlag,
+		}
+	}
+
+	if *dumpFlag {
+		norm, err := sc.Normalize()
+		if err != nil {
+			fatal(err)
+		}
+		data, err := norm.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	cfg, err := sc.Compile()
 	if err != nil {
 		fatal(err)
 	}
-	proto, err := buildProtocol(*protoFlag, *pFlag, *qFlag, *antiFlag, *ttlFlag)
+	closers, err := attachStreams(&cfg, *seriesFlag, *eventsFlag)
 	if err != nil {
 		fatal(err)
 	}
 
-	st := dtnsim.AnalyzeSchedule(schedule)
-	fmt.Printf("mobility: %s\n", st)
-
-	result, err := dtnsim.Run(dtnsim.Config{
-		Schedule:     schedule,
-		Protocol:     proto,
-		Flows:        []dtnsim.Flow{{Src: dtnsim.NodeID(*srcFlag), Dst: dtnsim.NodeID(*dstFlag), Count: *loadFlag}},
-		BufferCap:    *bufFlag,
-		TxTime:       *txFlag,
-		Seed:         *seedFlag,
-		RunToHorizon: *horizonFlag,
-	})
+	fmt.Printf("mobility: %s\n", dtnsim.AnalyzeSchedule(cfg.Schedule))
+	result, err := dtnsim.Run(cfg)
 	if err != nil {
+		fatal(err)
+	}
+	if err := closers(); err != nil {
 		fatal(err)
 	}
 
@@ -115,131 +213,156 @@ func main() {
 	fmt.Printf("finished at: %v\n", result.FinishedAt)
 }
 
-// runSweep executes the paper's load sweep for one protocol on the
-// selected mobility source and prints the per-metric tables.
-func runSweep(mobility, traceFile, proto string, p, q float64, anti bool, ttl, maxInterval float64,
-	bufferCap int, txTime float64, seed uint64, runs, workers int) {
-	// Fail fast on a bad protocol spec before any simulation runs.
-	if _, err := buildProtocol(proto, p, q, anti, ttl); err != nil {
-		fatal(err)
+// attachStreams appends CSV stream observers for the -series and
+// -events flags and returns a function that closes the files and
+// reports the first deferred write error.
+func attachStreams(cfg *dtnsim.Config, seriesPath, eventsPath string) (func() error, error) {
+	var files []*os.File
+	var bufs []*bufio.Writer
+	var streams []interface{ Err() error }
+	open := func(path string, events bool) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		// Buffer the file: -events emits one row per transmission, and a
+		// syscall per row would dominate large runs.
+		w := bufio.NewWriter(f)
+		st := dtnsim.NewStreamObserver(w, events)
+		cfg.Observers = append(cfg.Observers, st)
+		files = append(files, f)
+		bufs = append(bufs, w)
+		streams = append(streams, st)
+		return nil
 	}
-	sc, err := buildScenario(mobility, traceFile, maxInterval)
+	if seriesPath != "" {
+		if err := open(seriesPath, false); err != nil {
+			return nil, err
+		}
+	}
+	if eventsPath != "" {
+		if err := open(eventsPath, true); err != nil {
+			return nil, err
+		}
+	}
+	return func() error {
+		var first error
+		for _, st := range streams {
+			if err := st.Err(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, w := range bufs {
+			if err := w.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// printSpecLists prints every registered spec from both registries.
+func printSpecLists() {
+	fmt.Println("protocol specs (use with -proto, Scenario.Protocol, SweepSpec.Protocols):")
+	for _, s := range dtnsim.ProtocolSpecs() {
+		fmt.Printf("  %-12s %s\n", s.Name, s.Usage)
+	}
+	fmt.Println()
+	fmt.Println("mobility specs (use with -mob, Scenario.Mobility):")
+	for _, s := range dtnsim.MobilitySpecs() {
+		fmt.Printf("  %-12s %s\n", s.Name, s.Usage)
+	}
+}
+
+// runSweep executes the paper's load sweep for one protocol on the
+// selected mobility source and prints the per-metric tables; with dump
+// set it prints the sweep's SweepSpec JSON instead of running.
+func runSweep(mobSpec, legacyName, protoSpec string, bufferCap int, txTime float64, seed uint64, runs, workers int, dump bool) {
+	spec := dtnsim.SweepSpec{
+		Scenario: dtnsim.Scenario{
+			Name:      legacyName,
+			Mobility:  dtnsim.MobilitySpec(mobSpec),
+			TxTime:    txTime,
+			BufferCap: bufferCap,
+			Seed:      seed,
+		},
+		Protocols: []dtnsim.ProtocolSpec{dtnsim.ProtocolSpec(protoSpec)},
+		Runs:      runs,
+		Workers:   workers,
+	}
+	sweep, err := spec.Compile()
 	if err != nil {
 		fatal(err)
 	}
-	if txTime != 0 {
-		sc.TxTime = txTime
+	if dump {
+		// Round-trip through the compiled sweep so the dump carries
+		// canonical specs, matching single-run -dump's Normalize.
+		canon, err := dtnsim.SweepSpecOf(spec.Name, sweep)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := canon.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
 	}
-	if bufferCap != 0 {
-		sc.BufferCap = bufferCap
+	sweep.OnPoint = func(label string, load int) {
+		fmt.Fprintf(os.Stderr, "\r%-20s load %2d   ", label, load)
 	}
-	res, err := dtnsim.RunSweep(dtnsim.Sweep{
-		Scenario: sc,
-		Protocols: []dtnsim.ProtocolFactory{{
-			Label: proto,
-			New: func() dtnsim.Protocol {
-				pr, err := buildProtocol(proto, p, q, anti, ttl)
-				if err != nil {
-					panic(err) // validated above
-				}
-				return pr
-			},
-		}},
-		Runs:     runs,
-		BaseSeed: seed,
-		Workers:  workers,
-		OnPoint: func(label string, load int) {
-			fmt.Fprintf(os.Stderr, "\r%-20s load %2d   ", label, load)
-		},
-	})
+	res, err := dtnsim.RunSweep(sweep)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr)
 	for _, m := range []dtnsim.Metric{dtnsim.MetricDelivery, dtnsim.MetricDelay,
 		dtnsim.MetricOccupancy, dtnsim.MetricDuplication} {
-		fmt.Println(dtnsim.TableOf(res, m, fmt.Sprintf("%s (%s, %d runs/point)", m, sc.Name, runs)).ASCII())
+		fmt.Println(dtnsim.TableOf(res, m, fmt.Sprintf("%s (%s, %d runs/point)", m, sweep.Scenario.Name, runs)).ASCII())
 	}
 }
 
-// buildScenario wraps the mobility flags as a sweep scenario. Synthetic
-// models regenerate mobility per run like the paper's RWP experiments;
-// a trace file is parsed once and shared by all runs.
-func buildScenario(kind, traceFile string, maxInterval float64) (dtnsim.ExperimentScenario, error) {
-	if traceFile != "" {
-		return dtnsim.ExperimentScenario{
-			Name: "tracefile",
-			Generate: func(uint64) (*dtnsim.Schedule, error) {
-				return buildSchedule(kind, traceFile, 0, maxInterval)
-			},
-		}, nil
-	}
+// legacyProtocolSpec translates the pre-registry protocol flags into a
+// spec string; unknown kinds pass through for the registry to reject
+// with its ErrSpec error.
+func legacyProtocolSpec(kind string, p, q float64, anti bool, ttl float64) string {
 	switch kind {
-	case "trace":
-		return dtnsim.TraceScenario(), nil
-	case "rwp":
-		return dtnsim.RWPScenario(), nil
-	case "interval":
-		return dtnsim.IntervalScenario(maxInterval), nil
-	case "classic":
-		return dtnsim.ExperimentScenario{
-			Name: "classic",
-			Generate: func(seed uint64) (*dtnsim.Schedule, error) {
-				return dtnsim.ClassicRWP{Seed: seed}.Generate()
-			},
-			PerRunSchedule: true,
-		}, nil
-	default:
-		return dtnsim.ExperimentScenario{}, fmt.Errorf("unknown mobility %q (want trace|rwp|classic|interval)", kind)
-	}
-}
-
-func buildSchedule(kind, traceFile string, seed uint64, maxInterval float64) (*dtnsim.Schedule, error) {
-	if traceFile != "" {
-		f, err := os.Open(traceFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return dtnsim.ParseTrace(f)
-	}
-	switch kind {
-	case "trace":
-		return dtnsim.CambridgeTrace(seed)
-	case "rwp":
-		return dtnsim.SubscriberRWP(seed)
-	case "classic":
-		return dtnsim.ClassicRWP{Seed: seed}.Generate()
-	case "interval":
-		return dtnsim.ControlledInterval{Seed: seed, MaxInterval: maxInterval}.Generate()
-	default:
-		return nil, fmt.Errorf("unknown mobility %q (want trace|rwp|classic|interval)", kind)
-	}
-}
-
-func buildProtocol(kind string, p, q float64, anti bool, ttl float64) (dtnsim.Protocol, error) {
-	switch kind {
-	case "pure":
-		return dtnsim.Pure(), nil
 	case "pq":
+		spec := fmt.Sprintf("pq:p=%g,q=%g", p, q)
 		if anti {
-			return dtnsim.PQWithAntiPackets(p, q), nil
+			spec += ",anti"
 		}
-		return dtnsim.PQ(p, q), nil
+		return spec
 	case "ttl":
-		return dtnsim.TTL(ttl), nil
-	case "dynttl":
-		return dtnsim.DynamicTTL(), nil
-	case "ec":
-		return dtnsim.EC(), nil
-	case "ecttl":
-		return dtnsim.ECTTL(), nil
-	case "immunity":
-		return dtnsim.Immunity(), nil
-	case "cumimmunity":
-		return dtnsim.CumulativeImmunity(), nil
+		return fmt.Sprintf("ttl:%g", ttl)
 	default:
-		return nil, fmt.Errorf("unknown protocol %q", kind)
+		return kind
+	}
+}
+
+// legacyMobilitySpec translates the pre-registry mobility flags
+// (-mobility trace|rwp|classic|interval, -trace FILE) into a spec
+// string; unknown kinds pass through for the registry to reject.
+func legacyMobilitySpec(kind, traceFile string, maxInterval float64) string {
+	if traceFile != "" {
+		return "trace:" + traceFile
+	}
+	switch kind {
+	case "trace":
+		return "cambridge"
+	case "rwp":
+		return "subscriber"
+	case "classic":
+		return "rwp"
+	case "interval":
+		return fmt.Sprintf("interval:max=%g", maxInterval)
+	default:
+		return kind
 	}
 }
 

@@ -129,3 +129,76 @@ func TestBuildProtocolKinds(t *testing.T) {
 		t.Error("unknown protocol accepted")
 	}
 }
+
+func TestLegacyFlagSpecTranslation(t *testing.T) {
+	cases := map[string]string{
+		legacyProtocolSpec("pure", 1, 1, false, 300):  "pure",
+		legacyProtocolSpec("pq", 0.5, 0.25, false, 0): "pq:p=0.5,q=0.25",
+		legacyProtocolSpec("pq", 1, 1, true, 0):       "pq:p=1,q=1,anti",
+		legacyProtocolSpec("ttl", 0, 0, false, 150):   "ttl:150",
+		legacyMobilitySpec("trace", "", 0):            "cambridge",
+		legacyMobilitySpec("rwp", "", 0):              "subscriber",
+		legacyMobilitySpec("classic", "", 0):          "rwp",
+		legacyMobilitySpec("interval", "", 2000):      "interval:max=2000",
+		legacyMobilitySpec("trace", "f.txt", 0):       "trace:f.txt",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("legacy translation = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestBuildProtocolRejectsOutOfRange: bad P-Q probabilities and TTLs
+// must surface as errors at the CLI boundary, not as panics.
+func TestBuildProtocolRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("buildProtocol panicked: %v", r)
+		}
+	}()
+	if _, err := buildProtocol("pq", 2, 0.5, false, 0); err == nil {
+		t.Error("p=2 accepted")
+	}
+	if _, err := buildProtocol("pq", 0.5, -1, false, 0); err == nil {
+		t.Error("q=-1 accepted")
+	}
+	if _, err := buildProtocol("ttl", 0, 0, false, -10); err == nil {
+		t.Error("negative TTL accepted")
+	}
+	if _, err := buildProtocol("ttl", 0, 0, false, 0); err == nil {
+		t.Error("zero TTL accepted")
+	}
+}
+
+// The build* helpers below exercise the legacy-flag translation path
+// exactly as main does: translate to a registry spec, then parse.
+// They live in the test file because main routes through
+// Scenario.Compile directly.
+
+func buildScenario(kind, traceFile string, maxInterval float64) (dtnsim.ExperimentScenario, error) {
+	sc, err := dtnsim.ParseMobilitySpec(legacyMobilitySpec(kind, traceFile, maxInterval))
+	if err != nil {
+		return dtnsim.ExperimentScenario{}, err
+	}
+	if traceFile == "" {
+		sc.Name = kind
+	}
+	return sc, nil
+}
+
+func buildSchedule(kind, traceFile string, seed uint64, maxInterval float64) (*dtnsim.Schedule, error) {
+	sc, err := buildScenario(kind, traceFile, maxInterval)
+	if err != nil {
+		return nil, err
+	}
+	return sc.Generate(seed)
+}
+
+func buildProtocol(kind string, p, q float64, anti bool, ttl float64) (dtnsim.Protocol, error) {
+	f, err := dtnsim.ParseProtocolSpec(legacyProtocolSpec(kind, p, q, anti, ttl))
+	if err != nil {
+		return nil, err
+	}
+	return f.New(), nil
+}

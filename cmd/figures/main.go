@@ -9,6 +9,12 @@
 //	figures -runs 3 -only fig07,fig13
 //	figures -out results -seed 7
 //	figures -workers 4          # bound the simulation worker pool
+//	figures -specs              # also write each figure as SweepSpec JSON
+//
+// Every figure's sweep is built from registry specs, so -specs can
+// serialize it: the written <id>.sweep.json files re-run through
+// `dtnsim.ParseSweepSpec` (or any future runner) with bit-identical
+// results.
 //
 // Each experiment's (protocol, load, run) grid executes on a worker
 // pool of -workers goroutines (default: all CPUs). Results are
@@ -35,6 +41,7 @@ func main() {
 		plots   = flag.Bool("plots", true, "print ASCII charts")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		workers = flag.Int("workers", 0, "concurrent simulation runs per sweep (0 = all CPUs, 1 = sequential; results are identical)")
+		specs   = flag.Bool("specs", false, "also write each experiment's serializable SweepSpec as <id>.sweep.json")
 	)
 	flag.Parse()
 
@@ -59,6 +66,9 @@ func main() {
 		f.Sweep.Runs = *runs
 		f.Sweep.BaseSeed = *seed
 		f.Sweep.Workers = *workers
+		if *specs {
+			emitSpec(*outDir, f.ID, f.Sweep)
+		}
 		if !*quiet {
 			f.Sweep.OnPoint = func(label string, load int) {
 				fmt.Fprintf(os.Stderr, "\r%s: %-40s load %2d   ", f.ID, label, load)
@@ -77,18 +87,22 @@ func main() {
 	}
 
 	if want("fig14") {
-		runFig14(*outDir, *runs, *seed, *workers, *plots)
+		runFig14(*outDir, *runs, *seed, *workers, *plots, *specs)
 	}
 	if want("table2") {
 		runTableII(*outDir, *runs, *seed, *workers)
 	}
 }
 
-func runFig14(outDir string, runs int, seed uint64, workers int, plots bool) {
+func runFig14(outDir string, runs int, seed uint64, workers int, plots, specs bool) {
 	short, long := dtnsim.Fig14Pair()
 	short.Runs, long.Runs = runs, runs
 	short.BaseSeed, long.BaseSeed = seed, seed
 	short.Workers, long.Workers = workers, workers
+	if specs {
+		emitSpec(outDir, "fig14_400", short)
+		emitSpec(outDir, "fig14_2000", long)
+	}
 	rs, err := dtnsim.RunSweep(short)
 	if err != nil {
 		fatal(err)
@@ -127,6 +141,21 @@ func runTableII(outDir string, runs int, seed uint64, workers int) {
 			r.Protocol, r.DeliveryRWP, r.DeliveryTr, r.OccupancyRWP, r.OccupancyTr, r.DupRWP, r.DupTr)
 	}
 	if err := os.WriteFile(filepath.Join(outDir, "table2.csv"), []byte(csv.String()), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// emitSpec writes a sweep's serializable form next to its CSV.
+func emitSpec(outDir, id string, sweep dtnsim.Sweep) {
+	sp, err := dtnsim.SweepSpecOf(id, sweep)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := sp.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(outDir, id+".sweep.json"), append(data, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
 }

@@ -27,13 +27,29 @@
 //	fmt.Printf("delivered %d/%d in %v\n",
 //		result.Delivered, result.Generated, result.Makespan)
 //
-// See DESIGN.md for the architecture and modelling decisions, and
-// EXPERIMENTS.md for the paper-versus-measured record of every figure.
+// # Scenarios as data
+//
+// Every run is also definable declaratively: a Scenario names its
+// mobility model and protocol by registry spec strings ("cambridge:seed=42",
+// "pq:p=0.8,q=0.5"), round-trips through JSON, and compiles to the same
+// Config — bit-identical results — via Compile/RunScenario. Sweeps
+// serialize the same way through SweepSpec. The protocol and mobility
+// constructors below are thin wrappers over the same registries, so the
+// two styles never diverge.
+//
+//	sc, err := dtnsim.ParseScenario(jsonBytes)
+//	if err != nil { ... }
+//	result, err := dtnsim.RunScenario(sc)
+//
+// See DESIGN.md for the architecture and modelling decisions (the
+// Scenario/registry/Observer design is §4), and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure.
 package dtnsim
 
 import (
 	"io"
 
+	"dtnsim/internal/bundle"
 	"dtnsim/internal/contact"
 	"dtnsim/internal/core"
 	"dtnsim/internal/mobility"
@@ -57,6 +73,9 @@ type (
 	Contact = contact.Contact
 	// NodeID identifies a node (dense integers from zero).
 	NodeID = contact.NodeID
+	// BundleID identifies a bundle globally (origin node + sequence
+	// number); observers receive it in every event.
+	BundleID = bundle.ID
 	// Time is virtual time in seconds.
 	Time = sim.Time
 	// ContactStats summarizes a schedule's encounter structure.
@@ -80,13 +99,27 @@ func AnalyzeSchedule(s *Schedule) ContactStats { return contact.Analyze(s) }
 
 // --- Protocols -------------------------------------------------------------
 
+// The constructors below are thin wrappers over the protocol registry:
+// each resolves the equivalent spec string, so Go callers and scenario
+// files construct identical instances.
+
+// mustProtocol resolves a built-in spec; failure is a programming error.
+func mustProtocol(spec string) Protocol {
+	f, err := protocol.Parse(spec)
+	if err != nil {
+		panic(err)
+	}
+	return f.New()
+}
+
 // Pure returns pure epidemic routing (Vahdat & Becker): flood everything,
-// drop-tail when full.
-func Pure() Protocol { return protocol.NewPure() }
+// drop-tail when full. Spec: "pure".
+func Pure() Protocol { return mustProtocol("pure") }
 
 // PQ returns (p,q)-epidemic routing (Matsuda & Takine): sources forward
 // with probability p, relays with probability q. It panics unless both
-// lie in [0,1].
+// lie in [0,1]; use ParseProtocolSpec("pq:p=…,q=…") for an
+// error-returning boundary. Spec: "pq:p=P,q=Q".
 func PQ(p, q float64) Protocol { return protocol.NewPQ(p, q) }
 
 // PQWithAntiPackets returns P-Q epidemic with the §II anti-packet purge
@@ -95,38 +128,45 @@ func PQ(p, q float64) Protocol { return protocol.NewPQ(p, q) }
 func PQWithAntiPackets(p, q float64) Protocol { return protocol.NewPQ(p, q).WithAntiPackets() }
 
 // TTL returns epidemic routing with a constant time-to-live in seconds
-// (Harras et al.); the paper's comparative experiments use 300.
+// (Harras et al.); the paper's comparative experiments use 300. It
+// panics on a non-positive TTL; use ParseProtocolSpec("ttl:…") for an
+// error-returning boundary. Spec: "ttl:SECONDS".
 func TTL(seconds float64) Protocol { return protocol.NewTTL(seconds) }
 
 // DynamicTTL returns the paper's first enhancement (Algorithm 1): TTL
 // set to twice the storing node's last inter-encounter interval.
-func DynamicTTL() Protocol { return protocol.NewDynamicTTL() }
+// Spec: "dynttl".
+func DynamicTTL() Protocol { return mustProtocol("dynttl") }
 
 // EC returns epidemic routing with encounter counts (Davis et al.):
-// buffer-full eviction of the most-transmitted copy.
-func EC() Protocol { return protocol.NewEC() }
+// buffer-full eviction of the most-transmitted copy. Spec: "ec".
+func EC() Protocol { return mustProtocol("ec") }
 
 // ECTTL returns the paper's second enhancement (Algorithm 2): EC with a
-// minimum-EC eviction guard and EC-driven TTL ageing.
-func ECTTL() Protocol { return protocol.NewECTTL() }
+// minimum-EC eviction guard and EC-driven TTL ageing. Spec: "ecttl".
+func ECTTL() Protocol { return mustProtocol("ecttl") }
 
 // Immunity returns epidemic routing with per-bundle immunity tables
-// (Mundur et al.).
-func Immunity() Protocol { return protocol.NewImmunity() }
+// (Mundur et al.). Spec: "immunity".
+func Immunity() Protocol { return mustProtocol("immunity") }
 
 // CumulativeImmunity returns the paper's third enhancement: the
 // destination acknowledges the highest contiguous bundle prefix with a
-// single table.
-func CumulativeImmunity() Protocol { return protocol.NewCumulativeImmunity() }
+// single table. Spec: "cumimmunity".
+func CumulativeImmunity() Protocol { return mustProtocol("cumimmunity") }
 
 // Protocols returns one instance of every protocol the paper evaluates,
 // in the paper's order: the four §II families (P-Q at P=Q=1 standing in
 // for pure epidemic as in §V) followed by the three §III enhancements.
+// The instances are built from the registry's canonical specs (see
+// BuiltinProtocolSpecs).
 func Protocols() []Protocol {
-	return []Protocol{
-		Pure(), PQ(1, 1), TTL(300), EC(), Immunity(),
-		DynamicTTL(), ECTTL(), CumulativeImmunity(),
+	specs := protocol.BuiltinSpecs()
+	out := make([]Protocol, len(specs))
+	for i, s := range specs {
+		out[i] = mustProtocol(s)
 	}
+	return out
 }
 
 // --- Mobility ---------------------------------------------------------------

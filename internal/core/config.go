@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"dtnsim/internal/contact"
 	"dtnsim/internal/protocol"
@@ -35,10 +36,12 @@ const (
 // Flow is one source→destination stream of Count bundles created at
 // StartAt. The paper's workload is a single flow of k ∈ {5..50} bundles
 // created at t=0.
+// The JSON field names are part of the public Scenario file format.
 type Flow struct {
-	Src, Dst contact.NodeID
-	Count    int
-	StartAt  sim.Time
+	Src     contact.NodeID `json:"src"`
+	Dst     contact.NodeID `json:"dst"`
+	Count   int            `json:"count"`
+	StartAt sim.Time       `json:"start_at,omitempty"`
 }
 
 // Config describes one simulation run.
@@ -67,6 +70,11 @@ type Config struct {
 	// RunToHorizon disables early termination when all flows complete,
 	// so buffer/duplication dynamics can be observed afterwards.
 	RunToHorizon bool
+	// Observers receive engine events (generation, transmission,
+	// delivery, drops, periodic samples) as the run progresses, after
+	// the built-in metrics collector. Hooks run on the simulation
+	// goroutine in virtual-time order.
+	Observers []Observer
 }
 
 // ErrConfig wraps configuration validation failures.
@@ -110,8 +118,18 @@ func (cfg Config) validate() error {
 	if cfg.BufferCap < 1 {
 		return fmt.Errorf("%w: buffer capacity %d", ErrConfig, cfg.BufferCap)
 	}
-	if cfg.TxTime <= 0 {
+	// The `!(x > 0)` form also rejects NaN, which passes `x <= 0`.
+	if !(cfg.TxTime > 0) || math.IsInf(cfg.TxTime, 0) {
 		return fmt.Errorf("%w: tx time %v", ErrConfig, cfg.TxTime)
+	}
+	// withDefaults only replaces exact zeros, so negative (and
+	// non-finite) values reach this point; they would silently corrupt
+	// sampling and control budgets rather than fail.
+	if !(cfg.SampleEvery > 0) || math.IsInf(cfg.SampleEvery, 0) {
+		return fmt.Errorf("%w: sample period %v", ErrConfig, cfg.SampleEvery)
+	}
+	if cfg.RecordsPerSlot < 0 {
+		return fmt.Errorf("%w: records per slot %d", ErrConfig, cfg.RecordsPerSlot)
 	}
 	for i, f := range cfg.Flows {
 		if f.Count <= 0 {

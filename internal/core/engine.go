@@ -61,6 +61,12 @@ type engine struct {
 	rng   *sim.RNG
 	nodes []*node.Node
 	coll  *metrics.Collector
+	// obs is every observer of this run: the built-in collector first,
+	// then Config.Observers in order.
+	obs []Observer
+	// tracked is every workload bundle generated so far, in creation
+	// order, for duplication sampling.
+	tracked []*bundle.Bundle
 
 	remaining   int
 	deliveredAt map[bundle.ID]sim.Time
@@ -85,12 +91,20 @@ func Run(cfg Config) (*Result, error) {
 		deliveredAt: make(map[bundle.ID]sim.Time),
 		firstStart:  sim.Infinity,
 	}
+	e.coll = metrics.NewCollector()
+	e.obs = append([]Observer{e.coll}, cfg.Observers...)
 	e.nodes = make([]*node.Node, cfg.Schedule.Nodes)
 	for i := range e.nodes {
-		e.nodes[i] = node.New(contact.NodeID(i), cfg.BufferCap)
-		cfg.Protocol.Init(e.nodes[i])
+		n := node.New(contact.NodeID(i), cfg.BufferCap)
+		at := n.ID
+		n.DropHook = func(id bundle.ID, reason node.DropReason, now sim.Time) {
+			for _, o := range e.obs {
+				o.OnDrop(at, id, reason, now)
+			}
+		}
+		cfg.Protocol.Init(n)
+		e.nodes[i] = n
 	}
-	e.coll = metrics.NewCollector(e.nodes)
 
 	if err := e.scheduleWorkload(); err != nil {
 		return nil, err
@@ -158,7 +172,10 @@ func (e *engine) generate(f Flow, base, firstSeq int) {
 			// which per-source block allocation rules out.
 			panic(fmt.Sprintf("core: generating %v: %v", b.ID, err))
 		}
-		e.coll.Track(b)
+		e.tracked = append(e.tracked, b)
+		for _, o := range e.obs {
+			o.OnGenerate(b.ID, b.Dst, now)
+		}
 	}
 }
 
@@ -177,7 +194,10 @@ func (e *engine) scheduleContacts() {
 func (e *engine) scheduleSampling() {
 	var tick func()
 	tick = func() {
-		e.coll.Sample(e.sched.Now())
+		s := metrics.Snapshot(e.nodes, e.tracked, e.sched.Now())
+		for _, o := range e.obs {
+			o.OnSample(s)
+		}
 		if _, err := e.sched.After(sim.Time(e.cfg.SampleEvery), tick); err != nil {
 			panic(fmt.Sprintf("core: rescheduling sampler: %v", err)) // future time: unreachable
 		}
@@ -258,6 +278,9 @@ func (e *engine) transmitBatch(sender, receiver *node.Node, start sim.Time, slot
 // shouting into a full buffer.
 func (e *engine) transmit(sender, receiver *node.Node, cp *bundle.Copy, at sim.Time) {
 	sender.DataSent++
+	for _, o := range e.obs {
+		o.OnTransmit(sender.ID, receiver.ID, cp.Bundle.ID, at)
+	}
 	rcpt := cp.Clone(at)
 	if cp.Bundle.Dst == receiver.ID {
 		e.cfg.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
@@ -279,7 +302,11 @@ func (e *engine) deliver(sender, dst *node.Node, b *bundle.Bundle, at sim.Time) 
 	}
 	dst.Received.Add(b.ID)
 	e.deliveredAt[b.ID] = at
-	e.delays = append(e.delays, float64(at-b.CreatedAt))
+	delay := float64(at - b.CreatedAt)
+	e.delays = append(e.delays, delay)
+	for _, o := range e.obs {
+		o.OnDeliver(b.ID, dst.ID, delay, at)
+	}
 	if at > e.lastArrival {
 		e.lastArrival = at
 	}

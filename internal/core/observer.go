@@ -1,0 +1,86 @@
+package core
+
+import (
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
+	"dtnsim/internal/metrics"
+	"dtnsim/internal/node"
+	"dtnsim/internal/sim"
+)
+
+// Observer receives engine events while a run progresses, turning the
+// post-hoc Result into a stream: metric collectors, live dashboards and
+// time-series writers all attach through Config.Observers without the
+// engine knowing their shape. metrics.Collector is the built-in
+// observer every run carries; report.Stream is the CSV one.
+//
+// All hooks are invoked synchronously from the single simulation
+// goroutine, in virtual-time order, so implementations need no locking
+// but must not block.
+type Observer interface {
+	// OnGenerate fires once per workload bundle created at its source
+	// (the source is id.Src).
+	OnGenerate(id bundle.ID, dst contact.NodeID, now sim.Time)
+	// OnTransmit fires for every bundle transmission, including
+	// transfers the receiver goes on to refuse; now is the transfer's
+	// completion time.
+	OnTransmit(from, to contact.NodeID, id bundle.ID, now sim.Time)
+	// OnDeliver fires when a bundle first reaches its destination.
+	// delay is seconds since the bundle's creation.
+	OnDeliver(id bundle.ID, dst contact.NodeID, delay float64, now sim.Time)
+	// OnDrop fires when a node sheds a copy: refused on arrival,
+	// evicted for room, expired by TTL, or purged as delivered by an
+	// immunity table / anti-packet.
+	OnDrop(at contact.NodeID, id bundle.ID, reason node.DropReason, now sim.Time)
+	// OnSample fires once per sampling period with the engine's
+	// periodic metric observation.
+	OnSample(s metrics.Sample)
+}
+
+// Compile-time check: the metrics collector is just another observer.
+var _ Observer = (*metrics.Collector)(nil)
+
+// FuncObserver adapts optional callbacks into an Observer; nil fields
+// are skipped. It is the quickest way to tap one event kind.
+type FuncObserver struct {
+	Generate func(id bundle.ID, dst contact.NodeID, now sim.Time)
+	Transmit func(from, to contact.NodeID, id bundle.ID, now sim.Time)
+	Deliver  func(id bundle.ID, dst contact.NodeID, delay float64, now sim.Time)
+	Drop     func(at contact.NodeID, id bundle.ID, reason node.DropReason, now sim.Time)
+	Sample   func(s metrics.Sample)
+}
+
+// OnGenerate implements Observer.
+func (f *FuncObserver) OnGenerate(id bundle.ID, dst contact.NodeID, now sim.Time) {
+	if f.Generate != nil {
+		f.Generate(id, dst, now)
+	}
+}
+
+// OnTransmit implements Observer.
+func (f *FuncObserver) OnTransmit(from, to contact.NodeID, id bundle.ID, now sim.Time) {
+	if f.Transmit != nil {
+		f.Transmit(from, to, id, now)
+	}
+}
+
+// OnDeliver implements Observer.
+func (f *FuncObserver) OnDeliver(id bundle.ID, dst contact.NodeID, delay float64, now sim.Time) {
+	if f.Deliver != nil {
+		f.Deliver(id, dst, delay, now)
+	}
+}
+
+// OnDrop implements Observer.
+func (f *FuncObserver) OnDrop(at contact.NodeID, id bundle.ID, reason node.DropReason, now sim.Time) {
+	if f.Drop != nil {
+		f.Drop(at, id, reason, now)
+	}
+}
+
+// OnSample implements Observer.
+func (f *FuncObserver) OnSample(s metrics.Sample) {
+	if f.Sample != nil {
+		f.Sample(s)
+	}
+}

@@ -1,10 +1,6 @@
 package experiment
 
-import (
-	"fmt"
-
-	"dtnsim/internal/protocol"
-)
+import "fmt"
 
 // Ablations returns the parameter-sweep experiments behind the paper's
 // methodology (§IV swept TTL ∈ {50,100,150,200} and P=Q ∈ {0.1,0.5,1})
@@ -24,24 +20,14 @@ func Ablations() []Figure {
 
 	multFactories := make([]ProtocolFactory, 0, 3)
 	for _, m := range []float64{1, 2, 4} {
-		m := m
-		multFactories = append(multFactories, ProtocolFactory{
-			Label: fmt.Sprintf("Dynamic TTL ×%g", m),
-			New:   func() protocol.Protocol { return &protocol.DynamicTTL{Multiplier: m} },
-		})
+		multFactories = append(multFactories,
+			mustFactory(fmt.Sprintf("dynttl:mult=%g", m), fmt.Sprintf("Dynamic TTL ×%g", m)))
 	}
 
 	threshFactories := make([]ProtocolFactory, 0, 3)
 	for _, th := range []int{4, 8, 12} {
-		th := th
-		threshFactories = append(threshFactories, ProtocolFactory{
-			Label: fmt.Sprintf("EC+TTL threshold %d", th),
-			New: func() protocol.Protocol {
-				p := protocol.NewECTTL()
-				p.ECThreshold = th
-				return p
-			},
-		})
+		threshFactories = append(threshFactories,
+			mustFactory(fmt.Sprintf("ecttl:thresh=%d", th), fmt.Sprintf("EC+TTL threshold %d", th)))
 	}
 
 	mk := func(id, title string, m Metric, sc Scenario, ps []ProtocolFactory, expect string) Figure {

@@ -40,6 +40,10 @@ const (
 type Scenario struct {
 	// Name labels the scenario in reports ("trace", "rwp", …).
 	Name string
+	// Spec is the canonical mobility spec this scenario was built from
+	// (ScenarioFromSpec), or empty for hand-built scenarios. It is what
+	// makes a sweep serializable.
+	Spec string
 	// Generate builds the contact schedule for a given seed. It must be
 	// safe for concurrent calls: sweeps with Workers > 1 invoke it from
 	// several goroutines when PerRunSchedule is set.
@@ -57,6 +61,9 @@ type Scenario struct {
 type ProtocolFactory struct {
 	// Label names the series as in the paper's legends.
 	Label string
+	// Spec is the canonical protocol spec this factory was built from
+	// (FactoryFromSpec), or empty for hand-built factories.
+	Spec string
 	// New constructs the protocol.
 	New func() protocol.Protocol
 }

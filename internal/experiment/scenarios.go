@@ -1,119 +1,102 @@
 package experiment
 
 import (
-	"dtnsim/internal/contact"
-	"dtnsim/internal/mobility"
-	"dtnsim/internal/protocol"
+	"fmt"
+	"strconv"
 )
+
+// The standard scenarios and protocol factories are thin wrappers over
+// the mobility and protocol registries: each one resolves a canonical
+// spec string, so every sweep they appear in is expressible as data
+// (see SweepSpec in the public package). Display names are pinned to
+// the paper's legends and to the pre-registry report labels.
 
 // TraceScenario is the paper's trace-based setup: the (synthetic)
 // Cambridge iMote encounter trace, fixed across runs like a real trace
 // file, 12 nodes, 100 s/bundle, 10-bundle buffers.
 func TraceScenario() Scenario {
-	return Scenario{
-		Name: "trace",
-		Generate: func(seed uint64) (*contact.Schedule, error) {
-			return mobility.SyntheticCambridge{Seed: seed}.Generate()
-		},
-		PerRunSchedule: false,
-	}
+	sc := mustScenario("cambridge")
+	sc.Name = "trace"
+	return sc
 }
 
 // RWPScenario is the paper's modified Random-WayPoint setup: subscriber
 // points in 1 km², 600,000 s horizon, regenerated per run.
 func RWPScenario() Scenario {
-	return Scenario{
-		Name: "rwp",
-		Generate: func(seed uint64) (*contact.Schedule, error) {
-			return mobility.SubscriberPointRWP{Seed: seed}.Generate()
-		},
-		PerRunSchedule: true,
-	}
+	sc := mustScenario("subscriber")
+	sc.Name = "rwp"
+	return sc
 }
 
 // IntervalScenario is the Fig. 14 controlled-interval setup: 20 nodes,
 // at most 20 encounters each, inter-encounter gap bounded by maxInterval
-// seconds, regenerated per run.
+// seconds, regenerated per run. The registry preset gives it a faster
+// link than the trace scenario (25 s/bundle): contacts stay short
+// relative to the 300 s TTL while still carrying 4–12 bundles, which is
+// what gives Fig. 14 its capacity profile.
 func IntervalScenario(maxInterval float64) Scenario {
-	return Scenario{
-		Name: "interval",
-		Generate: func(seed uint64) (*contact.Schedule, error) {
-			return mobility.ControlledInterval{Seed: seed, MaxInterval: maxInterval}.Generate()
-		},
-		PerRunSchedule: true,
-		// A faster link than the trace scenario: contacts stay short
-		// relative to the 300 s TTL while still carrying 4–12 bundles,
-		// which is what gives Fig. 14 its capacity profile.
-		TxTime: 25,
-	}
+	sc := mustScenario("interval:max=" + strconv.FormatFloat(maxInterval, 'g', -1, 64))
+	sc.Name = "interval"
+	return sc
 }
 
 // Protocol factories matching the paper's configurations.
 
 // PQ11 is P-Q epidemic with P=Q=1, the paper's best-delay configuration.
 func PQ11() ProtocolFactory {
-	return ProtocolFactory{Label: "P-Q epidemic", New: func() protocol.Protocol { return protocol.NewPQ(1, 1) }}
+	return mustFactory("pq:p=1,q=1", "P-Q epidemic")
 }
 
 // PQ11Anti is P-Q epidemic with P=Q=1 and the §II anti-packet channel,
 // the variant whose delay the paper reports as matching immunity's.
 func PQ11Anti() ProtocolFactory {
-	return ProtocolFactory{
-		Label: "P-Q epidemic (anti-packets)",
-		New:   func() protocol.Protocol { return protocol.NewPQ(1, 1).WithAntiPackets() },
-	}
+	return mustFactory("pq:p=1,q=1,anti", "P-Q epidemic (anti-packets)")
 }
 
 // PQ returns a P-Q factory for arbitrary probabilities (the §IV sweep
-// uses 0.1, 0.5 and 1).
+// uses 0.1, 0.5 and 1). The label is the protocol's display name.
 func PQ(p, q float64) ProtocolFactory {
-	return ProtocolFactory{
-		Label: protocol.NewPQ(p, q).Name(),
-		New:   func() protocol.Protocol { return protocol.NewPQ(p, q) },
-	}
+	return mustFactory(fmt.Sprintf("pq:p=%g,q=%g", p, q), "")
 }
 
 // TTL300 is epidemic with the constant TTL of 300 s used in §V.
 func TTL300() ProtocolFactory {
-	return ProtocolFactory{Label: "Epidemic with TTL", New: func() protocol.Protocol { return protocol.NewTTL(300) }}
+	return mustFactory("ttl:300", "Epidemic with TTL")
 }
 
 // TTLConst returns epidemic with an arbitrary constant TTL (the §IV
 // sweep uses 50, 100, 150 and 200).
 func TTLConst(ttl float64) ProtocolFactory {
-	return ProtocolFactory{
-		Label: protocol.NewTTL(ttl).Name(),
-		New:   func() protocol.Protocol { return protocol.NewTTL(ttl) },
-	}
+	return mustFactory("ttl:"+strconv.FormatFloat(ttl, 'g', -1, 64), "")
 }
 
 // DynTTL is the paper's dynamic-TTL enhancement.
 func DynTTL() ProtocolFactory {
-	return ProtocolFactory{Label: "Epidemic with dynamic TTL", New: func() protocol.Protocol { return protocol.NewDynamicTTL() }}
+	return mustFactory("dynttl", "Epidemic with dynamic TTL")
 }
 
 // EC is epidemic with encounter count.
 func EC() ProtocolFactory {
-	return ProtocolFactory{Label: "Epidemic with EC", New: func() protocol.Protocol { return protocol.NewEC() }}
+	return mustFactory("ec", "Epidemic with EC")
 }
 
 // ECTTL is the paper's EC+TTL enhancement.
 func ECTTL() ProtocolFactory {
-	return ProtocolFactory{Label: "Epidemic with EC+TTL", New: func() protocol.Protocol { return protocol.NewECTTL() }}
+	return mustFactory("ecttl", "Epidemic with EC+TTL")
 }
 
 // Immunity is epidemic with per-bundle immunity tables.
 func Immunity() ProtocolFactory {
-	return ProtocolFactory{Label: "Epidemic with immunity", New: func() protocol.Protocol { return protocol.NewImmunity() }}
+	return mustFactory("immunity", "Epidemic with immunity")
 }
 
 // CumImmunity is the paper's cumulative-immunity enhancement.
 func CumImmunity() ProtocolFactory {
-	return ProtocolFactory{Label: "Epidemic with cumulative immunity", New: func() protocol.Protocol { return protocol.NewCumulativeImmunity() }}
+	return mustFactory("cumimmunity", "Epidemic with cumulative immunity")
 }
 
 // Pure is pure epidemic (Vahdat & Becker), the baseline all variants
 // derive from.
 func Pure() ProtocolFactory {
-	return ProtocolFactory{Label: "Pure epidemic", New: func() protocol.Protocol { return protocol.NewPure() }}
+	return mustFactory("pure", "Pure epidemic")
 }

@@ -11,56 +11,57 @@
 //
 // plus the signaling-overhead counter used by the §V-C comparison of
 // immunity variants.
+//
+// The engine computes one Sample per sampling period via Snapshot and
+// streams it — together with generate/transmit/deliver/drop events — to
+// every core.Observer. Collector is the engine's built-in observer: it
+// folds samples into the time-averaged occupancy and duplication the
+// Result reports. It satisfies core.Observer structurally, without
+// importing core.
 package metrics
 
 import (
 	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
 	"dtnsim/internal/node"
 	"dtnsim/internal/sim"
 	"dtnsim/internal/stats"
 )
 
-// Collector samples the running simulation.
-type Collector struct {
-	nodes   []*node.Node
-	tracked []*bundle.Bundle
-
-	occ stats.Welford
-	dup stats.Welford
-
-	samples int64
+// Sample is one periodic observation of the running simulation,
+// computed by Snapshot at every sampling tick.
+type Sample struct {
+	// Now is the virtual time of the observation.
+	Now sim.Time
+	// Occupancy is the node-averaged buffer occupancy level.
+	Occupancy float64
+	// Duplication is the bundle-averaged duplication rate over the
+	// Alive bundles; zero when none is alive.
+	Duplication float64
+	// Alive counts tracked bundles with at least one stored copy.
+	// Duplication is conditioned on them: a bundle whose copies were
+	// all purged (immunity) no longer has a duplication rate, rather
+	// than dragging the average toward zero. This matches the paper's
+	// reading, where effective purging and a high reported duplication
+	// rate coexist (Fig. 9/10 vs §II-B).
+	Alive int
+	// Tracked counts workload bundles generated so far.
+	Tracked int
 }
 
-// NewCollector returns a collector over the given population.
-func NewCollector(nodes []*node.Node) *Collector {
-	return &Collector{nodes: nodes}
-}
-
-// Track registers a generated bundle for duplication accounting.
-func (c *Collector) Track(b *bundle.Bundle) { c.tracked = append(c.tracked, b) }
-
-// Sample records one periodic observation of occupancy and duplication.
-func (c *Collector) Sample(now sim.Time) {
-	c.samples++
+// Snapshot computes one periodic observation over the population.
+func Snapshot(nodes []*node.Node, tracked []*bundle.Bundle, now sim.Time) Sample {
+	s := Sample{Now: now, Tracked: len(tracked)}
 	var occSum float64
-	for _, n := range c.nodes {
+	for _, n := range nodes {
 		occSum += n.Store.Occupancy()
 	}
-	c.occ.Add(occSum / float64(len(c.nodes)))
+	s.Occupancy = occSum / float64(len(nodes))
 
-	if len(c.tracked) == 0 {
-		return
-	}
-	// Duplication is conditioned on bundles that still exist somewhere:
-	// a bundle whose copies were all purged (immunity) no longer has a
-	// duplication rate, rather than dragging the average toward zero.
-	// This matches the paper's reading, where effective purging and a
-	// high reported duplication rate coexist (Fig. 9/10 vs §II-B).
 	var dupSum float64
-	alive := 0
-	for _, b := range c.tracked {
+	for _, b := range tracked {
 		holders := 0
-		for _, n := range c.nodes {
+		for _, n := range nodes {
 			if n.Store.Has(b.ID) {
 				holders++
 			}
@@ -68,16 +69,66 @@ func (c *Collector) Sample(now sim.Time) {
 		if holders == 0 {
 			continue
 		}
-		alive++
-		dupSum += float64(holders) / float64(len(c.nodes))
+		s.Alive++
+		dupSum += float64(holders) / float64(len(nodes))
 	}
-	if alive > 0 {
-		c.dup.Add(dupSum / float64(alive))
+	if s.Alive > 0 {
+		s.Duplication = dupSum / float64(s.Alive)
+	}
+	return s
+}
+
+// Collector aggregates streamed samples into the run's time-averaged
+// metrics. It is the engine's built-in core.Observer.
+type Collector struct {
+	occ stats.Welford
+	dup stats.Welford
+
+	samples       int64
+	generated     int64
+	transmissions int64
+	delivered     int64
+	drops         int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// OnGenerate implements core.Observer.
+func (c *Collector) OnGenerate(bundle.ID, contact.NodeID, sim.Time) { c.generated++ }
+
+// OnTransmit implements core.Observer.
+func (c *Collector) OnTransmit(_, _ contact.NodeID, _ bundle.ID, _ sim.Time) { c.transmissions++ }
+
+// OnDeliver implements core.Observer.
+func (c *Collector) OnDeliver(_ bundle.ID, _ contact.NodeID, _ float64, _ sim.Time) { c.delivered++ }
+
+// OnDrop implements core.Observer.
+func (c *Collector) OnDrop(_ contact.NodeID, _ bundle.ID, _ node.DropReason, _ sim.Time) { c.drops++ }
+
+// OnSample implements core.Observer: fold one periodic observation into
+// the time averages. Duplication samples with no alive bundle are
+// skipped, not zero-counted (see Sample.Alive).
+func (c *Collector) OnSample(s Sample) {
+	c.samples++
+	c.occ.Add(s.Occupancy)
+	if s.Tracked == 0 {
+		return
+	}
+	if s.Alive > 0 {
+		c.dup.Add(s.Duplication)
 	}
 }
 
-// Samples returns the number of observations taken.
+// Samples returns the number of observations folded in.
 func (c *Collector) Samples() int64 { return c.samples }
+
+// Generated, Delivered, Transmissions and Drops report the event counts
+// the collector has seen, for cross-checking engine bookkeeping.
+func (c *Collector) Generated() int64     { return c.generated }
+func (c *Collector) Delivered() int64     { return c.delivered }
+func (c *Collector) Transmissions() int64 { return c.transmissions }
+func (c *Collector) Drops() int64         { return c.drops }
 
 // MeanOccupancy returns the time-averaged buffer occupancy level.
 func (c *Collector) MeanOccupancy() float64 { return c.occ.Mean() }

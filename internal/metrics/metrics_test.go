@@ -9,9 +9,15 @@ import (
 	"dtnsim/internal/sim"
 )
 
+// sample snapshots the population and folds the observation into c,
+// replicating the engine's sampling tick.
+func sample(c *Collector, nodes []*node.Node, tracked []*bundle.Bundle, now sim.Time) {
+	c.OnSample(Snapshot(nodes, tracked, now))
+}
+
 func TestCollectorOccupancy(t *testing.T) {
 	nodes := []*node.Node{node.New(0, 10), node.New(1, 10)}
-	c := NewCollector(nodes)
+	c := NewCollector()
 	put := func(n *node.Node, seq int) {
 		cp := &bundle.Copy{Bundle: &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: seq}, Dst: 1}, Expiry: sim.Infinity}
 		if err := n.Store.Put(cp); err != nil {
@@ -21,14 +27,14 @@ func TestCollectorOccupancy(t *testing.T) {
 	put(nodes[0], 1)
 	put(nodes[0], 2)
 	// Node0: 2/10, node1: 0/10 → mean 0.1.
-	c.Sample(0)
+	sample(c, nodes, nil, 0)
 	if got := c.MeanOccupancy(); math.Abs(got-0.1) > 1e-12 {
 		t.Errorf("occupancy = %v, want 0.1", got)
 	}
 	put(nodes[1], 1)
 	put(nodes[1], 2)
 	// Second sample: (0.2+0.2)/2 = 0.2; time-average (0.1+0.2)/2 = 0.15.
-	c.Sample(1000)
+	sample(c, nodes, nil, 1000)
 	if got := c.MeanOccupancy(); math.Abs(got-0.15) > 1e-12 {
 		t.Errorf("occupancy after 2 samples = %v, want 0.15", got)
 	}
@@ -39,11 +45,10 @@ func TestCollectorOccupancy(t *testing.T) {
 
 func TestCollectorDuplication(t *testing.T) {
 	nodes := []*node.Node{node.New(0, 10), node.New(1, 10), node.New(2, 10), node.New(3, 10)}
-	c := NewCollector(nodes)
+	c := NewCollector()
 	b1 := &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 1}, Dst: 3}
 	b2 := &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 2}, Dst: 3}
-	c.Track(b1)
-	c.Track(b2)
+	tracked := []*bundle.Bundle{b1, b2}
 	store := func(n *node.Node, b *bundle.Bundle) {
 		if err := n.Store.Put(&bundle.Copy{Bundle: b, Expiry: sim.Infinity}); err != nil {
 			t.Fatal(err)
@@ -53,15 +58,15 @@ func TestCollectorDuplication(t *testing.T) {
 	store(nodes[0], b1)
 	store(nodes[1], b1)
 	store(nodes[0], b2)
-	c.Sample(0)
+	sample(c, nodes, tracked, 0)
 	if got := c.MeanDuplication(); math.Abs(got-0.375) > 1e-12 {
 		t.Errorf("duplication = %v, want 0.375", got)
 	}
 }
 
 func TestCollectorNoBundlesNoDuplicationSamples(t *testing.T) {
-	c := NewCollector([]*node.Node{node.New(0, 10)})
-	c.Sample(0)
+	c := NewCollector()
+	sample(c, []*node.Node{node.New(0, 10)}, nil, 0)
 	if c.MeanDuplication() != 0 {
 		t.Error("duplication with no tracked bundles should be 0")
 	}
@@ -82,26 +87,40 @@ func TestOverheadAndDataTotals(t *testing.T) {
 
 func TestCollectorDuplicationSkipsDeadBundles(t *testing.T) {
 	nodes := []*node.Node{node.New(0, 10), node.New(1, 10)}
-	c := NewCollector(nodes)
+	c := NewCollector()
 	alive := &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 1}, Dst: 1}
 	dead := &bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 2}, Dst: 1}
-	c.Track(alive)
-	c.Track(dead)
+	tracked := []*bundle.Bundle{alive, dead}
 	if err := nodes[0].Store.Put(&bundle.Copy{Bundle: alive, Expiry: sim.Infinity}); err != nil {
 		t.Fatal(err)
 	}
 	// dead has zero holders: it must not drag the average down.
-	c.Sample(0)
+	sample(c, nodes, tracked, 0)
 	if got := c.MeanDuplication(); got != 0.5 {
 		t.Errorf("duplication = %v, want 0.5 (alive bundle at 1/2 nodes)", got)
 	}
 }
 
 func TestCollectorAllDeadSkipsSample(t *testing.T) {
-	c := NewCollector([]*node.Node{node.New(0, 10)})
-	c.Track(&bundle.Bundle{ID: bundle.ID{Src: 0, Seq: 1}, Dst: 1})
-	c.Sample(0) // no holders anywhere: sample contributes nothing
+	c := NewCollector()
+	tracked := []*bundle.Bundle{{ID: bundle.ID{Src: 0, Seq: 1}, Dst: 1}}
+	// No holders anywhere: the sample contributes nothing.
+	sample(c, []*node.Node{node.New(0, 10)}, tracked, 0)
 	if c.MeanDuplication() != 0 {
 		t.Error("all-dead sample counted")
+	}
+}
+
+func TestCollectorEventCounts(t *testing.T) {
+	c := NewCollector()
+	id := bundle.ID{Src: 0, Seq: 1}
+	c.OnGenerate(id, 1, 0)
+	c.OnTransmit(0, 1, id, 100)
+	c.OnTransmit(1, 2, id, 200)
+	c.OnDeliver(id, 1, 300, 300)
+	c.OnDrop(2, id, node.DropEvicted, 400)
+	if c.Generated() != 1 || c.Transmissions() != 2 || c.Delivered() != 1 || c.Drops() != 1 {
+		t.Errorf("counts = %d/%d/%d/%d, want 1/2/1/1",
+			c.Generated(), c.Transmissions(), c.Delivered(), c.Drops())
 	}
 }

@@ -1,0 +1,212 @@
+package mobility
+
+import (
+	"dtnsim/internal/contact"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMobilitySpecsRoundTrip(t *testing.T) {
+	specs := append(BuiltinSpecs(),
+		"cambridge:seed=42", "cambridge:nodes=8,seed=7", "cambridge:span=100000",
+		"subscriber:nodes=20", "subscriber:seed=3,points=50,area=2000",
+		"rwp:nodes=40", "rwp:area=500,range=50",
+		"interval:max=2000", "interval:max=400,min=100,nodes=10,encounters=5",
+		"trace:/tmp/contacts.txt", "trace:odd:path,with=chars",
+	)
+	for _, s := range specs {
+		src, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		again, err := Parse(src.Spec)
+		if err != nil {
+			t.Fatalf("Parse(canonical %q of %q): %v", src.Spec, s, err)
+		}
+		if again.Spec != src.Spec {
+			t.Errorf("%q: canonical %q re-parses to %q", s, src.Spec, again.Spec)
+		}
+		if again.Kind != src.Kind || again.PerRun != src.PerRun {
+			t.Errorf("%q: canonical re-parse changed Kind/PerRun", s)
+		}
+	}
+}
+
+// TestGeneratorsMatchDirectConstruction: spec-built schedules must be
+// identical to the ones built by the generator structs.
+func TestGeneratorsMatchDirectConstruction(t *testing.T) {
+	cases := []struct {
+		spec   string
+		direct func(seed uint64) (*contact.Schedule, error)
+	}{
+		{"cambridge", func(s uint64) (*contact.Schedule, error) { return SyntheticCambridge{Seed: s}.Generate() }},
+		{"subscriber", func(s uint64) (*contact.Schedule, error) { return SubscriberPointRWP{Seed: s}.Generate() }},
+		{"rwp", func(s uint64) (*contact.Schedule, error) { return ClassicRWP{Seed: s}.Generate() }},
+		{"interval:max=400", func(s uint64) (*contact.Schedule, error) {
+			return ControlledInterval{Seed: s, MaxInterval: 400}.Generate()
+		}},
+	}
+	for _, c := range cases {
+		src, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		got, err := src.Generate(11)
+		if err != nil {
+			t.Fatalf("%q: %v", c.spec, err)
+		}
+		want, err := c.direct(11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Nodes != want.Nodes || len(got.Contacts) != len(want.Contacts) {
+			t.Errorf("%q: spec-built schedule differs from direct construction", c.spec)
+			continue
+		}
+		for i := range got.Contacts {
+			if got.Contacts[i] != want.Contacts[i] {
+				t.Errorf("%q: contact %d differs", c.spec, i)
+				break
+			}
+		}
+	}
+}
+
+func TestPinnedSeedFixesSchedule(t *testing.T) {
+	src, err := Parse("subscriber:seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.PerRun {
+		t.Error("seed-pinned generator should not be per-run")
+	}
+	a, err := src.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := src.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Contacts) != len(b.Contacts) {
+		t.Fatal("pinned seed still varies with the run seed")
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatal("pinned seed still varies with the run seed")
+		}
+	}
+}
+
+func TestTraceSpecReadsFile(t *testing.T) {
+	want, err := SyntheticCambridge{Seed: 5}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "contacts.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(f, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := Parse("trace:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.PerRun {
+		t.Error("a trace file must be shared across runs")
+	}
+	got, err := src.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Contacts) != len(want.Contacts) {
+		t.Errorf("trace round trip: %d contacts, want %d", len(got.Contacts), len(want.Contacts))
+	}
+
+	missing, err := Parse("trace:" + filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatalf("parse must not touch the filesystem: %v", err)
+	}
+	if _, err := missing.Generate(0); err == nil {
+		t.Error("missing trace file accepted at Generate")
+	}
+}
+
+func TestParseErrorsWrapErrSpec(t *testing.T) {
+	bad := []string{
+		"",
+		"bogus",
+		"cambridge:nodes=-1",
+		"cambridge:nodes=two",
+		"cambridge:seed=-1",
+		"cambridge:zap=1",
+		"subscriber:area=nan",
+		"rwp:range=inf",
+		"interval:max=-5",
+		"interval:max=1,max=2",
+		"trace:",
+		"cambridge:,",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); !errors.Is(err, ErrSpec) {
+			t.Errorf("Parse(%q): err = %v, want ErrSpec", s, err)
+		}
+	}
+}
+
+func TestSpecsListsEveryBuiltin(t *testing.T) {
+	names := map[string]bool{}
+	for _, in := range Default.Specs() {
+		names[in.Name] = true
+		if in.Usage == "" {
+			t.Errorf("%s: empty usage", in.Name)
+		}
+	}
+	for _, s := range append(BuiltinSpecs(), "trace:x") {
+		name := s
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name = name[:i]
+		}
+		if !names[name] {
+			t.Errorf("builtin spec %q has no registry entry", s)
+		}
+	}
+}
+
+// FuzzParse: Parse must never panic and never touch the filesystem,
+// and every accepted spec must canonicalize to a fixed point.
+func FuzzParse(f *testing.F) {
+	for _, s := range BuiltinSpecs() {
+		f.Add(s)
+	}
+	f.Add("trace:/some/path")
+	f.Add("cambridge:seed=18446744073709551615")
+	f.Add("interval:max=1e308")
+	f.Add("subscriber:nodes=0,points=0")
+	f.Add(":::")
+	f.Fuzz(func(t *testing.T, s string) {
+		src, err := Parse(s)
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("Parse(%q): non-ErrSpec error %v", s, err)
+			}
+			return
+		}
+		again, err := Parse(src.Spec)
+		if err != nil {
+			t.Fatalf("canonical %q of %q does not re-parse: %v", src.Spec, s, err)
+		}
+		if again.Spec != src.Spec {
+			t.Fatalf("canonical of %q is not a fixed point: %q → %q", s, src.Spec, again.Spec)
+		}
+	})
+}

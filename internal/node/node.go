@@ -47,7 +47,32 @@ type Node struct {
 
 	// Ext holds protocol-specific state, attached by Protocol.Init.
 	Ext any
+
+	// DropHook, when non-nil, observes every buffer-policy drop this
+	// node records (refusals, evictions, TTL expiries). The engine sets
+	// it to fan events out to core.Observer implementations; protocols
+	// report drops through NoteRefused/NoteEvicted/PurgeExpired and
+	// never call it directly.
+	DropHook func(id bundle.ID, reason DropReason, now sim.Time)
 }
+
+// DropReason classifies one dropped copy for observers.
+type DropReason string
+
+// The four ways a node sheds a bundle copy.
+const (
+	// DropRefused: an incoming copy was declined (buffer full, no
+	// evictable victim).
+	DropRefused DropReason = "refused"
+	// DropEvicted: a stored copy was removed to make room.
+	DropEvicted DropReason = "evicted"
+	// DropExpired: a stored copy's TTL lapsed.
+	DropExpired DropReason = "expired"
+	// DropPurged: a stored copy was shed because an immunity table or
+	// anti-packet marked it delivered — protocol bookkeeping, not a
+	// buffer-policy failure, so it increments no failure counter.
+	DropPurged DropReason = "purged"
+)
 
 // New returns a node with an empty store of the given capacity.
 func New(id contact.NodeID, bufCap int) *Node {
@@ -71,7 +96,42 @@ func (n *Node) ObserveEncounter(start sim.Time) {
 
 // PurgeExpired removes lapsed copies and accounts for them.
 func (n *Node) PurgeExpired(now sim.Time) {
-	n.Expired += int64(len(n.Store.PurgeExpired(now)))
+	purged := n.Store.PurgeExpired(now)
+	n.Expired += int64(len(purged))
+	if n.DropHook != nil {
+		for _, cp := range purged {
+			n.DropHook(cp.Bundle.ID, DropExpired, now)
+		}
+	}
+}
+
+// NoteRefused accounts one refused incoming copy. Protocols call it
+// from Admit instead of incrementing Refused directly so observers see
+// the drop.
+func (n *Node) NoteRefused(id bundle.ID, now sim.Time) {
+	n.Refused++
+	if n.DropHook != nil {
+		n.DropHook(id, DropRefused, now)
+	}
+}
+
+// NoteEvicted accounts one evicted copy (already removed from the
+// store); the buffer-policy counterpart of NoteRefused.
+func (n *Node) NoteEvicted(id bundle.ID, now sim.Time) {
+	n.Evicted++
+	if n.DropHook != nil {
+		n.DropHook(id, DropEvicted, now)
+	}
+}
+
+// NotePurged reports one protocol-purged copy (already removed from
+// the store) to observers. Purging delivered copies is the immunity
+// mechanism working as designed, so unlike the other drops it
+// increments no counter.
+func (n *Node) NotePurged(id bundle.ID, now sim.Time) {
+	if n.DropHook != nil {
+		n.DropHook(id, DropPurged, now)
+	}
 }
 
 func (n *Node) String() string {

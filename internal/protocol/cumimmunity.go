@@ -70,11 +70,13 @@ func (ci *CumulativeImmunity) refreshControlLoad(n *node.Node) {
 }
 
 // purgeAcked drops copies covered by the node's tables.
-func purgeAcked(n *node.Node) {
+func purgeAcked(n *node.Node, now sim.Time) {
 	st := cumOf(n)
-	n.Store.PurgeMatching(func(cp *bundle.Copy) bool {
+	for _, cp := range n.Store.PurgeMatching(func(cp *bundle.Copy) bool {
 		return cp.Bundle.ID.Seq <= st.acks[flowOf(cp.Bundle)]
-	})
+	}) {
+		n.NotePurged(cp.Bundle.ID, now)
+	}
 }
 
 // Exchange implements Protocol: each side transmits its table(s) blind —
@@ -91,23 +93,25 @@ func purgeAcked(n *node.Node) {
 func (ci *CumulativeImmunity) Exchange(a, b *node.Node, now sim.Time, recordBudget int) {
 	ci.transferTables(a, b, recordBudget)
 	ci.transferTables(b, a, recordBudget)
-	purgeReceivedByPeer(a, b)
-	purgeReceivedByPeer(b, a)
-	purgeAcked(a)
-	purgeAcked(b)
+	purgeReceivedByPeer(a, b, now)
+	purgeReceivedByPeer(b, a, now)
+	purgeAcked(a, now)
+	purgeAcked(b, now)
 	ci.refreshControlLoad(a)
 	ci.refreshControlLoad(b)
 }
 
 // purgeReceivedByPeer drops n's copies of bundles the peer has already
 // consumed as their destination.
-func purgeReceivedByPeer(n, peer *node.Node) {
+func purgeReceivedByPeer(n, peer *node.Node, now sim.Time) {
 	if peer.Received.Len() == 0 {
 		return
 	}
-	n.Store.PurgeMatching(func(cp *bundle.Copy) bool {
+	for _, cp := range n.Store.PurgeMatching(func(cp *bundle.Copy) bool {
 		return cp.Bundle.Dst == peer.ID && peer.Received.Has(cp.Bundle.ID)
-	})
+	}) {
+		n.NotePurged(cp.Bundle.ID, now)
+	}
 }
 
 func (ci *CumulativeImmunity) transferTables(from, to *node.Node, budget int) {
@@ -154,9 +158,9 @@ func (*CumulativeImmunity) Wants(sender, receiver *node.Node, _ sim.Time, rng *s
 func (*CumulativeImmunity) OnTransmit(_, _ *node.Node, _, _ *bundle.Copy, _ sim.Time) {}
 
 // Admit implements Protocol: drop-tail, as in plain immunity.
-func (*CumulativeImmunity) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
+func (*CumulativeImmunity) Admit(receiver *node.Node, incoming *bundle.Copy, now sim.Time) bool {
 	if receiver.Store.Free() <= 0 {
-		receiver.Refused++
+		receiver.NoteRefused(incoming.Bundle.ID, now)
 		return false
 	}
 	return true
@@ -166,7 +170,7 @@ func (*CumulativeImmunity) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time
 // advances its contiguous prefix, and the sender — having observed the
 // delivery on-link — adopts the new table, drops covered copies, and
 // drops its copy of the just-delivered bundle.
-func (ci *CumulativeImmunity) OnDelivered(dst, sender *node.Node, id bundle.ID, _ sim.Time) {
+func (ci *CumulativeImmunity) OnDelivered(dst, sender *node.Node, id bundle.ID, now sim.Time) {
 	cp := sender.Store.Get(id)
 	var f Flow
 	ds := cumOf(dst)
@@ -207,8 +211,10 @@ func (ci *CumulativeImmunity) OnDelivered(dst, sender *node.Node, id bundle.ID, 
 	if ds.acks[f] > ss.acks[f] {
 		ss.acks[f] = ds.acks[f]
 	}
-	sender.Store.Remove(id)
-	purgeAcked(sender)
+	if sender.Store.Remove(id) {
+		sender.NotePurged(id, now)
+	}
+	purgeAcked(sender, now)
 	ci.refreshControlLoad(dst)
 	ci.refreshControlLoad(sender)
 }

@@ -61,9 +61,9 @@ func (d *DynamicTTL) OnTransmit(sender, receiver *node.Node, sent, rcpt *bundle.
 }
 
 // Admit implements Protocol: drop-tail.
-func (*DynamicTTL) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
+func (*DynamicTTL) Admit(receiver *node.Node, incoming *bundle.Copy, now sim.Time) bool {
 	if receiver.Store.Free() <= 0 {
-		receiver.Refused++
+		receiver.NoteRefused(incoming.Bundle.ID, now)
 		return false
 	}
 	return true

@@ -49,7 +49,7 @@ func (*EC) OnTransmit(_, _ *node.Node, sent, rcpt *bundle.Copy, _ sim.Time) {
 // count is at least minEC. Ties break toward the oldest copy, then the
 // smallest ID, keeping runs deterministic. It reports whether a victim
 // was evicted.
-func evictHighestEC(n *node.Node, minEC int) bool {
+func evictHighestEC(n *node.Node, minEC int, now sim.Time) bool {
 	var victim *bundle.Copy
 	for _, cp := range n.Store.Items() {
 		if cp.Pinned || cp.EC < minEC {
@@ -63,7 +63,7 @@ func evictHighestEC(n *node.Node, minEC int) bool {
 		return false
 	}
 	n.Store.Remove(victim.Bundle.ID)
-	n.Evicted++
+	n.NoteEvicted(victim.Bundle.ID, now)
 	return true
 }
 
@@ -81,14 +81,14 @@ func better(a, b *bundle.Copy) bool {
 // Admit implements Protocol: always make room for a never-seen bundle by
 // evicting the highest-EC copy ("undelivered bundles have higher
 // priority even though they have a higher EC value").
-func (*EC) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
+func (*EC) Admit(receiver *node.Node, incoming *bundle.Copy, now sim.Time) bool {
 	if receiver.Store.Free() > 0 {
 		return true
 	}
-	if evictHighestEC(receiver, 0) {
+	if evictHighestEC(receiver, 0, now) {
 		return true
 	}
-	receiver.Refused++
+	receiver.NoteRefused(incoming.Bundle.ID, now)
 	return false
 }
 

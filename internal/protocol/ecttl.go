@@ -82,14 +82,14 @@ func (e *ECTTL) OnTransmit(_, _ *node.Node, sent, rcpt *bundle.Copy, now sim.Tim
 
 // Admit implements Protocol: evict the highest-EC copy, but only among
 // copies that have been transmitted at least MinEC times.
-func (e *ECTTL) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
+func (e *ECTTL) Admit(receiver *node.Node, incoming *bundle.Copy, now sim.Time) bool {
 	if receiver.Store.Free() > 0 {
 		return true
 	}
-	if evictHighestEC(receiver, e.MinEC) {
+	if evictHighestEC(receiver, e.MinEC, now) {
 		return true
 	}
-	receiver.Refused++
+	receiver.NoteRefused(incoming.Bundle.ID, now)
 	return false
 }
 

@@ -65,9 +65,11 @@ func (im *Immunity) refreshControlLoad(n *node.Node) {
 // purgeDead drops every buffered copy the node's i-list marks delivered
 // ("check each other's buffer and delete redundant bundles according to
 // this i-list").
-func purgeDead(n *node.Node) {
+func purgeDead(n *node.Node, now sim.Time) {
 	il := ilistOf(n)
-	n.Store.PurgeMatching(func(cp *bundle.Copy) bool { return il.Has(cp.Bundle.ID) })
+	for _, cp := range n.Store.PurgeMatching(func(cp *bundle.Copy) bool { return il.Has(cp.Bundle.ID) }) {
+		n.NotePurged(cp.Bundle.ID, now)
+	}
 }
 
 // Exchange implements Protocol: per Mundur et al., the peers "combine
@@ -78,8 +80,8 @@ func purgeDead(n *node.Node) {
 func (im *Immunity) Exchange(a, b *node.Node, now sim.Time, recordBudget int) {
 	im.transferRecords(a, b, recordBudget)
 	im.transferRecords(b, a, recordBudget)
-	purgeDead(a)
-	purgeDead(b)
+	purgeDead(a, now)
+	purgeDead(b, now)
 	im.refreshControlLoad(a)
 	im.refreshControlLoad(b)
 }
@@ -122,9 +124,9 @@ func (*Immunity) OnTransmit(_, _ *node.Node, _, _ *bundle.Copy, _ sim.Time) {}
 
 // Admit implements Protocol: immunity relies on purging, not eviction —
 // a full relay refuses.
-func (*Immunity) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
+func (*Immunity) Admit(receiver *node.Node, incoming *bundle.Copy, now sim.Time) bool {
 	if receiver.Store.Free() <= 0 {
-		receiver.Refused++
+		receiver.NoteRefused(incoming.Bundle.ID, now)
 		return false
 	}
 	return true
@@ -133,10 +135,12 @@ func (*Immunity) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
 // OnDelivered implements Protocol: the destination generates the record;
 // the sender observes the delivery on-link, adopts the record, and drops
 // its now-redundant copy.
-func (im *Immunity) OnDelivered(dst, sender *node.Node, id bundle.ID, _ sim.Time) {
+func (im *Immunity) OnDelivered(dst, sender *node.Node, id bundle.ID, now sim.Time) {
 	ilistOf(dst).Add(id)
 	if ilistOf(sender).Add(id) {
-		sender.Store.Remove(id)
+		if sender.Store.Remove(id) {
+			sender.NotePurged(id, now)
+		}
 	}
 	im.refreshControlLoad(dst)
 	im.refreshControlLoad(sender)

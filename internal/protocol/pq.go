@@ -98,9 +98,9 @@ func (p *PQ) Wants(sender, receiver *node.Node, now sim.Time, rng *sim.RNG) []bu
 func (*PQ) OnTransmit(_, _ *node.Node, _, _ *bundle.Copy, _ sim.Time) {}
 
 // Admit implements Protocol: drop-tail, as in pure epidemic.
-func (*PQ) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
+func (*PQ) Admit(receiver *node.Node, incoming *bundle.Copy, now sim.Time) bool {
 	if receiver.Store.Free() <= 0 {
-		receiver.Refused++
+		receiver.NoteRefused(incoming.Bundle.ID, now)
 		return false
 	}
 	return true

@@ -40,9 +40,9 @@ func (*Pure) Wants(sender, receiver *node.Node, _ sim.Time, rng *sim.RNG) []bund
 func (*Pure) OnTransmit(_, _ *node.Node, _, _ *bundle.Copy, _ sim.Time) {}
 
 // Admit implements Protocol: drop-tail — refuse when full.
-func (*Pure) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
+func (*Pure) Admit(receiver *node.Node, incoming *bundle.Copy, now sim.Time) bool {
 	if receiver.Store.Free() <= 0 {
-		receiver.Refused++
+		receiver.NoteRefused(incoming.Bundle.ID, now)
 		return false
 	}
 	return true

@@ -1,0 +1,303 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dtnsim/internal/spec"
+)
+
+// ErrSpec wraps every protocol-spec parsing failure, so callers can
+// distinguish a malformed spec from a simulation error with errors.Is.
+var ErrSpec = errors.New("protocol: invalid spec")
+
+// Factory builds fresh instances of one parsed protocol configuration.
+// Sweeps call New once per run; instances carry per-run state and are
+// never shared.
+type Factory struct {
+	// Spec is the canonical spec string: Parse(Spec) yields a factory
+	// with this same Spec, so specs round-trip.
+	Spec string
+	// Label is the display name used in figure legends; it defaults to
+	// the protocol's Name().
+	Label string
+	// New constructs a fresh protocol instance.
+	New func() Protocol
+}
+
+// SpecInfo documents one registered spec for listings (-list).
+type SpecInfo struct {
+	// Name is the registry key ("pq", "ttl", …).
+	Name string
+	// Usage is a one-line grammar-and-meaning summary.
+	Usage string
+}
+
+// Parser turns the argument part of "name:args" into a Factory.
+type Parser func(args string) (Factory, error)
+
+// Registry maps spec names to protocol parsers. New variants register
+// under a string key and become usable everywhere specs are accepted —
+// scenario files, sweeps, the CLI — without touching callers.
+type Registry struct {
+	names   []string
+	entries map[string]entry
+}
+
+type entry struct {
+	usage string
+	parse Parser
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]entry{}}
+}
+
+// Register adds a named parser. It panics on an empty or duplicate name:
+// registration happens at package init time, where a collision is a
+// programming error.
+func (r *Registry) Register(name, usage string, p Parser) {
+	if name == "" || p == nil {
+		panic("protocol: Register requires a name and a parser")
+	}
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("protocol: %q registered twice", name))
+	}
+	r.names = append(r.names, name)
+	r.entries[name] = entry{usage: usage, parse: p}
+}
+
+// Names returns the registered spec names in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Specs returns name and usage for every registered parser, in
+// registration order.
+func (r *Registry) Specs() []SpecInfo {
+	out := make([]SpecInfo, 0, len(r.names))
+	for _, n := range r.names {
+		out = append(out, SpecInfo{Name: n, Usage: r.entries[n].usage})
+	}
+	return out
+}
+
+// Parse resolves a spec string ("pq:p=0.8,q=0.5", "ttl:300",
+// "cumimmunity") to a Factory. All failures — unknown name, malformed
+// arguments, out-of-range parameters — are reported as errors wrapping
+// ErrSpec; Parse never panics.
+func (r *Registry) Parse(s string) (Factory, error) {
+	name, args := spec.Split(s)
+	if name == "" {
+		return Factory{}, fmt.Errorf("%w: empty spec", ErrSpec)
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		return Factory{}, fmt.Errorf("%w: unknown protocol %q (have %s)",
+			ErrSpec, name, strings.Join(r.names, ", "))
+	}
+	f, err := e.parse(args)
+	if err != nil {
+		if errors.Is(err, ErrSpec) {
+			return Factory{}, err
+		}
+		return Factory{}, fmt.Errorf("%w: %s: %v", ErrSpec, name, err)
+	}
+	if f.Label == "" {
+		f.Label = f.New().Name()
+	}
+	return f, nil
+}
+
+// Default is the registry holding every protocol the paper studies. Its
+// canonical specs are:
+//
+//	pure                      pure epidemic (Vahdat & Becker)
+//	pq:p=P,q=Q[,anti]         (p,q)-epidemic (Matsuda & Takine)
+//	ttl:SECONDS               epidemic with constant TTL (Harras et al.)
+//	ec                        epidemic with encounter count (Davis et al.)
+//	immunity                  epidemic with immunity tables (Mundur et al.)
+//	dynttl[:mult=M]           dynamic TTL (paper Algorithm 1)
+//	ecttl[:thresh=N,minec=N]  EC+TTL (paper Algorithm 2)
+//	cumimmunity               cumulative immunity (paper §III)
+var Default = builtinRegistry()
+
+// Parse resolves a spec against the Default registry.
+func Parse(s string) (Factory, error) { return Default.Parse(s) }
+
+// BuiltinSpecs returns the canonical spec of every paper protocol in
+// the paper's order: the §II families (with P-Q at P=Q=1 standing in
+// for pure epidemic as in §V) followed by the §III enhancements.
+func BuiltinSpecs() []string {
+	return []string{
+		"pure", "pq:p=1,q=1", "ttl:300", "ec", "immunity",
+		"dynttl", "ecttl", "cumimmunity",
+	}
+}
+
+func builtinRegistry() *Registry {
+	r := NewRegistry()
+	r.Register("pure", "pure — pure epidemic: flood everything, drop-tail when full",
+		noArgFactory("pure", func() Protocol { return NewPure() }))
+	r.Register("pq", "pq[:p=P,q=Q,anti] — (p,q)-epidemic; p, q in [0,1], default 1; anti enables the §II anti-packet channel",
+		parsePQ)
+	r.Register("ttl", "ttl[:SECONDS] — epidemic with a constant positive TTL, default 300",
+		parseTTL)
+	r.Register("ec", "ec — epidemic with encounter counts: evict the most-transmitted copy",
+		noArgFactory("ec", func() Protocol { return NewEC() }))
+	r.Register("immunity", "immunity — epidemic with per-bundle immunity tables",
+		noArgFactory("immunity", func() Protocol { return NewImmunity() }))
+	r.Register("dynttl", "dynttl[:mult=M] — dynamic TTL: M × last inter-encounter interval, default 2",
+		parseDynTTL)
+	r.Register("ecttl", "ecttl[:thresh=N,minec=N] — EC+TTL: EC-driven ageing past thresh (default 8), eviction guard minec (default 2)",
+		parseECTTL)
+	r.Register("cumimmunity", "cumimmunity — cumulative immunity: one table acknowledges a contiguous bundle prefix",
+		noArgFactory("cumimmunity", func() Protocol { return NewCumulativeImmunity() }))
+	return r
+}
+
+// noArgFactory builds a parser for protocols without parameters.
+func noArgFactory(name string, newFn func() Protocol) Parser {
+	return func(args string) (Factory, error) {
+		if args != "" {
+			return Factory{}, fmt.Errorf("takes no arguments, got %q", args)
+		}
+		return Factory{Spec: name, New: newFn}, nil
+	}
+}
+
+func parsePQ(args string) (Factory, error) {
+	ps, err := spec.Parse(args)
+	if err != nil {
+		return Factory{}, err
+	}
+	p, err := ps.Float("p", 1)
+	if err != nil {
+		return Factory{}, err
+	}
+	q, err := ps.Float("q", 1)
+	if err != nil {
+		return Factory{}, err
+	}
+	anti, err := ps.Flag("anti")
+	if err != nil {
+		return Factory{}, err
+	}
+	if err := ps.Unknown(); err != nil {
+		return Factory{}, err
+	}
+	// The probability check NewPQ enforces by panicking, surfaced as an
+	// error at the spec boundary.
+	if p < 0 || p > 1 || q < 0 || q > 1 {
+		return Factory{}, fmt.Errorf("probabilities out of [0,1]: p=%g q=%g", p, q)
+	}
+	canon := "pq:" + spec.Canonical(
+		[2]string{"p", strconv.FormatFloat(p, 'g', -1, 64)},
+		[2]string{"q", strconv.FormatFloat(q, 'g', -1, 64)},
+	)
+	if anti {
+		canon += ",anti"
+	}
+	return Factory{
+		Spec: canon,
+		New: func() Protocol {
+			pr := NewPQ(p, q)
+			if anti {
+				pr.WithAntiPackets()
+			}
+			return pr
+		},
+	}, nil
+}
+
+// parseTTL accepts the TTL positionally ("ttl:300"); no argument means
+// the paper's comparative value of 300 s.
+func parseTTL(args string) (Factory, error) {
+	ttl := 300.0
+	if args != "" {
+		v, err := strconv.ParseFloat(args, 64)
+		if err != nil {
+			return Factory{}, fmt.Errorf("%q is not a TTL in seconds", args)
+		}
+		ttl = v
+	}
+	// NewTTL's positivity panic, surfaced as an error (NaN and ±Inf
+	// included: NaN passes a `<= 0` test but is no deadline at all).
+	if !(ttl > 0) || ttl > 1e17 {
+		return Factory{}, fmt.Errorf("TTL must be a positive finite number of seconds, got %g", ttl)
+	}
+	return Factory{
+		Spec: "ttl:" + strconv.FormatFloat(ttl, 'g', -1, 64),
+		New:  func() Protocol { return NewTTL(ttl) },
+	}, nil
+}
+
+func parseDynTTL(args string) (Factory, error) {
+	ps, err := spec.Parse(args)
+	if err != nil {
+		return Factory{}, err
+	}
+	mult, err := ps.Float("mult", 2)
+	if err != nil {
+		return Factory{}, err
+	}
+	if err := ps.Unknown(); err != nil {
+		return Factory{}, err
+	}
+	if mult <= 0 {
+		return Factory{}, fmt.Errorf("mult must be positive, got %g", mult)
+	}
+	canon := "dynttl"
+	if mult != 2 {
+		canon = "dynttl:mult=" + strconv.FormatFloat(mult, 'g', -1, 64)
+	}
+	return Factory{
+		Spec: canon,
+		New:  func() Protocol { return &DynamicTTL{Multiplier: mult} },
+	}, nil
+}
+
+func parseECTTL(args string) (Factory, error) {
+	ps, err := spec.Parse(args)
+	if err != nil {
+		return Factory{}, err
+	}
+	def := NewECTTL()
+	thresh, err := ps.Int("thresh", def.ECThreshold)
+	if err != nil {
+		return Factory{}, err
+	}
+	minEC, err := ps.Int("minec", def.MinEC)
+	if err != nil {
+		return Factory{}, err
+	}
+	if err := ps.Unknown(); err != nil {
+		return Factory{}, err
+	}
+	if thresh < 0 || minEC < 0 {
+		return Factory{}, fmt.Errorf("thresh and minec must be non-negative, got thresh=%d minec=%d", thresh, minEC)
+	}
+	var pairs [][2]string
+	if thresh != def.ECThreshold {
+		pairs = append(pairs, [2]string{"thresh", strconv.Itoa(thresh)})
+	}
+	if minEC != def.MinEC {
+		pairs = append(pairs, [2]string{"minec", strconv.Itoa(minEC)})
+	}
+	canon := "ecttl"
+	if len(pairs) > 0 {
+		canon += ":" + spec.Canonical(pairs...)
+	}
+	return Factory{
+		Spec: canon,
+		New: func() Protocol {
+			pr := NewECTTL()
+			pr.ECThreshold = thresh
+			pr.MinEC = minEC
+			return pr
+		},
+	}, nil
+}

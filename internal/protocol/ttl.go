@@ -61,9 +61,9 @@ func (t *TTL) OnTransmit(_, _ *node.Node, sent, rcpt *bundle.Copy, now sim.Time)
 }
 
 // Admit implements Protocol: drop-tail.
-func (*TTL) Admit(receiver *node.Node, _ *bundle.Copy, _ sim.Time) bool {
+func (*TTL) Admit(receiver *node.Node, incoming *bundle.Copy, now sim.Time) bool {
 	if receiver.Store.Free() <= 0 {
-		receiver.Refused++
+		receiver.NoteRefused(incoming.Bundle.ID, now)
 		return false
 	}
 	return true

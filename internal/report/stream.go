@@ -1,0 +1,91 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
+	"dtnsim/internal/metrics"
+	"dtnsim/internal/node"
+	"dtnsim/internal/sim"
+)
+
+// Stream writes a simulation as a CSV time series while it runs: one
+// row per periodic metric sample and — when events are enabled — one
+// row per engine event (generate, transmit, deliver, drop). It
+// implements core.Observer structurally and attaches through
+// Config.Observers (or the dtnsim CLI's -series/-events flags).
+//
+// The column layout is fixed:
+//
+//	time,event,node,peer,bundle,detail,occupancy,duplication
+//
+// Sample rows fill the last two columns; event rows fill node/peer/
+// bundle and put the delay (deliver) or drop reason (drop) in detail.
+// Write errors are sticky: the first one stops all further output and
+// is reported by Err.
+type Stream struct {
+	w      io.Writer
+	events bool
+	err    error
+}
+
+// NewStream returns a Stream writing to w. With events false only the
+// periodic sample rows are written (a pure metric time series); with
+// events true every engine event is logged too. The header row is
+// written immediately.
+func NewStream(w io.Writer, events bool) *Stream {
+	s := &Stream{w: w, events: events}
+	s.row("time,event,node,peer,bundle,detail,occupancy,duplication")
+	return s
+}
+
+// Err returns the first write error, or nil.
+func (s *Stream) Err() error { return s.err }
+
+func (s *Stream) row(line string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, line+"\n")
+}
+
+func fmtID(id bundle.ID) string { return fmt.Sprintf("%d:%d", id.Src, id.Seq) }
+
+// OnGenerate implements core.Observer.
+func (s *Stream) OnGenerate(id bundle.ID, dst contact.NodeID, now sim.Time) {
+	if !s.events {
+		return
+	}
+	s.row(fmt.Sprintf("%g,generate,%d,%d,%s,,,", float64(now), id.Src, dst, fmtID(id)))
+}
+
+// OnTransmit implements core.Observer.
+func (s *Stream) OnTransmit(from, to contact.NodeID, id bundle.ID, now sim.Time) {
+	if !s.events {
+		return
+	}
+	s.row(fmt.Sprintf("%g,transmit,%d,%d,%s,,,", float64(now), from, to, fmtID(id)))
+}
+
+// OnDeliver implements core.Observer.
+func (s *Stream) OnDeliver(id bundle.ID, dst contact.NodeID, delay float64, now sim.Time) {
+	if !s.events {
+		return
+	}
+	s.row(fmt.Sprintf("%g,deliver,%d,,%s,%g,,", float64(now), dst, fmtID(id), delay))
+}
+
+// OnDrop implements core.Observer.
+func (s *Stream) OnDrop(at contact.NodeID, id bundle.ID, reason node.DropReason, now sim.Time) {
+	if !s.events {
+		return
+	}
+	s.row(fmt.Sprintf("%g,drop,%d,,%s,%s,,", float64(now), at, fmtID(id), reason))
+}
+
+// OnSample implements core.Observer.
+func (s *Stream) OnSample(sm metrics.Sample) {
+	s.row(fmt.Sprintf("%g,sample,,,,,%g,%g", float64(sm.Now), sm.Occupancy, sm.Duplication))
+}

@@ -1,0 +1,161 @@
+// Package spec implements the tiny argument grammar shared by the
+// protocol and mobility registries: a spec is "name" or "name:args",
+// where args is a comma-separated list of key=value pairs and bare
+// flags ("pq:p=0.8,q=0.5", "pq:p=1,q=1,anti"). Parsing never panics;
+// malformed input is reported as an error the registries wrap in their
+// ErrSpec sentinels.
+package spec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Split separates a spec string into its registry name and argument
+// part. The argument part is empty when no colon is present; only the
+// first colon splits, so values (e.g. trace file paths) may contain
+// colons.
+func Split(s string) (name, args string) {
+	name, args, _ = strings.Cut(strings.TrimSpace(s), ":")
+	return strings.TrimSpace(name), strings.TrimSpace(args)
+}
+
+// Params holds the parsed key=value arguments of one spec. Typed
+// accessors record which keys were consumed so Unknown can reject
+// misspelled parameters.
+type Params struct {
+	vals map[string]string
+	used map[string]bool
+}
+
+// Parse parses a comma-separated "k=v,k2=v2,flag" argument list. A bare
+// flag is stored with an empty value and read back via Flag. An empty
+// args string yields an empty parameter set.
+func Parse(args string) (*Params, error) {
+	p := &Params{vals: map[string]string{}, used: map[string]bool{}}
+	if strings.TrimSpace(args) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(args, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			return nil, fmt.Errorf("empty argument in %q", args)
+		}
+		key, val, _ := strings.Cut(field, "=")
+		key = strings.TrimSpace(key)
+		if key == "" {
+			return nil, fmt.Errorf("argument %q has no key", field)
+		}
+		if _, dup := p.vals[key]; dup {
+			return nil, fmt.Errorf("duplicate argument %q", key)
+		}
+		p.vals[key] = strings.TrimSpace(val)
+	}
+	return p, nil
+}
+
+// Has reports whether key was supplied (as a pair or a flag).
+func (p *Params) Has(key string) bool {
+	_, ok := p.vals[key]
+	return ok
+}
+
+// Flag consumes key and reports whether it was supplied as a bare flag
+// or with a true-ish value.
+func (p *Params) Flag(key string) (bool, error) {
+	v, ok := p.vals[key]
+	if !ok {
+		return false, nil
+	}
+	p.used[key] = true
+	switch v {
+	case "", "true", "1", "yes", "on":
+		return true, nil
+	case "false", "0", "no", "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("flag %q has non-boolean value %q", key, v)
+}
+
+// Float consumes key as a finite float64, returning def when absent.
+func (p *Params) Float(key string, def float64) (float64, error) {
+	v, ok := p.vals[key]
+	if !ok {
+		return def, nil
+	}
+	p.used[key] = true
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q is not a number", key, v)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("%s=%q is not finite", key, v)
+	}
+	return f, nil
+}
+
+// Int consumes key as an int, returning def when absent.
+func (p *Params) Int(key string, def int) (int, error) {
+	v, ok := p.vals[key]
+	if !ok {
+		return def, nil
+	}
+	p.used[key] = true
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+// Uint consumes key as a uint64, returning def when absent.
+func (p *Params) Uint(key string, def uint64) (uint64, error) {
+	v, ok := p.vals[key]
+	if !ok {
+		return def, nil
+	}
+	p.used[key] = true
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s=%q is not an unsigned integer", key, v)
+	}
+	return n, nil
+}
+
+// Unknown returns an error naming any supplied key no accessor consumed,
+// or nil when every argument was recognized.
+func (p *Params) Unknown() error {
+	var extra []string
+	for k := range p.vals {
+		if !p.used[k] {
+			extra = append(extra, k)
+		}
+	}
+	if len(extra) == 0 {
+		return nil
+	}
+	sort.Strings(extra)
+	return fmt.Errorf("unknown argument(s) %s", strings.Join(extra, ", "))
+}
+
+// Canonical renders a canonical argument list: the given key=value
+// pairs in order, skipping entries with empty values. Callers pass
+// pre-formatted values ("%g" floats, decimal integers) so that parsing
+// the rendered spec reproduces the same parameters.
+func Canonical(pairs ...[2]string) string {
+	var parts []string
+	for _, kv := range pairs {
+		if kv[1] == "" {
+			continue
+		}
+		if kv[0] == "" { // bare flag
+			parts = append(parts, kv[1])
+			continue
+		}
+		parts = append(parts, kv[0]+"="+kv[1])
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,419 @@
+package dtnsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/experiment"
+	"dtnsim/internal/metrics"
+	"dtnsim/internal/mobility"
+	"dtnsim/internal/node"
+	"dtnsim/internal/protocol"
+	"dtnsim/internal/report"
+)
+
+// This file is the declarative face of the simulator: scenarios and
+// sweeps as data. A Scenario names its mobility model and protocol by
+// registry spec strings, round-trips through JSON, and compiles to the
+// same core.Config a Go caller would build by hand — so a run defined
+// in a file is bit-identical to the equivalent programmatic run.
+
+// MobilitySpec selects a mobility source by registry spec:
+// "cambridge:seed=42", "subscriber", "rwp:nodes=40", "interval:max=2000",
+// "trace:PATH". See MobilitySpecs for the full grammar.
+type MobilitySpec string
+
+// ProtocolSpec selects a routing protocol by registry spec:
+// "pure", "pq:p=0.8,q=0.5", "ttl:300", "cumimmunity", …. See
+// ProtocolSpecs for the full grammar.
+type ProtocolSpec string
+
+// ErrScenario wraps scenario-level validation failures (spec errors
+// keep their own sentinels: protocol.ErrSpec / mobility.ErrSpec wrapped
+// underneath).
+var ErrScenario = errors.New("dtnsim: invalid scenario")
+
+// Scenario is one simulation run as data. Zero-valued knobs take the
+// paper's §IV defaults exactly as in Config; Seed drives both mobility
+// generation (unless the mobility spec pins seed=N) and the protocol's
+// random draws.
+type Scenario struct {
+	// Name is a free-form label carried into reports.
+	Name string `json:"name,omitempty"`
+	// Mobility and Protocol are registry specs. Required for a
+	// standalone scenario; a SweepSpec template omits Protocol (the
+	// sweep's Protocols list supplies it).
+	Mobility MobilitySpec `json:"mobility"`
+	Protocol ProtocolSpec `json:"protocol,omitempty"`
+	// Flows is the workload. Required for a standalone scenario;
+	// sweeps generate their own single-flow workloads per run.
+	Flows []Flow `json:"flows,omitempty"`
+	// Engine knobs; zero means the paper's default.
+	BufferCap      int     `json:"buffer_cap,omitempty"`
+	TxTime         float64 `json:"tx_time,omitempty"`
+	RecordsPerSlot int     `json:"records_per_slot,omitempty"`
+	SampleEvery    float64 `json:"sample_every,omitempty"`
+	Horizon        Time    `json:"horizon,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+	RunToHorizon   bool    `json:"run_to_horizon,omitempty"`
+}
+
+// decodeStrict decodes one JSON value into v, rejecting unknown fields
+// and trailing content after the value.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return fmt.Errorf("%w: trailing content after the JSON value", ErrScenario)
+	}
+	return nil
+}
+
+// ParseScenario decodes a JSON scenario strictly: unknown fields and
+// trailing content are rejected, and both specs are resolved against
+// the registries so a typo fails at load time, not mid-sweep.
+func ParseScenario(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := decodeStrict(data, &s); err != nil {
+		return Scenario{}, err
+	}
+	if err := s.Check(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// JSON renders the scenario as indented JSON, the format ParseScenario
+// reads.
+func (s Scenario) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Check validates the scenario's specs and workload without generating
+// mobility. It is the cheap half of Compile.
+func (s Scenario) Check() error {
+	if s.Mobility == "" {
+		return fmt.Errorf("%w: missing mobility spec", ErrScenario)
+	}
+	if s.Protocol == "" {
+		return fmt.Errorf("%w: missing protocol spec", ErrScenario)
+	}
+	if _, err := mobility.Parse(string(s.Mobility)); err != nil {
+		return fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	if _, err := protocol.Parse(string(s.Protocol)); err != nil {
+		return fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("%w: no flows", ErrScenario)
+	}
+	return nil
+}
+
+// Normalize returns the scenario with both specs replaced by their
+// canonical forms, so two scenarios meaning the same run compare equal
+// as data.
+func (s Scenario) Normalize() (Scenario, error) {
+	src, err := mobility.Parse(string(s.Mobility))
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	fac, err := protocol.Parse(string(s.Protocol))
+	if err != nil {
+		return Scenario{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	s.Mobility, s.Protocol = MobilitySpec(src.Spec), ProtocolSpec(fac.Spec)
+	return s, nil
+}
+
+// Compile resolves the scenario to the engine configuration a Go caller
+// would have built by hand: the registries supply the schedule and the
+// protocol instance, everything else copies over verbatim. Compiling
+// twice yields independent protocol instances.
+func (s Scenario) Compile() (Config, error) {
+	if err := s.Check(); err != nil {
+		return Config{}, err
+	}
+	src, _ := mobility.Parse(string(s.Mobility))
+	schedule, err := src.Generate(s.Seed)
+	if err != nil {
+		return Config{}, fmt.Errorf("dtnsim: generating %s mobility: %w", src.Kind, err)
+	}
+	fac, _ := protocol.Parse(string(s.Protocol))
+	return Config{
+		Schedule:       schedule,
+		Protocol:       fac.New(),
+		Flows:          s.Flows,
+		BufferCap:      s.BufferCap,
+		TxTime:         s.TxTime,
+		RecordsPerSlot: s.RecordsPerSlot,
+		SampleEvery:    s.SampleEvery,
+		Horizon:        s.Horizon,
+		Seed:           s.Seed,
+		RunToHorizon:   s.RunToHorizon,
+	}, nil
+}
+
+// RunScenario compiles and executes a scenario. Observers, if any,
+// stream the run's events (see Observer).
+func RunScenario(s Scenario, obs ...Observer) (*Result, error) {
+	cfg, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Observers = append(cfg.Observers, obs...)
+	return core.Run(cfg)
+}
+
+// --- Sweeps as data ---------------------------------------------------------
+
+// SweepSpec is a load-sweep experiment as data: a scenario template
+// swept over protocol specs and loads. The template's Mobility, engine
+// knobs (TxTime, BufferCap) and Seed apply to every run; its Protocol
+// and Flows are ignored — the sweep re-randomizes source/destination
+// pairs per run and sweeps the load axis, per the paper's §IV
+// methodology. The remaining single-run knobs (SampleEvery,
+// RecordsPerSlot, Horizon) are not supported by the sweep harness and
+// are rejected rather than silently dropped; sweeps always run to the
+// horizon, so RunToHorizon true is accepted as redundant.
+type SweepSpec struct {
+	Name      string         `json:"name,omitempty"`
+	Scenario  Scenario       `json:"scenario"`
+	Protocols []ProtocolSpec `json:"protocols"`
+	// Labels optionally overrides the series labels, one per protocol
+	// spec (the paper's figures use legend names like "Epidemic with
+	// TTL" rather than the canonical spec label).
+	Labels []string `json:"labels,omitempty"`
+	// Loads defaults to the paper's 5,10,…,50.
+	Loads []int `json:"loads,omitempty"`
+	// Runs per point; defaults to the paper's 10.
+	Runs int `json:"runs,omitempty"`
+	// Metrics to collect; empty means all five.
+	Metrics []Metric `json:"metrics,omitempty"`
+	// Workers bounds concurrent runs (0 = all CPUs, 1 = sequential);
+	// results are bit-identical for every value.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ParseSweepSpec decodes a JSON sweep strictly and validates its specs.
+func ParseSweepSpec(data []byte) (SweepSpec, error) {
+	var s SweepSpec
+	if err := decodeStrict(data, &s); err != nil {
+		return SweepSpec{}, err
+	}
+	if _, err := s.Compile(); err != nil {
+		return SweepSpec{}, err
+	}
+	return s, nil
+}
+
+// JSON renders the sweep as indented JSON.
+func (s SweepSpec) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Compile resolves the sweep to a runnable Sweep via the registries.
+func (s SweepSpec) Compile() (Sweep, error) {
+	if s.Scenario.Mobility == "" {
+		return Sweep{}, fmt.Errorf("%w: sweep template missing mobility spec", ErrScenario)
+	}
+	if s.Scenario.SampleEvery != 0 || s.Scenario.RecordsPerSlot != 0 || s.Scenario.Horizon != 0 {
+		return Sweep{}, fmt.Errorf("%w: sweep templates do not support sample_every, records_per_slot or horizon (the harness uses the paper's §IV settings)", ErrScenario)
+	}
+	sc, err := experiment.ScenarioFromSpec(string(s.Scenario.Mobility))
+	if err != nil {
+		return Sweep{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	if s.Scenario.Name != "" {
+		sc.Name = s.Scenario.Name
+	}
+	// Template knobs override the spec preset (e.g. interval's fast link).
+	if s.Scenario.TxTime != 0 {
+		sc.TxTime = s.Scenario.TxTime
+	}
+	if s.Scenario.BufferCap != 0 {
+		sc.BufferCap = s.Scenario.BufferCap
+	}
+	if len(s.Protocols) == 0 {
+		return Sweep{}, fmt.Errorf("%w: sweep has no protocol specs", ErrScenario)
+	}
+	if len(s.Labels) != 0 && len(s.Labels) != len(s.Protocols) {
+		return Sweep{}, fmt.Errorf("%w: %d labels for %d protocols", ErrScenario, len(s.Labels), len(s.Protocols))
+	}
+	factories := make([]ProtocolFactory, 0, len(s.Protocols))
+	for i, ps := range s.Protocols {
+		f, err := experiment.FactoryFromSpec(string(ps))
+		if err != nil {
+			return Sweep{}, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+		if len(s.Labels) != 0 && s.Labels[i] != "" {
+			f.Label = s.Labels[i]
+		}
+		factories = append(factories, f)
+	}
+	return Sweep{
+		Scenario:  sc,
+		Protocols: factories,
+		Loads:     append([]int(nil), s.Loads...),
+		Runs:      s.Runs,
+		BaseSeed:  s.Scenario.Seed,
+		Metrics:   append([]Metric(nil), s.Metrics...),
+		Workers:   s.Workers,
+	}, nil
+}
+
+// RunSweepSpec compiles and executes a data-defined sweep.
+func RunSweepSpec(s SweepSpec) (*SweepResult, error) {
+	sw, err := s.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return experiment.Run(sw)
+}
+
+// SweepSpecOf reconstructs the serializable form of a sweep whose
+// scenario and factories were built from registry specs (everything
+// Figures and Ablations return). Hand-built sweeps without spec strings
+// are not serializable and return an error.
+func SweepSpecOf(name string, sw Sweep) (SweepSpec, error) {
+	if sw.Scenario.Spec == "" {
+		return SweepSpec{}, fmt.Errorf("%w: scenario %q was not built from a mobility spec",
+			ErrScenario, sw.Scenario.Name)
+	}
+	spec := SweepSpec{
+		Name: name,
+		Scenario: Scenario{
+			Name:     sw.Scenario.Name,
+			Mobility: MobilitySpec(sw.Scenario.Spec),
+			// Compile's interval preset re-applies TxTime; recording the
+			// effective values keeps the file self-describing.
+			TxTime:    sw.Scenario.TxTime,
+			BufferCap: sw.Scenario.BufferCap,
+			Seed:      sw.BaseSeed,
+		},
+		Loads:   append([]int(nil), sw.Loads...),
+		Runs:    sw.Runs,
+		Metrics: append([]Metric(nil), sw.Metrics...),
+		Workers: sw.Workers,
+	}
+	relabeled := false
+	for _, f := range sw.Protocols {
+		if f.Spec == "" {
+			return SweepSpec{}, fmt.Errorf("%w: factory %q was not built from a protocol spec",
+				ErrScenario, f.Label)
+		}
+		spec.Protocols = append(spec.Protocols, ProtocolSpec(f.Spec))
+		spec.Labels = append(spec.Labels, f.Label)
+		if defaultLabel(f.Spec) != f.Label {
+			relabeled = true
+		}
+	}
+	if !relabeled {
+		spec.Labels = nil // canonical labels: keep the file minimal
+	}
+	return spec, nil
+}
+
+// defaultLabel returns the registry's label for a spec (its display
+// name), used to elide redundant label lists when serializing sweeps.
+func defaultLabel(spec string) string {
+	f, err := protocol.Parse(spec)
+	if err != nil {
+		return ""
+	}
+	return f.Label
+}
+
+// --- Registry surface -------------------------------------------------------
+
+// Observer receives engine events while a run progresses; attach
+// implementations via Config.Observers or RunScenario. The built-in
+// metrics collector is itself an observer, as is the streaming CSV
+// writer returned by NewStreamObserver.
+type Observer = core.Observer
+
+// FuncObserver adapts optional callbacks into an Observer.
+type FuncObserver = core.FuncObserver
+
+// MetricSample is one periodic engine observation delivered to
+// Observer.OnSample.
+type MetricSample = metrics.Sample
+
+// DropReason classifies an Observer.OnDrop event.
+type DropReason = node.DropReason
+
+// The four ways a node sheds a bundle copy.
+const (
+	DropRefused = node.DropRefused
+	DropEvicted = node.DropEvicted
+	DropExpired = node.DropExpired
+	DropPurged  = node.DropPurged
+)
+
+// SpecInfo documents one registered spec name for listings.
+type SpecInfo struct {
+	// Name is the registry key ("pq", "cambridge", …).
+	Name string
+	// Usage is a one-line grammar-and-meaning summary.
+	Usage string
+}
+
+// ParseProtocolSpec resolves a protocol spec string to a sweep-ready
+// factory. Errors wrap protocol.ErrSpec; it never panics, making it
+// the safe boundary for user-supplied specs (the CLI routes -proto and
+// the legacy -protocol flags through here).
+func ParseProtocolSpec(spec string) (ProtocolFactory, error) {
+	return experiment.FactoryFromSpec(spec)
+}
+
+// ParseMobilitySpec resolves a mobility spec string to a sweep-ready
+// scenario. Errors wrap mobility.ErrSpec; it never panics.
+func ParseMobilitySpec(spec string) (ExperimentScenario, error) {
+	return experiment.ScenarioFromSpec(spec)
+}
+
+// ProtocolSpecs lists every registered protocol spec with its usage.
+func ProtocolSpecs() []SpecInfo {
+	infos := protocol.Default.Specs()
+	out := make([]SpecInfo, len(infos))
+	for i, in := range infos {
+		out[i] = SpecInfo{Name: in.Name, Usage: in.Usage}
+	}
+	return out
+}
+
+// MobilitySpecs lists every registered mobility spec with its usage.
+func MobilitySpecs() []SpecInfo {
+	infos := mobility.Default.Specs()
+	out := make([]SpecInfo, len(infos))
+	for i, in := range infos {
+		out[i] = SpecInfo{Name: in.Name, Usage: in.Usage}
+	}
+	return out
+}
+
+// BuiltinProtocolSpecs returns the canonical spec of every paper
+// protocol in the paper's order — the spec-string form of Protocols().
+func BuiltinProtocolSpecs() []ProtocolSpec {
+	specs := protocol.BuiltinSpecs()
+	out := make([]ProtocolSpec, len(specs))
+	for i, s := range specs {
+		out[i] = ProtocolSpec(s)
+	}
+	return out
+}
+
+// NewStreamObserver returns an Observer that writes the run as a CSV
+// stream; see report.Stream for the layout. With events false only the
+// periodic metric samples are written.
+func NewStreamObserver(w io.Writer, events bool) *report.Stream {
+	return report.NewStream(w, events)
+}
