@@ -199,6 +199,42 @@ func BenchmarkEngineTraceRun(b *testing.B) {
 	}
 }
 
+// BenchmarkContactHotPath times the contact-processing hot path at
+// Table II scale: every registry protocol at the paper's highest load
+// (50 bundles) over both Table II substrates (Cambridge trace and
+// subscriber RWP), run to the horizon so purge/TTL/sampling stay active
+// after the last delivery. This is the headline number BENCH_hotpath.json
+// tracks for the allocation-free store/metrics/scheduler rework.
+func BenchmarkContactHotPath(b *testing.B) {
+	trace, err := dtnsim.CambridgeTrace(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rwp, err := dtnsim.SubscriberRWP(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schedules := []*dtnsim.Schedule{trace, rwp}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sched := range schedules {
+			for _, p := range dtnsim.Protocols() {
+				_, err := dtnsim.Run(dtnsim.Config{
+					Schedule:     sched,
+					Protocol:     p,
+					Flows:        []dtnsim.Flow{{Src: 0, Dst: 7, Count: 50}},
+					Seed:         benchSeed,
+					RunToHorizon: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkSyntheticTraceGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

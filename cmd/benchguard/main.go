@@ -1,0 +1,220 @@
+// Command benchguard is the hot-path benchmark regression gate. It
+// parses `go test -bench -benchmem` output on stdin, writes the
+// measured numbers as a BENCH_hotpath-style JSON report, and compares
+// them against a committed baseline:
+//
+//	go test -run '^$' -bench 'BenchmarkStore' -benchmem ./internal/buffer |
+//	    go run ./cmd/benchguard -baseline BENCH_hotpath.json -out BENCH_hotpath.ci.json
+//
+// Three classes of check, all driven by the baseline file:
+//
+//   - pairs: each fast/slow benchmark pair (indexed vs scan) must keep
+//     its speedup within Tolerance (default 20%) of the baseline's.
+//     Speedups are ratios of two benchmarks run on the same machine in
+//     the same session, so the gate is machine-independent — raw ns/op
+//     from another machine would gate on hardware, not code.
+//   - zero_alloc: benchmarks listed here must report 0 allocs/op; the
+//     allocation-free fast paths regress loudly if they ever allocate.
+//   - -strict additionally compares raw ns/op against the baseline's
+//     recorded ns/op with the same tolerance — useful locally on the
+//     machine that produced the baseline, too flaky for shared CI.
+//
+// Exit status is 1 if any check fails, so CI can gate on it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's parsed result.
+type Measurement struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// Pair is a fast-path benchmark normalized by its reference (slow,
+// scan-based) counterpart.
+type Pair struct {
+	Name string `json:"name"`
+	Fast string `json:"fast"`
+	Slow string `json:"slow"`
+	// Speedup is slow ns/op over fast ns/op as measured.
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the BENCH_hotpath.json schema: measured numbers plus the
+// invariants benchguard enforces.
+type Report struct {
+	Note       string                 `json:"note,omitempty"`
+	Machine    string                 `json:"machine,omitempty"`
+	Tolerance  float64                `json:"tolerance,omitempty"`
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+	Pairs      []Pair                 `json:"pairs"`
+	ZeroAlloc  []string               `json:"zero_alloc,omitempty"`
+	// Seed records the pre-rework numbers of this machine for the
+	// headline benchmarks, documenting the speedup the rework bought.
+	Seed map[string]Measurement `json:"seed,omitempty"`
+}
+
+// benchLine matches the name column of a benchmark result row; the
+// -N GOMAXPROCS suffix is stripped.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?$`)
+
+// parseBench extracts {name → measurement} from `go test -bench` output.
+// Rows are "<name> <iters> <value> <unit> [<value> <unit>]..."; only
+// ns/op and allocs/op units are kept, b.ReportMetric extras are ignored.
+func parseBench(r *bufio.Scanner) (map[string]Measurement, error) {
+	out := make(map[string]Measurement)
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) < 4 {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(fields[0])
+		if m == nil {
+			continue
+		}
+		var meas Measurement
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				meas.NsOp = v
+				seen = true
+			case "allocs/op":
+				meas.AllocsOp = v
+			}
+		}
+		if seen {
+			out[m[1]] = meas
+		}
+	}
+	return out, r.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline BENCH_hotpath.json to compare against")
+	outPath := flag.String("out", "", "write the measured report JSON here")
+	tolerance := flag.Float64("tolerance", 0, "allowed fractional regression (0 = baseline's, default 0.20)")
+	strict := flag.Bool("strict", false, "also compare raw ns/op against the baseline (same-machine use)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	measured, err := parseBench(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark rows on stdin")
+		os.Exit(2)
+	}
+
+	var baseline Report
+	if *baselinePath != "" {
+		raw, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", *baselinePath, err)
+			os.Exit(2)
+		}
+	}
+	tol := *tolerance
+	if tol == 0 {
+		tol = baseline.Tolerance
+	}
+	if tol == 0 {
+		tol = 0.20
+	}
+
+	report := Report{
+		Note:       "measured by cmd/benchguard; see EXPERIMENTS.md §hot-path benchmarks",
+		Tolerance:  tol,
+		Benchmarks: measured,
+		ZeroAlloc:  baseline.ZeroAlloc,
+		Seed:       baseline.Seed,
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: "+format+"\n", args...)
+	}
+
+	for _, p := range baseline.Pairs {
+		fastM, okF := measured[p.Fast]
+		slowM, okS := measured[p.Slow]
+		if !okF || !okS {
+			fail("pair %q: benchmarks %s/%s missing from input", p.Name, p.Fast, p.Slow)
+			continue
+		}
+		if fastM.NsOp <= 0 {
+			fail("pair %q: nonsensical fast ns/op %v", p.Name, fastM.NsOp)
+			continue
+		}
+		speedup := slowM.NsOp / fastM.NsOp
+		report.Pairs = append(report.Pairs, Pair{Name: p.Name, Fast: p.Fast, Slow: p.Slow, Speedup: speedup})
+		if p.Speedup > 0 && speedup < p.Speedup*(1-tol) {
+			fail("pair %q: speedup %.2fx fell >%.0f%% below baseline %.2fx (fast path ns/op regressed)",
+				p.Name, speedup, tol*100, p.Speedup)
+		} else {
+			fmt.Printf("benchguard: pair %-16s %8.2fx (baseline %.2fx)\n", p.Name, speedup, p.Speedup)
+		}
+	}
+
+	for _, name := range baseline.ZeroAlloc {
+		m, ok := measured[name]
+		if !ok {
+			fail("zero-alloc benchmark %s missing from input", name)
+			continue
+		}
+		if m.AllocsOp != 0 {
+			fail("%s allocates %.0f allocs/op, want 0", name, m.AllocsOp)
+		}
+	}
+
+	if *strict {
+		for name, base := range baseline.Benchmarks {
+			m, ok := measured[name]
+			if !ok {
+				continue
+			}
+			if base.NsOp > 0 && m.NsOp > base.NsOp*(1+tol) {
+				fail("%s: %.0f ns/op is >%.0f%% above baseline %.0f ns/op",
+					name, m.NsOp, tol*100, base.NsOp)
+			}
+		}
+	}
+
+	if *outPath != "" {
+		buf, err := json.MarshalIndent(report, "", "\t")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*outPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmarks OK\n", len(measured))
+}

@@ -3,6 +3,14 @@
 // decide *which* bundle to drop live in the protocols — the store only
 // enforces mechanics: capacity accounting, pinning of self-originated
 // bundles, TTL purging, and deterministic iteration.
+//
+// The store is engineered for the contact hot path (DESIGN.md §7.1):
+// alongside the ID-keyed map it maintains a bundle-ID-sorted slice
+// index incrementally on Put/Remove, a pinned-copy count, and a
+// conservative minimum-expiry bound. In-order iteration (Range,
+// AppendIDs), the capacity check (Free, Unpinned) and the idle
+// PurgeExpired fast path are therefore allocation-free — nothing is
+// re-sorted or re-counted per contact.
 package buffer
 
 import (
@@ -28,9 +36,33 @@ var ErrDuplicate = errors.New("buffer: duplicate bundle")
 // capacity check and cannot be evicted — see DESIGN.md §3.3 for why the
 // paper's results imply this behaviour — but they do count in Occupancy,
 // which is how the paper's occupancy plots exceed 1.0.
+//
+// Two invariants let the index stay incremental; both hold for every
+// protocol in this repository:
+//
+//   - A copy's Pinned flag never changes while the copy is stored.
+//   - Code that lowers a stored copy's Expiry in place (TTL renewal /
+//     EC ageing run inside Protocol.OnTransmit) must call NoteExpiry
+//     afterwards so the min-expiry bound stays conservative. Raising an
+//     expiry needs no notice — a stale-low bound only costs a scan that
+//     finds nothing.
 type Store struct {
 	cap    int
 	copies map[bundle.ID]*bundle.Copy
+	// order indexes the stored copies in ascending bundle-ID order. It
+	// is maintained incrementally: O(log n) search plus an O(n) memmove
+	// on Put/Remove (n ≤ a few dozen in practice), so every iteration —
+	// the anti-entropy diff each contact runs — is allocation-free and
+	// never re-sorts.
+	order []*bundle.Copy
+	// pinned counts stored pinned copies, so Unpinned/Free are O(1).
+	pinned int
+	// minExpiry is a conservative lower bound on the minimum Expiry over
+	// the unpinned stored copies (Infinity when there are none): if
+	// now < minExpiry, nothing can have lapsed and PurgeExpired is O(1).
+	// Removals may leave it stale-low, which only costs a no-op scan;
+	// full purge scans recompute it exactly.
+	minExpiry sim.Time
 	// controlLoad is the buffer space consumed by stored control
 	// metadata (immunity tables / anti-packets), in bundle-slot units.
 	// The paper observes that "nodes' buffer occupancy is dependent on
@@ -45,7 +77,11 @@ func New(capacity int) *Store {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("buffer: capacity must be positive, got %d", capacity))
 	}
-	return &Store{cap: capacity, copies: make(map[bundle.ID]*bundle.Copy)}
+	return &Store{
+		cap:       capacity,
+		copies:    make(map[bundle.ID]*bundle.Copy),
+		minExpiry: sim.Infinity,
+	}
 }
 
 // Cap returns the configured capacity.
@@ -55,15 +91,7 @@ func (s *Store) Cap() int { return s.cap }
 func (s *Store) Len() int { return len(s.copies) }
 
 // Unpinned returns the number of copies that count against capacity.
-func (s *Store) Unpinned() int {
-	n := 0
-	for _, c := range s.copies {
-		if !c.Pinned {
-			n++
-		}
-	}
-	return n
-}
+func (s *Store) Unpinned() int { return len(s.copies) - s.pinned }
 
 // SetControlLoad records the buffer space consumed by control metadata,
 // in bundle-slot units. Negative values are clamped to zero.
@@ -103,6 +131,14 @@ func (s *Store) Has(id bundle.ID) bool {
 // Get returns the stored copy of id, or nil.
 func (s *Store) Get(id bundle.ID) *bundle.Copy { return s.copies[id] }
 
+// searchIdx returns the position of id in the order index, or the
+// position it would be inserted at.
+func (s *Store) searchIdx(id bundle.ID) int {
+	return sort.Search(len(s.order), func(i int) bool {
+		return !s.order[i].Bundle.ID.Less(id)
+	})
+}
+
 // Put stores a copy. Unpinned copies are refused with ErrFull when no
 // unpinned slot is free; a second copy of the same bundle is refused with
 // ErrDuplicate.
@@ -114,6 +150,15 @@ func (s *Store) Put(c *bundle.Copy) error {
 		return fmt.Errorf("%w: cap=%d", ErrFull, s.cap)
 	}
 	s.copies[c.Bundle.ID] = c
+	i := s.searchIdx(c.Bundle.ID)
+	s.order = append(s.order, nil)
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = c
+	if c.Pinned {
+		s.pinned++
+	} else if c.Expiry < s.minExpiry {
+		s.minExpiry = c.Expiry
+	}
 	return nil
 }
 
@@ -121,38 +166,73 @@ func (s *Store) Put(c *bundle.Copy) error {
 // Pinned copies can be removed — delivery and immunity purge both apply
 // to sources once a bundle is known delivered.
 func (s *Store) Remove(id bundle.ID) bool {
-	if _, ok := s.copies[id]; !ok {
+	c, ok := s.copies[id]
+	if !ok {
 		return false
 	}
 	delete(s.copies, id)
+	i := s.searchIdx(id)
+	copy(s.order[i:], s.order[i+1:])
+	s.order[len(s.order)-1] = nil
+	s.order = s.order[:len(s.order)-1]
+	if c.Pinned {
+		s.pinned--
+	}
+	if s.Unpinned() == 0 {
+		// Cheap exact reset; otherwise the stale-low bound stands until
+		// the next full purge scan recomputes it.
+		s.minExpiry = sim.Infinity
+	}
 	return true
 }
 
-// Items returns the stored copies in deterministic bundle-ID order.
-func (s *Store) Items() []*bundle.Copy {
-	out := make([]*bundle.Copy, 0, len(s.copies))
-	for _, c := range s.copies {
-		out = append(out, c)
+// NoteExpiry tells the store that the stored copy c's Expiry was lowered
+// in place (TTL renewal, EC ageing). The store folds it into the
+// min-expiry bound; without the call PurgeExpired's fast path could skip
+// a lapsed copy.
+func (s *Store) NoteExpiry(c *bundle.Copy) {
+	if !c.Pinned && c.Expiry < s.minExpiry {
+		s.minExpiry = c.Expiry
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Bundle.ID.Less(out[j].Bundle.ID) })
-	return out
+}
+
+// Range calls fn for every stored copy in ascending bundle-ID order,
+// stopping early if fn returns false. It allocates nothing. The store
+// must not be mutated during the iteration.
+func (s *Store) Range(fn func(*bundle.Copy) bool) {
+	for _, c := range s.order {
+		if !fn(c) {
+			return
+		}
+	}
+}
+
+// AppendIDs appends the stored bundle IDs in ascending order to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+func (s *Store) AppendIDs(dst []bundle.ID) []bundle.ID {
+	for _, c := range s.order {
+		dst = append(dst, c.Bundle.ID)
+	}
+	return dst
+}
+
+// Items returns a fresh slice of the stored copies in deterministic
+// bundle-ID order. Hot paths should prefer Range/AppendIDs, which do
+// not allocate.
+func (s *Store) Items() []*bundle.Copy {
+	return append([]*bundle.Copy(nil), s.order...)
 }
 
 // IDs returns the stored bundle IDs in deterministic order.
 func (s *Store) IDs() []bundle.ID {
-	out := make([]bundle.ID, 0, len(s.copies))
-	for id := range s.copies {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+	return s.AppendIDs(make([]bundle.ID, 0, len(s.order)))
 }
 
 // Vector returns a summary vector of the store's current contents.
 func (s *Store) Vector() *bundle.SummaryVector {
 	v := bundle.NewSummaryVector()
-	for id := range s.copies {
-		v.Add(id)
+	for _, c := range s.order {
+		v.Add(c.Bundle.ID)
 	}
 	return v
 }
@@ -160,15 +240,13 @@ func (s *Store) Vector() *bundle.SummaryVector {
 // PurgeExpired removes every unpinned copy whose TTL lapsed at or before
 // now and returns the purged copies in deterministic order. Pinned
 // copies never expire: a source holds its own bundles until delivery.
+// When no expiry can have lapsed (tracked via the min-expiry bound) it
+// returns nil without scanning or allocating.
 func (s *Store) PurgeExpired(now sim.Time) []*bundle.Copy {
-	var purged []*bundle.Copy
-	for _, c := range s.Items() {
-		if !c.Pinned && c.Expired(now) {
-			delete(s.copies, c.Bundle.ID)
-			purged = append(purged, c)
-		}
+	if now < s.minExpiry {
+		return nil
 	}
-	return purged
+	return s.purge(func(c *bundle.Copy) bool { return !c.Pinned && c.Expired(now) })
 }
 
 // PurgeMatching removes every copy (pinned included) for which match
@@ -176,12 +254,35 @@ func (s *Store) PurgeExpired(now sim.Time) []*bundle.Copy {
 // Immunity protocols use this to discard delivered bundles everywhere,
 // including the source.
 func (s *Store) PurgeMatching(match func(*bundle.Copy) bool) []*bundle.Copy {
+	return s.purge(match)
+}
+
+// purge removes matching copies in one in-order pass over the index,
+// recomputing the pinned count and the exact min-expiry bound on the
+// way. It allocates only when something actually matches.
+func (s *Store) purge(match func(*bundle.Copy) bool) []*bundle.Copy {
 	var purged []*bundle.Copy
-	for _, c := range s.Items() {
+	kept := s.order[:0]
+	minExpiry := sim.Infinity
+	pinned := 0
+	for _, c := range s.order {
 		if match(c) {
 			delete(s.copies, c.Bundle.ID)
 			purged = append(purged, c)
+			continue
 		}
+		if c.Pinned {
+			pinned++
+		} else if c.Expiry < minExpiry {
+			minExpiry = c.Expiry
+		}
+		kept = append(kept, c)
 	}
+	for i := len(kept); i < len(s.order); i++ {
+		s.order[i] = nil
+	}
+	s.order = kept
+	s.pinned = pinned
+	s.minExpiry = minExpiry
 	return purged
 }

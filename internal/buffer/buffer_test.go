@@ -215,6 +215,213 @@ func TestStoreInvariantsProperty(t *testing.T) {
 	}
 }
 
+// TestPurgeExpiredEarlyExit pins the satellite fix: PurgeExpired must
+// not allocate or scan when the store is empty, holds only pinned
+// copies, or when nothing can have lapsed yet.
+func TestPurgeExpiredEarlyExit(t *testing.T) {
+	empty := New(4)
+	pinnedOnly := New(4)
+	p := mkPinned(1)
+	p.Expiry = 50 // pinned never expires; must not arm the fast path
+	if err := pinnedOnly.Put(p); err != nil {
+		t.Fatal(err)
+	}
+	future := New(4)
+	c := mk(1)
+	c.Expiry = 1000
+	if err := future.Put(c); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*Store{"empty": empty, "pinned-only": pinnedOnly, "unexpired": future} {
+		if got := s.PurgeExpired(500); got != nil {
+			t.Errorf("%s: PurgeExpired = %v, want nil", name, got)
+		}
+		if allocs := testing.AllocsPerRun(100, func() { s.PurgeExpired(500) }); allocs != 0 {
+			t.Errorf("%s: PurgeExpired fast path allocates %v/op", name, allocs)
+		}
+	}
+	// The fast path must still fire once a deadline actually lapses.
+	if got := future.PurgeExpired(1000); len(got) != 1 || got[0] != c {
+		t.Fatalf("PurgeExpired(1000) = %v, want [c]", got)
+	}
+}
+
+// TestHotPathZeroAlloc asserts the per-contact operations allocate
+// nothing: the capacity check, in-order iteration, ID collection into a
+// reused buffer, and the idle purge.
+func TestHotPathZeroAlloc(t *testing.T) {
+	s := New(11)
+	for i := 1; i <= 10; i++ {
+		c := mk(i)
+		c.Expiry = sim.Time(1 << 40)
+		if err := s.Put(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make([]bundle.ID, 0, 16)
+	cases := map[string]func(){
+		"Free":         func() { _ = s.Free() },
+		"Unpinned":     func() { _ = s.Unpinned() },
+		"Range":        func() { s.Range(func(*bundle.Copy) bool { return true }) },
+		"AppendIDs":    func() { ids = s.AppendIDs(ids[:0]) },
+		"PurgeExpired": func() { s.PurgeExpired(100) },
+		"NoteExpiry":   func() { s.NoteExpiry(s.Get(bundle.ID{Src: 0, Seq: 1})) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %v/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestRangeOrderAndEarlyStop checks Range iterates in ascending ID
+// order and honours an early stop.
+func TestRangeOrderAndEarlyStop(t *testing.T) {
+	s := New(10)
+	for _, seq := range []int{5, 1, 9, 3} {
+		if err := s.Put(mk(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seen []int
+	s.Range(func(c *bundle.Copy) bool {
+		seen = append(seen, c.Bundle.ID.Seq)
+		return true
+	})
+	want := []int{1, 3, 5, 9}
+	for i, seq := range seen {
+		if seq != want[i] {
+			t.Fatalf("Range order = %v, want %v", seen, want)
+		}
+	}
+	n := 0
+	s.Range(func(*bundle.Copy) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop visited %d copies, want 2", n)
+	}
+	got := s.AppendIDs(nil)
+	if len(got) != 4 || got[0].Seq != 1 || got[3].Seq != 9 {
+		t.Errorf("AppendIDs = %v", got)
+	}
+}
+
+// TestMinExpiryTracking exercises the conservative min-expiry bound:
+// in-place lowering via NoteExpiry must defeat the fast path, and purge
+// scans must recompute the bound exactly so later purges work.
+func TestMinExpiryTracking(t *testing.T) {
+	s := New(10)
+	a := mk(1)
+	a.Expiry = 1000
+	b := mk(2)
+	b.Expiry = 2000
+	for _, c := range []*bundle.Copy{a, b} {
+		if err := s.Put(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lower a's deadline in place (as TTL ageing does) and notify.
+	a.Expiry = 100
+	s.NoteExpiry(a)
+	if purged := s.PurgeExpired(100); len(purged) != 1 || purged[0] != a {
+		t.Fatalf("purged %v, want [a]", purged)
+	}
+	// The purge scan recomputed the bound from survivors: b at 2000.
+	if purged := s.PurgeExpired(1500); purged != nil {
+		t.Fatalf("purged %v, want nil", purged)
+	}
+	if purged := s.PurgeExpired(2000); len(purged) != 1 || purged[0] != b {
+		t.Fatalf("purged %v, want [b]", purged)
+	}
+	// Empty again: the bound must have reset.
+	if purged := s.PurgeExpired(1 << 50); purged != nil {
+		t.Fatalf("purged %v from empty store", purged)
+	}
+}
+
+// TestIndexConsistencyProperty hammers Put/Remove/PurgeExpired/
+// PurgeMatching with random churn and cross-checks the incremental
+// index (order, pinned count, min-expiry fast path) against scratch
+// recomputation.
+func TestIndexConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 99))
+		s := New(6)
+		now := sim.Time(0)
+		for op := 0; op < 300; op++ {
+			now += sim.Time(r.IntN(50))
+			switch r.IntN(10) {
+			case 0, 1, 2, 3, 4:
+				c := mk(r.IntN(30))
+				c.Pinned = r.IntN(5) == 0
+				c.Expiry = now + sim.Time(r.IntN(200))
+				if r.IntN(4) == 0 {
+					c.Expiry = sim.Infinity
+				}
+				_ = s.Put(c)
+			case 5, 6:
+				s.Remove(bundle.ID{Src: 0, Seq: r.IntN(30)})
+			case 7:
+				for _, c := range s.PurgeExpired(now) {
+					if c.Pinned || !c.Expired(now) {
+						return false
+					}
+				}
+			case 8:
+				s.PurgeMatching(func(c *bundle.Copy) bool { return c.Bundle.ID.Seq%5 == int(seed%5) })
+			case 9:
+				if c := s.Get(bundle.ID{Src: 0, Seq: r.IntN(30)}); c != nil && !c.Pinned {
+					if e := now + sim.Time(r.IntN(100)); e < c.Expiry {
+						c.Expiry = e
+						s.NoteExpiry(c)
+					}
+				}
+			}
+			// Index must agree with the membership map.
+			ids := s.AppendIDs(nil)
+			if len(ids) != s.Len() {
+				return false
+			}
+			pinned := 0
+			for i, id := range ids {
+				if i > 0 && !ids[i-1].Less(id) {
+					return false // out of order or duplicate
+				}
+				c := s.Get(id)
+				if c == nil {
+					return false
+				}
+				if c.Pinned {
+					pinned++
+				}
+			}
+			if s.Unpinned() != s.Len()-pinned {
+				return false
+			}
+			// The fast path must never hide a lapsed unpinned copy: a
+			// purge at now must leave none behind.
+			for _, c := range s.PurgeExpired(now) {
+				if c.Pinned || !c.Expired(now) {
+					return false
+				}
+			}
+			lapsed := false
+			s.Range(func(c *bundle.Copy) bool {
+				if !c.Pinned && c.Expired(now) {
+					lapsed = true
+				}
+				return !lapsed
+			})
+			if lapsed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestControlLoadAffectsFreeAndOccupancy(t *testing.T) {
 	s := New(10)
 	for i := 0; i < 4; i++ {

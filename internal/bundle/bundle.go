@@ -80,13 +80,26 @@ func (c *Copy) Clone(now sim.Time) *Copy {
 // SummaryVector is a set of bundle IDs. Pure epidemic calls it the
 // summary vector; the immunity protocol calls the same structure the
 // m-list. The zero value is not usable; call NewSummaryVector.
+//
+// Alongside the membership map the vector keeps a sorted-slice index,
+// maintained incrementally on Add/Remove, so ordered traversal (Range,
+// Items, Diff) never re-sorts — immunity-table transfers run it on
+// every contact.
 type SummaryVector struct {
 	ids map[ID]struct{}
+	// order holds the member IDs in ascending (Src, Seq) order.
+	order []ID
 }
 
 // NewSummaryVector returns an empty vector.
 func NewSummaryVector() *SummaryVector {
 	return &SummaryVector{ids: make(map[ID]struct{})}
+}
+
+// searchIdx returns id's position in the sorted index, or the position
+// it would be inserted at.
+func (v *SummaryVector) searchIdx(id ID) int {
+	return sort.Search(len(v.order), func(i int) bool { return !v.order[i].Less(id) })
 }
 
 // Add inserts id, reporting whether it was newly added.
@@ -95,11 +108,22 @@ func (v *SummaryVector) Add(id ID) bool {
 		return false
 	}
 	v.ids[id] = struct{}{}
+	i := v.searchIdx(id)
+	v.order = append(v.order, ID{})
+	copy(v.order[i+1:], v.order[i:])
+	v.order[i] = id
 	return true
 }
 
 // Remove deletes id from the vector.
-func (v *SummaryVector) Remove(id ID) { delete(v.ids, id) }
+func (v *SummaryVector) Remove(id ID) {
+	if _, ok := v.ids[id]; !ok {
+		return
+	}
+	delete(v.ids, id)
+	i := v.searchIdx(id)
+	v.order = append(v.order[:i], v.order[i+1:]...)
+}
 
 // Has reports membership.
 func (v *SummaryVector) Has(id ID) bool {
@@ -110,14 +134,21 @@ func (v *SummaryVector) Has(id ID) bool {
 // Len returns the number of IDs in the vector.
 func (v *SummaryVector) Len() int { return len(v.ids) }
 
-// Items returns the IDs in deterministic (Src, Seq) order.
-func (v *SummaryVector) Items() []ID {
-	out := make([]ID, 0, len(v.ids))
-	for id := range v.ids {
-		out = append(out, id)
+// Range calls fn for every member in ascending (Src, Seq) order,
+// stopping early if fn returns false. It allocates nothing. The vector
+// must not be mutated during the iteration.
+func (v *SummaryVector) Range(fn func(ID) bool) {
+	for _, id := range v.order {
+		if !fn(id) {
+			return
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
+}
+
+// Items returns a fresh slice of the IDs in deterministic (Src, Seq)
+// order. Hot paths should prefer Range, which does not allocate.
+func (v *SummaryVector) Items() []ID {
+	return append([]ID(nil), v.order...)
 }
 
 // Diff returns the IDs present in v but absent from other, in
@@ -125,19 +156,19 @@ func (v *SummaryVector) Items() []ID {
 // computation from Vahdat & Becker.
 func (v *SummaryVector) Diff(other *SummaryVector) []ID {
 	out := make([]ID, 0)
-	for id := range v.ids {
+	for _, id := range v.order {
 		if !other.Has(id) {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
-// Union merges other into v, reporting how many IDs were new.
+// Union merges other into v, reporting how many IDs were new. Members
+// are merged in ascending order, keeping the index insertions cheap.
 func (v *SummaryVector) Union(other *SummaryVector) int {
 	added := 0
-	for id := range other.ids {
+	for _, id := range other.order {
 		if v.Add(id) {
 			added++
 		}
@@ -147,7 +178,10 @@ func (v *SummaryVector) Union(other *SummaryVector) int {
 
 // Clone returns an independent copy of the vector.
 func (v *SummaryVector) Clone() *SummaryVector {
-	out := NewSummaryVector()
+	out := &SummaryVector{
+		ids:   make(map[ID]struct{}, len(v.ids)),
+		order: append([]ID(nil), v.order...),
+	}
 	for id := range v.ids {
 		out.ids[id] = struct{}{}
 	}

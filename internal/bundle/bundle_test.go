@@ -175,3 +175,47 @@ func TestSummaryVectorSetAlgebraProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSummaryVectorRangeAndRemoveIndex checks the sorted-slice index:
+// Range walks ascending, honours early stop, allocates nothing, and
+// Remove keeps the index consistent.
+func TestSummaryVectorRangeAndRemoveIndex(t *testing.T) {
+	v := NewSummaryVector()
+	for _, seq := range []int{7, 2, 9, 4, 2} {
+		v.Add(ID{Src: 1, Seq: seq})
+	}
+	var seen []int
+	v.Range(func(id ID) bool {
+		seen = append(seen, id.Seq)
+		return true
+	})
+	want := []int{2, 4, 7, 9}
+	if len(seen) != len(want) {
+		t.Fatalf("Range visited %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Range order %v, want %v", seen, want)
+		}
+	}
+	n := 0
+	v.Range(func(ID) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop visited %d, want 2", n)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		v.Range(func(ID) bool { return true })
+	}); allocs != 0 {
+		t.Errorf("Range allocates %v/op, want 0", allocs)
+	}
+
+	v.Remove(ID{Src: 1, Seq: 4})
+	v.Remove(ID{Src: 1, Seq: 99}) // absent: no-op
+	got := v.Items()
+	if len(got) != 3 || got[0].Seq != 2 || got[1].Seq != 7 || got[2].Seq != 9 {
+		t.Errorf("after Remove, Items = %v", got)
+	}
+	if v.Has(ID{Src: 1, Seq: 4}) || v.Len() != 3 {
+		t.Error("Remove left membership inconsistent")
+	}
+}

@@ -54,6 +54,17 @@ type Result struct {
 	FinalBuffered []int
 }
 
+// Event ordering classes: among events with equal timestamps, flows
+// run first, then contacts, then the sampling tick — the same order the
+// pre-streaming engine got implicitly by pushing the whole schedule up
+// front in that sequence. The explicit tiers let the contact scheduler
+// keep only one pending event without perturbing equal-time ordering.
+const (
+	classWorkload = 0
+	classContact  = 1
+	classSampler  = 2
+)
+
 // engine is the per-run state.
 type engine struct {
 	cfg   Config
@@ -64,9 +75,15 @@ type engine struct {
 	// obs is every observer of this run: the built-in collector first,
 	// then Config.Observers in order.
 	obs []Observer
-	// tracked is every workload bundle generated so far, in creation
-	// order, for duplication sampling.
-	tracked []*bundle.Bundle
+	// holders maintains per-bundle holder counts incrementally from the
+	// engine's store/drop bookkeeping (in creation order, replacing the
+	// old tracked-bundle scan), making each sampling tick
+	// O(nodes + tracked) instead of O(nodes × tracked).
+	holders *metrics.HolderTracker
+	// nextContact indexes the first schedule contact not yet handed to
+	// the scheduler: contacts stream into the event queue one pending
+	// event at a time instead of being preloaded as closures.
+	nextContact int
 
 	remaining   int
 	deliveredAt map[bundle.ID]sim.Time
@@ -88,6 +105,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg:         cfg,
 		sched:       sim.NewScheduler(cfg.Horizon),
 		rng:         sim.NewRNG(cfg.Seed),
+		holders:     metrics.NewHolderTracker(),
 		deliveredAt: make(map[bundle.ID]sim.Time),
 		firstStart:  sim.Infinity,
 	}
@@ -98,6 +116,11 @@ func Run(cfg Config) (*Result, error) {
 		n := node.New(contact.NodeID(i), cfg.BufferCap)
 		at := n.ID
 		n.DropHook = func(id bundle.ID, reason node.DropReason, now sim.Time) {
+			if reason != node.DropRefused {
+				// Every non-refusal drop sheds a stored copy; refusals
+				// never stored one.
+				e.holders.Dec(id)
+			}
 			for _, o := range e.obs {
 				o.OnDrop(at, id, reason, now)
 			}
@@ -148,7 +171,7 @@ func (e *engine) scheduleWorkload() error {
 			e.firstStart = f.StartAt
 		}
 		e.remaining += f.Count
-		if _, err := e.sched.At(f.StartAt, func() { e.generate(f, base, first) }); err != nil {
+		if _, err := e.sched.AtClass(f.StartAt, classWorkload, func() { e.generate(f, base, first) }); err != nil {
 			return fmt.Errorf("core: scheduling flow: %w", err)
 		}
 	}
@@ -172,33 +195,51 @@ func (e *engine) generate(f Flow, base, firstSeq int) {
 			// which per-source block allocation rules out.
 			panic(fmt.Sprintf("core: generating %v: %v", b.ID, err))
 		}
-		e.tracked = append(e.tracked, b)
+		e.holders.Track(b.ID)
+		e.holders.Inc(b.ID)
 		for _, o := range e.obs {
 			o.OnGenerate(b.ID, b.Dst, now)
 		}
 	}
 }
 
+// scheduleContacts streams the contact schedule into the event queue
+// one pending event at a time: each contact event schedules its
+// successor before processing, so queue residency is O(1) per schedule
+// instead of O(#contacts) preloaded closures. Ordering class tiers keep
+// equal-timestamp ordering identical to the preloaded path.
 func (e *engine) scheduleContacts() {
-	for _, c := range e.cfg.Schedule.Contacts {
-		c := c
-		if c.Start > e.cfg.Horizon {
-			break // sorted by start; the rest are out of range too
-		}
-		if _, err := e.sched.At(c.Start, func() { e.contact(c) }); err != nil {
-			panic(fmt.Sprintf("core: scheduling contact %v: %v", c, err))
-		}
+	e.nextContact = 0
+	e.pushNextContact()
+}
+
+// pushNextContact schedules the next in-range contact, if any.
+func (e *engine) pushNextContact() {
+	if e.nextContact >= len(e.cfg.Schedule.Contacts) {
+		return
+	}
+	c := e.cfg.Schedule.Contacts[e.nextContact]
+	if c.Start > e.cfg.Horizon {
+		return // sorted by start; the rest are out of range too
+	}
+	e.nextContact++
+	if _, err := e.sched.AtClass(c.Start, classContact, func() {
+		e.pushNextContact()
+		e.contact(c)
+	}); err != nil {
+		panic(fmt.Sprintf("core: scheduling contact %v: %v", c, err))
 	}
 }
 
 func (e *engine) scheduleSampling() {
 	var tick func()
 	tick = func() {
-		s := metrics.Snapshot(e.nodes, e.tracked, e.sched.Now())
+		s := e.holders.Sample(e.nodes, e.sched.Now())
 		for _, o := range e.obs {
 			o.OnSample(s)
 		}
-		if _, err := e.sched.After(sim.Time(e.cfg.SampleEvery), tick); err != nil {
+		next := e.sched.Now() + sim.Time(e.cfg.SampleEvery)
+		if _, err := e.sched.AtClass(next, classSampler, tick); err != nil {
 			panic(fmt.Sprintf("core: rescheduling sampler: %v", err)) // future time: unreachable
 		}
 	}
@@ -207,7 +248,7 @@ func (e *engine) scheduleSampling() {
 	if at >= sim.Infinity {
 		at = 0
 	}
-	if _, err := e.sched.At(at, tick); err != nil {
+	if _, err := e.sched.AtClass(at, classSampler, tick); err != nil {
 		panic(fmt.Sprintf("core: scheduling sampler: %v", err))
 	}
 }
@@ -293,6 +334,7 @@ func (e *engine) transmit(sender, receiver *node.Node, cp *bundle.Copy, at sim.T
 			panic(fmt.Sprintf("core: admit promised room for %v at node %d: %v",
 				cp.Bundle.ID, receiver.ID, err))
 		}
+		e.holders.Inc(rcpt.Bundle.ID)
 	}
 }
 

@@ -1,0 +1,244 @@
+package core_test
+
+// Golden equivalence harness: every registry protocol × three mobility
+// substrates (synthetic Cambridge trace, subscriber-point RWP, the
+// Fig. 14 controlled-interval scenario) is run with fixed seeds and the
+// full Result compared field-for-field — floats bit-exact — against
+// testdata/golden_results.json.
+//
+// The golden file was generated from the pre-indexed-store engine (the
+// scan-and-sort hot path), so these tests prove the allocation-free
+// rework (indexed buffer store, incremental duplication metrics,
+// streaming contact scheduling) is observationally identical to the
+// seed implementation. Regenerate only when a change is *meant* to
+// alter results:
+//
+//	go test ./internal/core -run TestGoldenResults -update
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/core"
+	"dtnsim/internal/mobility"
+	"dtnsim/internal/protocol"
+)
+
+var update = flag.Bool("update", false, "rewrite golden testdata files")
+
+// goldenMobility is one mobility substrate under golden test. TxTime
+// follows the experiment harness: the paper's 100 s/bundle link for the
+// trace and RWP substrates, the faster 25 s link for the short
+// controlled-interval scenario.
+type goldenMobility struct {
+	name   string
+	spec   string
+	flows  []core.Flow
+	txTime float64
+}
+
+var goldenMobilities = []goldenMobility{
+	{
+		name: "trace",
+		spec: "cambridge:seed=7",
+		// Two flows sharing source 0 exercise the contiguous
+		// sequence-block and FirstSeq paths.
+		flows: []core.Flow{
+			{Src: 0, Dst: 7, Count: 25},
+			{Src: 0, Dst: 3, Count: 10, StartAt: 5000},
+		},
+		txTime: 100,
+	},
+	{
+		name:   "rwp",
+		spec:   "subscriber:seed=7",
+		flows:  []core.Flow{{Src: 1, Dst: 5, Count: 30}},
+		txTime: 100,
+	},
+	{
+		name:   "interval",
+		spec:   "interval:max=400,seed=7",
+		flows:  []core.Flow{{Src: 0, Dst: 7, Count: 20}},
+		txTime: 25,
+	},
+}
+
+// goldenDelivery is one DeliveryTimes entry in deterministic order.
+type goldenDelivery struct {
+	Src  int     `json:"src"`
+	Seq  int     `json:"seq"`
+	Time float64 `json:"time"`
+}
+
+// goldenResult mirrors core.Result with a JSON-friendly DeliveryTimes.
+// All floats round-trip bit-exactly through encoding/json.
+type goldenResult struct {
+	Protocol          string           `json:"protocol"`
+	Generated         int              `json:"generated"`
+	Delivered         int              `json:"delivered"`
+	DeliveryRatio     float64          `json:"delivery_ratio"`
+	Completed         bool             `json:"completed"`
+	Makespan          float64          `json:"makespan"`
+	MeanDelay         float64          `json:"mean_delay"`
+	DelayP50          float64          `json:"delay_p50"`
+	DelayP95          float64          `json:"delay_p95"`
+	MeanOccupancy     float64          `json:"mean_occupancy"`
+	MeanDuplication   float64          `json:"mean_duplication"`
+	ControlRecords    int64            `json:"control_records"`
+	DataTransmissions int64            `json:"data_transmissions"`
+	Refused           int64            `json:"refused"`
+	Evicted           int64            `json:"evicted"`
+	Expired           int64            `json:"expired"`
+	FinishedAt        float64          `json:"finished_at"`
+	DeliveryTimes     []goldenDelivery `json:"delivery_times"`
+	FinalOccupancy    []float64        `json:"final_occupancy"`
+	FinalBuffered     []int            `json:"final_buffered"`
+}
+
+func toGolden(r *core.Result) goldenResult {
+	ids := make([]bundle.ID, 0, len(r.DeliveryTimes))
+	for id := range r.DeliveryTimes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	dt := make([]goldenDelivery, len(ids))
+	for i, id := range ids {
+		dt[i] = goldenDelivery{Src: int(id.Src), Seq: id.Seq, Time: float64(r.DeliveryTimes[id])}
+	}
+	return goldenResult{
+		Protocol:          r.Protocol,
+		Generated:         r.Generated,
+		Delivered:         r.Delivered,
+		DeliveryRatio:     r.DeliveryRatio,
+		Completed:         r.Completed,
+		Makespan:          r.Makespan,
+		MeanDelay:         r.MeanDelay,
+		DelayP50:          r.DelayP50,
+		DelayP95:          r.DelayP95,
+		MeanOccupancy:     r.MeanOccupancy,
+		MeanDuplication:   r.MeanDuplication,
+		ControlRecords:    r.ControlRecords,
+		DataTransmissions: r.DataTransmissions,
+		Refused:           r.Refused,
+		Evicted:           r.Evicted,
+		Expired:           r.Expired,
+		FinishedAt:        float64(r.FinishedAt),
+		DeliveryTimes:     dt,
+		FinalOccupancy:    r.FinalOccupancy,
+		FinalBuffered:     r.FinalBuffered,
+	}
+}
+
+// goldenConfig builds the run config for one (protocol spec, mobility)
+// cell. Every run uses RunToHorizon so sampling, purging and TTL decay
+// stay active after the last delivery.
+func goldenConfig(t testing.TB, protoSpec string, m goldenMobility) core.Config {
+	t.Helper()
+	src, err := mobility.Parse(m.spec)
+	if err != nil {
+		t.Fatalf("mobility spec %q: %v", m.spec, err)
+	}
+	sched, err := src.Generate(7)
+	if err != nil {
+		t.Fatalf("generate %q: %v", m.spec, err)
+	}
+	f, err := protocol.Parse(protoSpec)
+	if err != nil {
+		t.Fatalf("protocol spec %q: %v", protoSpec, err)
+	}
+	return core.Config{
+		Schedule:     sched,
+		Protocol:     f.New(),
+		Flows:        m.flows,
+		TxTime:       m.txTime,
+		Seed:         2012,
+		RunToHorizon: true,
+	}
+}
+
+func goldenPath(name string) string { return filepath.Join("testdata", name) }
+
+// TestGoldenResults runs the full protocol × mobility grid and compares
+// each Result bit-for-bit against the committed golden file.
+func TestGoldenResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden grid is slow")
+	}
+	got := make(map[string]goldenResult)
+	for _, protoSpec := range protocol.BuiltinSpecs() {
+		for _, m := range goldenMobilities {
+			key := fmt.Sprintf("%s|%s", protoSpec, m.name)
+			res, err := core.Run(goldenConfig(t, protoSpec, m))
+			if err != nil {
+				t.Fatalf("%s: %v", key, err)
+			}
+			got[key] = toGolden(res)
+		}
+	}
+
+	path := goldenPath("golden_results.json")
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cells)", path, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	var want map[string]goldenResult
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d cells, run produced %d", len(want), len(got))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: missing from run", key)
+			continue
+		}
+		if !reflect.DeepEqual(w, g) {
+			t.Errorf("%s: result diverged from golden\n got: %+v\nwant: %+v", key, g, w)
+		}
+	}
+}
+
+// TestGoldenResultsRepeatable re-runs two grid cells and checks the
+// engine is deterministic run-to-run in-process (fresh protocol
+// instances, fresh schedules, same seeds).
+func TestGoldenResultsRepeatable(t *testing.T) {
+	for _, cell := range []struct {
+		proto string
+		mob   goldenMobility
+	}{
+		{"immunity", goldenMobilities[0]},
+		{"ecttl", goldenMobilities[2]},
+	} {
+		a, err := core.Run(goldenConfig(t, cell.proto, cell.mob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := core.Run(goldenConfig(t, cell.proto, cell.mob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(toGolden(a), toGolden(b)) {
+			t.Errorf("%s|%s: back-to-back runs diverge", cell.proto, cell.mob.name)
+		}
+	}
+}

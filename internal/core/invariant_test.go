@@ -1,0 +1,64 @@
+package core_test
+
+// Cross-check invariants between the two independent sets of books the
+// engine keeps: the per-node counters aggregated into Result
+// (DataSent → DataTransmissions, Refused/Evicted/Expired) and the
+// observer event stream folded by metrics.Collector. The satellite fix
+// this pins: the counts were double-booked with no consistency check,
+// so a drift introduced by the incremental holder-count bookkeeping
+// would previously have gone unnoticed.
+
+import (
+	"fmt"
+	"testing"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/metrics"
+	"dtnsim/internal/node"
+	"dtnsim/internal/protocol"
+)
+
+func TestCollectorMatchesNodeCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol grid is slow")
+	}
+	for _, protoSpec := range protocol.BuiltinSpecs() {
+		for _, m := range goldenMobilities {
+			t.Run(fmt.Sprintf("%s|%s", protoSpec, m.name), func(t *testing.T) {
+				coll := metrics.NewCollector()
+				cfg := goldenConfig(t, protoSpec, m)
+				cfg.Observers = []core.Observer{coll}
+				res, err := core.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, want := coll.Transmissions(), res.DataTransmissions; got != want {
+					t.Errorf("observer transmissions %d != node DataSent aggregate %d", got, want)
+				}
+				if got, want := int(coll.Generated()), res.Generated; got != want {
+					t.Errorf("observer generated %d != result %d", got, want)
+				}
+				if got, want := int(coll.Delivered()), res.Delivered; got != want {
+					t.Errorf("observer delivered %d != result %d", got, want)
+				}
+				if got, want := coll.DropsByReason(node.DropRefused), res.Refused; got != want {
+					t.Errorf("observer refused %d != node aggregate %d", got, want)
+				}
+				if got, want := coll.DropsByReason(node.DropEvicted), res.Evicted; got != want {
+					t.Errorf("observer evicted %d != node aggregate %d", got, want)
+				}
+				if got, want := coll.DropsByReason(node.DropExpired), res.Expired; got != want {
+					t.Errorf("observer expired %d != node aggregate %d", got, want)
+				}
+				// Purged drops have no failure counter by design; the
+				// total must still reconcile exactly.
+				purged := coll.Drops() - coll.DropsByReason(node.DropRefused) -
+					coll.DropsByReason(node.DropEvicted) - coll.DropsByReason(node.DropExpired)
+				if purged != coll.DropsByReason(node.DropPurged) {
+					t.Errorf("drop reasons do not sum: total %d, purged %d",
+						coll.Drops(), coll.DropsByReason(node.DropPurged))
+				}
+			})
+		}
+	}
+}

@@ -21,6 +21,8 @@
 package metrics
 
 import (
+	"fmt"
+
 	"dtnsim/internal/bundle"
 	"dtnsim/internal/contact"
 	"dtnsim/internal/node"
@@ -49,7 +51,13 @@ type Sample struct {
 	Tracked int
 }
 
-// Snapshot computes one periodic observation over the population.
+// Snapshot computes one periodic observation over the population by
+// full scan: O(nodes × tracked) for the duplication term. The engine's
+// hot path uses HolderTracker.Sample instead, which maintains the
+// holder counts incrementally and reproduces this function's result
+// bit-for-bit (the float accumulation order is identical); Snapshot is
+// kept as the reference implementation the equivalence tests and the
+// paired BenchmarkSnapshot* compare against.
 func Snapshot(nodes []*node.Node, tracked []*bundle.Bundle, now sim.Time) Sample {
 	s := Sample{Now: now, Tracked: len(tracked)}
 	var occSum float64
@@ -78,6 +86,98 @@ func Snapshot(nodes []*node.Node, tracked []*bundle.Bundle, now sim.Time) Sample
 	return s
 }
 
+// HolderTracker maintains, for every tracked workload bundle, the
+// number of node stores currently holding a copy of it — updated
+// incrementally from the engine's store/drop/deliver bookkeeping
+// instead of recomputed by scanning every store at every sampling tick.
+// Sample therefore costs O(nodes + tracked) rather than
+// O(nodes × tracked).
+//
+// The engine is the single writer: Track on generation, Inc whenever a
+// copy enters a store (the source's pinned Put, a relay's admission),
+// Dec whenever a stored copy leaves one (eviction, TTL expiry, immunity
+// purge — but not refusals, which never stored the copy). Bookkeeping
+// bugs panic immediately rather than silently skewing the paper's
+// duplication metric.
+type HolderTracker struct {
+	idx map[bundle.ID]int
+	// counts[i] is the holder count of the i-th tracked bundle, in
+	// creation order — the same order Snapshot scans, which keeps the
+	// duplication sum's float accumulation bit-identical.
+	counts []int
+}
+
+// NewHolderTracker returns an empty tracker.
+func NewHolderTracker() *HolderTracker {
+	return &HolderTracker{idx: make(map[bundle.ID]int)}
+}
+
+// Track registers a newly generated workload bundle with zero holders.
+func (t *HolderTracker) Track(id bundle.ID) {
+	if _, dup := t.idx[id]; dup {
+		panic(fmt.Sprintf("metrics: bundle %v tracked twice", id))
+	}
+	t.idx[id] = len(t.counts)
+	t.counts = append(t.counts, 0)
+}
+
+// Tracked returns the number of registered bundles.
+func (t *HolderTracker) Tracked() int { return len(t.counts) }
+
+// Inc records one more store holding a copy of id.
+func (t *HolderTracker) Inc(id bundle.ID) {
+	i, ok := t.idx[id]
+	if !ok {
+		panic(fmt.Sprintf("metrics: Inc on untracked bundle %v", id))
+	}
+	t.counts[i]++
+}
+
+// Dec records one store shedding its copy of id.
+func (t *HolderTracker) Dec(id bundle.ID) {
+	i, ok := t.idx[id]
+	if !ok {
+		panic(fmt.Sprintf("metrics: Dec on untracked bundle %v", id))
+	}
+	if t.counts[i] == 0 {
+		panic(fmt.Sprintf("metrics: holder count of %v went negative", id))
+	}
+	t.counts[i]--
+}
+
+// Holders returns the current holder count of id (zero if untracked).
+func (t *HolderTracker) Holders(id bundle.ID) int {
+	if i, ok := t.idx[id]; ok {
+		return t.counts[i]
+	}
+	return 0
+}
+
+// Sample computes one periodic observation from the maintained counts:
+// bit-identical to Snapshot over the same population, without the
+// per-bundle store scans.
+func (t *HolderTracker) Sample(nodes []*node.Node, now sim.Time) Sample {
+	s := Sample{Now: now, Tracked: len(t.counts)}
+	var occSum float64
+	for _, n := range nodes {
+		occSum += n.Store.Occupancy()
+	}
+	s.Occupancy = occSum / float64(len(nodes))
+
+	var dupSum float64
+	for _, holders := range t.counts {
+		if holders == 0 {
+			continue
+		}
+		s.Alive++
+		dupSum += float64(holders) / float64(len(nodes))
+	}
+	if s.Alive > 0 {
+		s.Duplication = dupSum / float64(s.Alive)
+	}
+	return s
+}
+
 // Collector aggregates streamed samples into the run's time-averaged
 // metrics. It is the engine's built-in core.Observer.
 type Collector struct {
@@ -89,6 +189,10 @@ type Collector struct {
 	transmissions int64
 	delivered     int64
 	drops         int64
+	// Per-reason drop counts; their sum is drops. Kept so tests can
+	// cross-check the observer stream against the engine's node
+	// counters (Refused/Evicted/Expired) and catch bookkeeping drift.
+	dropRefused, dropEvicted, dropExpired, dropPurged int64
 }
 
 // NewCollector returns an empty collector.
@@ -104,7 +208,19 @@ func (c *Collector) OnTransmit(_, _ contact.NodeID, _ bundle.ID, _ sim.Time) { c
 func (c *Collector) OnDeliver(_ bundle.ID, _ contact.NodeID, _ float64, _ sim.Time) { c.delivered++ }
 
 // OnDrop implements core.Observer.
-func (c *Collector) OnDrop(_ contact.NodeID, _ bundle.ID, _ node.DropReason, _ sim.Time) { c.drops++ }
+func (c *Collector) OnDrop(_ contact.NodeID, _ bundle.ID, reason node.DropReason, _ sim.Time) {
+	c.drops++
+	switch reason {
+	case node.DropRefused:
+		c.dropRefused++
+	case node.DropEvicted:
+		c.dropEvicted++
+	case node.DropExpired:
+		c.dropExpired++
+	case node.DropPurged:
+		c.dropPurged++
+	}
+}
 
 // OnSample implements core.Observer: fold one periodic observation into
 // the time averages. Duplication samples with no alive bundle are
@@ -129,6 +245,22 @@ func (c *Collector) Generated() int64     { return c.generated }
 func (c *Collector) Delivered() int64     { return c.delivered }
 func (c *Collector) Transmissions() int64 { return c.transmissions }
 func (c *Collector) Drops() int64         { return c.drops }
+
+// DropsByReason returns the number of drops observed with the given
+// reason. Unknown reasons return zero.
+func (c *Collector) DropsByReason(reason node.DropReason) int64 {
+	switch reason {
+	case node.DropRefused:
+		return c.dropRefused
+	case node.DropEvicted:
+		return c.dropEvicted
+	case node.DropExpired:
+		return c.dropExpired
+	case node.DropPurged:
+		return c.dropPurged
+	}
+	return 0
+}
 
 // MeanOccupancy returns the time-averaged buffer occupancy level.
 func (c *Collector) MeanOccupancy() float64 { return c.occ.Mean() }

@@ -2,9 +2,12 @@ package metrics
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
+	"testing/quick"
 
 	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
 	"dtnsim/internal/node"
 	"dtnsim/internal/sim"
 )
@@ -122,5 +125,142 @@ func TestCollectorEventCounts(t *testing.T) {
 	if c.Generated() != 1 || c.Transmissions() != 2 || c.Delivered() != 1 || c.Drops() != 1 {
 		t.Errorf("counts = %d/%d/%d/%d, want 1/2/1/1",
 			c.Generated(), c.Transmissions(), c.Delivered(), c.Drops())
+	}
+}
+
+// TestHolderTrackerBasics covers Track/Inc/Dec bookkeeping and the
+// panics guarding against silent drift.
+func TestHolderTrackerBasics(t *testing.T) {
+	tr := NewHolderTracker()
+	id := bundle.ID{Src: 1, Seq: 1}
+	tr.Track(id)
+	if tr.Tracked() != 1 || tr.Holders(id) != 0 {
+		t.Fatalf("fresh bundle: tracked=%d holders=%d", tr.Tracked(), tr.Holders(id))
+	}
+	tr.Inc(id)
+	tr.Inc(id)
+	tr.Dec(id)
+	if tr.Holders(id) != 1 {
+		t.Errorf("holders = %d, want 1", tr.Holders(id))
+	}
+	if tr.Holders(bundle.ID{Src: 9, Seq: 9}) != 0 {
+		t.Error("untracked bundle should report zero holders")
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("double Track", func() { tr.Track(id) })
+	mustPanic("Inc untracked", func() { tr.Inc(bundle.ID{Src: 9, Seq: 9}) })
+	mustPanic("Dec untracked", func() { tr.Dec(bundle.ID{Src: 9, Seq: 9}) })
+	tr.Dec(id)
+	mustPanic("Dec below zero", func() { tr.Dec(id) })
+}
+
+// TestHolderTrackerSampleMatchesSnapshot is the metric-level
+// equivalence proof: under random store churn mirrored into a tracker,
+// the incremental Sample must equal the reference full-scan Snapshot
+// bit-for-bit at every step.
+func TestHolderTrackerSampleMatchesSnapshot(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 5))
+		nNodes := 3 + int(seed%5)
+		nodes := make([]*node.Node, nNodes)
+		for i := range nodes {
+			nodes[i] = node.New(contact.NodeID(i), 4)
+		}
+		tr := NewHolderTracker()
+		var tracked []*bundle.Bundle
+		for step := 0; step < 150; step++ {
+			switch r.IntN(4) {
+			case 0: // generate a new tracked bundle
+				b := &bundle.Bundle{
+					ID:  bundle.ID{Src: contact.NodeID(r.IntN(nNodes)), Seq: len(tracked) + 1},
+					Dst: contact.NodeID(r.IntN(nNodes)),
+				}
+				tracked = append(tracked, b)
+				tr.Track(b.ID)
+			case 1: // store a copy somewhere
+				if len(tracked) == 0 {
+					continue
+				}
+				b := tracked[r.IntN(len(tracked))]
+				n := nodes[r.IntN(nNodes)]
+				cp := &bundle.Copy{Bundle: b, Expiry: 1 << 40, Pinned: r.IntN(6) == 0}
+				if err := n.Store.Put(cp); err == nil {
+					tr.Inc(b.ID)
+				}
+			case 2: // drop a copy
+				if len(tracked) == 0 {
+					continue
+				}
+				b := tracked[r.IntN(len(tracked))]
+				n := nodes[r.IntN(nNodes)]
+				if n.Store.Remove(b.ID) {
+					tr.Dec(b.ID)
+				}
+			case 3: // compare a sample
+				now := sim.Time(step)
+				if tr.Sample(nodes, now) != Snapshot(nodes, tracked, now) {
+					return false
+				}
+			}
+		}
+		return tr.Sample(nodes, 999) == Snapshot(nodes, tracked, 999)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHolderTrackerSampleZeroAlloc: the per-tick sampling path must not
+// allocate.
+func TestHolderTrackerSampleZeroAlloc(t *testing.T) {
+	nodes, tracked := benchPopulation(t, 20, 50)
+	tr := NewHolderTracker()
+	for _, b := range tracked {
+		tr.Track(b.ID)
+	}
+	for _, n := range nodes {
+		n.Store.Range(func(cp *bundle.Copy) bool { tr.Inc(cp.Bundle.ID); return true })
+	}
+	if allocs := testing.AllocsPerRun(100, func() { tr.Sample(nodes, 1000) }); allocs != 0 {
+		t.Errorf("Sample allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestCollectorDropsByReason checks the per-reason split sums to the
+// total and lands in the right buckets.
+func TestCollectorDropsByReason(t *testing.T) {
+	c := NewCollector()
+	id := bundle.ID{Src: 0, Seq: 1}
+	c.OnDrop(0, id, node.DropRefused, 0)
+	c.OnDrop(0, id, node.DropRefused, 0)
+	c.OnDrop(0, id, node.DropEvicted, 0)
+	c.OnDrop(0, id, node.DropExpired, 0)
+	c.OnDrop(0, id, node.DropPurged, 0)
+	if c.Drops() != 5 {
+		t.Fatalf("Drops = %d, want 5", c.Drops())
+	}
+	want := map[node.DropReason]int64{
+		node.DropRefused: 2, node.DropEvicted: 1, node.DropExpired: 1, node.DropPurged: 1,
+	}
+	var sum int64
+	for reason, n := range want {
+		if got := c.DropsByReason(reason); got != n {
+			t.Errorf("DropsByReason(%s) = %d, want %d", reason, got, n)
+		}
+		sum += c.DropsByReason(reason)
+	}
+	if sum != c.Drops() {
+		t.Errorf("per-reason sum %d != total %d", sum, c.Drops())
+	}
+	if c.DropsByReason("bogus") != 0 {
+		t.Error("unknown reason should be zero")
 	}
 }

@@ -52,11 +52,14 @@ func (d *DynamicTTL) expiry(n *node.Node, now sim.Time) sim.Time {
 
 // OnTransmit implements Protocol: the receiver's deadline reflects the
 // receiver's encounter rhythm; the sender's copy is renewed with the
-// sender's, mirroring constant TTL's renewal rule.
+// sender's, mirroring constant TTL's renewal rule. A shrinking
+// encounter interval can lower the sender's deadline in place, so the
+// store's min-expiry bound is notified.
 func (d *DynamicTTL) OnTransmit(sender, receiver *node.Node, sent, rcpt *bundle.Copy, now sim.Time) {
 	rcpt.Expiry = d.expiry(receiver, now)
 	if !sent.Pinned {
 		sent.Expiry = d.expiry(sender, now)
+		sender.Store.NoteExpiry(sent)
 	}
 }
 

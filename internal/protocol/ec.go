@@ -51,14 +51,15 @@ func (*EC) OnTransmit(_, _ *node.Node, sent, rcpt *bundle.Copy, _ sim.Time) {
 // was evicted.
 func evictHighestEC(n *node.Node, minEC int, now sim.Time) bool {
 	var victim *bundle.Copy
-	for _, cp := range n.Store.Items() {
+	n.Store.Range(func(cp *bundle.Copy) bool {
 		if cp.Pinned || cp.EC < minEC {
-			continue
+			return true
 		}
 		if victim == nil || better(cp, victim) {
 			victim = cp
 		}
-	}
+		return true
+	})
 	if victim == nil {
 		return false
 	}

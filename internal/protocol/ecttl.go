@@ -70,13 +70,16 @@ func (e *ECTTL) deadline(cp *bundle.Copy, now sim.Time) sim.Time {
 }
 
 // OnTransmit implements Protocol: EC bookkeeping as in EC, then the
-// Algorithm 2 ageing rule on both copies.
-func (e *ECTTL) OnTransmit(_, _ *node.Node, sent, rcpt *bundle.Copy, now sim.Time) {
+// Algorithm 2 ageing rule on both copies. Ageing only ever shortens a
+// deadline, so the sender's store must be told about the in-place
+// change (the receiver's copy is observed by Put).
+func (e *ECTTL) OnTransmit(sender, _ *node.Node, sent, rcpt *bundle.Copy, now sim.Time) {
 	sent.EC++
 	rcpt.EC = sent.EC
 	rcpt.Expiry = e.deadline(rcpt, now)
 	if !sent.Pinned {
 		sent.Expiry = e.deadline(sent, now)
+		sender.Store.NoteExpiry(sent)
 	}
 }
 

@@ -95,14 +95,16 @@ func (im *Immunity) Exchange(a, b *node.Node, now sim.Time, recordBudget int) {
 // so tables "are propagated slowly".
 func (im *Immunity) transferRecords(from, to *node.Node, budget int) {
 	fromList, toList := ilistOf(from), ilistOf(to)
-	items := fromList.Items()
-	if len(items) > budget {
-		items = items[:budget]
-	}
-	for _, id := range items {
+	sent := 0
+	fromList.Range(func(id bundle.ID) bool {
+		if sent >= budget {
+			return false
+		}
+		sent++
 		toList.Add(id)
-	}
-	from.ControlSent += int64(len(items))
+		return true
+	})
+	from.ControlSent += int64(sent)
 }
 
 // Wants implements Protocol: skip bundles either side knows are dead.

@@ -16,8 +16,6 @@
 package protocol
 
 import (
-	"sort"
-
 	"dtnsim/internal/bundle"
 	"dtnsim/internal/node"
 	"dtnsim/internal/sim"
@@ -57,7 +55,10 @@ type Protocol interface {
 
 	// Wants returns the bundle IDs sender should offer receiver, in
 	// transmission order. The engine transmits a prefix of this list
-	// bounded by the remaining slot budget.
+	// bounded by the remaining slot budget. The returned slice may be
+	// backed by the sender's reusable scratch memory: it is valid only
+	// until the sender's next Wants call, and callers must copy it to
+	// retain it.
 	Wants(sender, receiver *node.Node, now sim.Time, rng *sim.RNG) []bundle.ID
 
 	// OnTransmit updates copy state for one transmission: sent is the
@@ -91,33 +92,36 @@ type Protocol interface {
 // — with a fixed order every relay would fill with the same
 // lowest-sequence bundles and bundles beyond the buffer size could
 // never ride relays at all.
+// The returned slice is backed by the sender's Scratch: it is valid
+// until the sender's next Wants call, and callers may filter it in
+// place. Store.Range walks the store's sorted index, so the direct
+// prefix is already in ascending ID order — no re-sort happens here
+// (TestMissingDirectPrefixOrder pins this).
 func missing(sender, receiver *node.Node, rng *sim.RNG) []bundle.ID {
-	items := sender.Store.Items()
-	direct := make([]*bundle.Copy, 0, len(items))
-	relay := make([]*bundle.Copy, 0, len(items))
-	for _, cp := range items {
+	sc := &sender.Scratch
+	direct, relay := sc.Direct[:0], sc.Relay[:0]
+	sender.Store.Range(func(cp *bundle.Copy) bool {
 		id := cp.Bundle.ID
 		if receiver.Store.Has(id) || receiver.Received.Has(id) {
-			continue
+			return true
 		}
 		if cp.Bundle.Dst == receiver.ID {
 			direct = append(direct, cp)
 		} else {
 			relay = append(relay, cp)
 		}
-	}
-	sort.SliceStable(direct, func(i, j int) bool {
-		return direct[i].Bundle.ID.Less(direct[j].Bundle.ID)
+		return true
 	})
 	if rng != nil {
 		rng.Shuffle(len(relay), func(i, j int) { relay[i], relay[j] = relay[j], relay[i] })
 	}
-	ids := make([]bundle.ID, 0, len(direct)+len(relay))
+	ids := sc.IDs[:0]
 	for _, cp := range direct {
 		ids = append(ids, cp.Bundle.ID)
 	}
 	for _, cp := range relay {
 		ids = append(ids, cp.Bundle.ID)
 	}
+	sc.Direct, sc.Relay, sc.IDs = direct, relay, ids
 	return ids
 }

@@ -145,14 +145,16 @@ func TestPureWantsShuffleIsSeedDeterministic(t *testing.T) {
 	for s := 1; s <= 20; s++ {
 		give(t, a, 5, s, 6, 0)
 	}
-	x := p.Wants(a, b, 0, sim.NewRNG(7))
-	y := p.Wants(a, b, 0, sim.NewRNG(7))
+	// Wants returns scratch-backed slices valid only until the next
+	// call on the same sender, so each offer must be snapshotted.
+	x := append([]bundle.ID(nil), p.Wants(a, b, 0, sim.NewRNG(7))...)
+	y := append([]bundle.ID(nil), p.Wants(a, b, 0, sim.NewRNG(7))...)
 	for i := range x {
 		if x[i] != y[i] {
 			t.Fatal("same RNG seed produced different offer orders")
 		}
 	}
-	z := p.Wants(a, b, 0, sim.NewRNG(8))
+	z := append([]bundle.ID(nil), p.Wants(a, b, 0, sim.NewRNG(8))...)
 	same := true
 	for i := range x {
 		if x[i] != z[i] {
@@ -705,5 +707,72 @@ func TestProtocolNames(t *testing.T) {
 			t.Errorf("protocol name %q empty or duplicated", name)
 		}
 		seen[name] = true
+	}
+}
+
+// TestMissingDirectPrefixOrder pins the satellite fix that deleted the
+// redundant re-sort in missing: copies destined to the receiver must
+// come first, in ascending (Src, Seq) order, straight off the store's
+// sorted index — with and without relay shuffling, and with direct
+// bundles from several sources.
+func TestMissingDirectPrefixOrder(t *testing.T) {
+	p := NewPure()
+	a := mkNode(p, 0, 30)
+	b := mkNode(p, 1, 30)
+	// Receiver-destined bundles from two sources, stored out of order,
+	// interleaved with relay traffic to node 6.
+	give(t, a, 5, 9, 1, 0)
+	give(t, a, 2, 4, 1, 0)
+	give(t, a, 5, 2, 6, 0)
+	give(t, a, 2, 1, 1, 0)
+	give(t, a, 5, 3, 1, 0)
+	give(t, a, 9, 7, 6, 0)
+
+	wantDirect := []bundle.ID{
+		{Src: 2, Seq: 1}, {Src: 2, Seq: 4}, {Src: 5, Seq: 3}, {Src: 5, Seq: 9},
+	}
+	for _, rng := range []*sim.RNG{nil, sim.NewRNG(3)} {
+		got := missing(a, b, rng)
+		if len(got) != 6 {
+			t.Fatalf("missing returned %v, want 6 ids", got)
+		}
+		for i, want := range wantDirect {
+			if got[i] != want {
+				t.Fatalf("direct prefix = %v, want %v first", got[:4], wantDirect)
+			}
+		}
+		rest := map[bundle.ID]bool{{Src: 5, Seq: 2}: true, {Src: 9, Seq: 7}: true}
+		for _, id := range got[4:] {
+			if !rest[id] {
+				t.Fatalf("relay suffix contains unexpected %v", id)
+			}
+		}
+	}
+}
+
+// TestMissingScratchReuseIsStable checks that repeated diffs on the
+// same sender reuse the scratch without corrupting results and do not
+// allocate once warm.
+func TestMissingScratchReuseIsStable(t *testing.T) {
+	p := NewPure()
+	a := mkNode(p, 0, 30)
+	b := mkNode(p, 1, 30)
+	for s := 1; s <= 12; s++ {
+		give(t, a, 0, s, 1, 0)
+	}
+	first := append([]bundle.ID(nil), missing(a, b, nil)...)
+	for i := 0; i < 5; i++ {
+		again := missing(a, b, nil)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: len %d, want %d", i, len(again), len(first))
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("run %d: %v, want %v", i, again, first)
+			}
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { missing(a, b, nil) }); allocs != 0 {
+		t.Errorf("warm missing() allocates %v/op, want 0", allocs)
 	}
 }

@@ -52,11 +52,14 @@ func (*TTL) Wants(sender, receiver *node.Node, _ sim.Time, rng *sim.RNG) []bundl
 // OnTransmit implements Protocol: the receiver's copy starts a fresh
 // countdown and the sender's copy is renewed ("if a bundle is
 // transmitted to other nodes before its TTL expires, the bundle's TTL
-// value is renewed").
-func (t *TTL) OnTransmit(_, _ *node.Node, sent, rcpt *bundle.Copy, now sim.Time) {
+// value is renewed"). The sender's store is told about the in-place
+// deadline change so its min-expiry bound stays conservative; the
+// receiver's copy is not stored yet, so Put will observe it.
+func (t *TTL) OnTransmit(sender, _ *node.Node, sent, rcpt *bundle.Copy, now sim.Time) {
 	rcpt.Expiry = now + sim.Time(t.TTL)
 	if !sent.Pinned {
 		sent.Expiry = now + sim.Time(t.TTL)
+		sender.Store.NoteExpiry(sent)
 	}
 }
 

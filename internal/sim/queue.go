@@ -6,7 +6,8 @@ import "container/heap"
 type Event struct {
 	At       Time
 	Do       func()
-	seq      uint64 // FIFO tie-break for equal timestamps
+	class    uint8  // ordering class: lower classes run first at equal times
+	seq      uint64 // FIFO tie-break for equal (timestamp, class)
 	index    int    // heap index; -1 once popped or cancelled
 	canceled bool
 }
@@ -18,9 +19,12 @@ func (e *Event) Cancel() { e.canceled = true }
 // Canceled reports whether the event has been cancelled.
 func (e *Event) Canceled() bool { return e.canceled }
 
-// eventHeap orders events by (At, seq): earlier times first, insertion
-// order among equal times. Deterministic ordering is essential for
-// reproducible runs.
+// eventHeap orders events by (At, class, seq): earlier times first,
+// lower classes among equal times, insertion order within a class.
+// Deterministic ordering is essential for reproducible runs; the class
+// tier lets producers that schedule lazily (the engine's streaming
+// contact scheduler) keep the same equal-timestamp ordering as eager
+// producers, whose insertion order encoded priority implicitly.
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -28,6 +32,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].At != h[j].At {
 		return h[i].At < h[j].At
+	}
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
 	}
 	return h[i].seq < h[j].seq
 }

@@ -141,3 +141,37 @@ func TestQueueCancelSubsetProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQueueClassOrdering: among equal timestamps, lower classes pop
+// first; within a class, insertion order wins — even when a low-class
+// event is pushed after a high-class one. This is what lets the
+// engine's streaming contact scheduler (which pushes contacts lazily)
+// keep the same equal-time ordering as the old preloaded path.
+func TestQueueClassOrdering(t *testing.T) {
+	var q Queue
+	var got []string
+	push := func(name string, at Time, class uint8) {
+		q.Push(&Event{At: at, class: class, Do: func() { got = append(got, name) }})
+	}
+	push("sampler@5", 5, 2)
+	push("contactB@5", 5, 1)
+	push("flow@5", 5, 0)
+	push("contactA@5", 5, 1) // same class as contactB, pushed later
+	push("early@1", 1, 2)    // earlier time beats any class
+	for {
+		e := q.Pop()
+		if e == nil {
+			break
+		}
+		e.Do()
+	}
+	want := []string{"early@1", "flow@5", "contactB@5", "contactA@5", "sampler@5"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}

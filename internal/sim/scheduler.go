@@ -36,13 +36,23 @@ func (s *Scheduler) Now() Time { return s.now }
 // Horizon returns the time at which the scheduler stops processing events.
 func (s *Scheduler) Horizon() Time { return s.horizon }
 
-// At schedules fn to run at time t. It returns the event handle so the
-// caller may cancel it, or an error if t precedes the current time.
+// At schedules fn to run at time t in the default ordering class 0. It
+// returns the event handle so the caller may cancel it, or an error if
+// t precedes the current time.
 func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
+	return s.AtClass(t, 0, fn)
+}
+
+// AtClass schedules fn at time t in the given ordering class. Among
+// events with equal timestamps, lower classes run first; within one
+// class, insertion order wins. Classes let a producer that schedules
+// events lazily (one pending at a time) preserve the equal-timestamp
+// ordering it would have had by pushing everything up front.
+func (s *Scheduler) AtClass(t Time, class uint8, fn func()) (*Event, error) {
 	if t < s.now {
 		return nil, fmt.Errorf("%w: now=%v event=%v", ErrTimeReversal, s.now, t)
 	}
-	e := &Event{At: t, Do: fn}
+	e := &Event{At: t, Do: fn, class: class}
 	s.queue.Push(e)
 	return e, nil
 }

@@ -136,3 +136,29 @@ func TestSchedulerAfter(t *testing.T) {
 		t.Errorf("After(7) from t=5 ran at %v, want 12", at)
 	}
 }
+
+// TestSchedulerAtClass: AtClass tiers events at equal times; At is
+// class 0 and therefore runs before higher classes scheduled earlier.
+func TestSchedulerAtClass(t *testing.T) {
+	s := NewScheduler(100)
+	var got []string
+	if _, err := s.AtClass(10, 2, func() { got = append(got, "late-class") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(10, func() { got = append(got, "default-class") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AtClass(10, 1, func() { got = append(got, "mid-class") }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	want := []string{"default-class", "mid-class", "late-class"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if _, err := s.AtClass(1, 0, func() {}); err == nil {
+		t.Error("AtClass in the past should error")
+	}
+}
