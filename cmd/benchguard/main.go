@@ -15,6 +15,14 @@
 //     from another machine would gate on hardware, not code.
 //   - zero_alloc: benchmarks listed here must report 0 allocs/op; the
 //     allocation-free fast paths regress loudly if they ever allocate.
+//   - mem_pairs: memory gates for the streaming contact sources. The
+//     slow (materialized) benchmark must allocate at least min_ratio
+//     times the bytes/op of the fast (streaming) one, and likewise for
+//     the "resident-B" metric (live heap retained by the contact plan)
+//     when both report it. Allocation byte counts are deterministic
+//     per code version, so an explicit floor — not a tolerance band —
+//     is the right gate: streaming memory creeping toward O(#contacts)
+//     collapses the ratio.
 //   - -strict additionally compares raw ns/op against the baseline's
 //     recorded ns/op with the same tolerance — useful locally on the
 //     machine that produced the baseline, too flaky for shared CI.
@@ -37,6 +45,29 @@ import (
 type Measurement struct {
 	NsOp     float64 `json:"ns_op"`
 	AllocsOp float64 `json:"allocs_op"`
+	// BytesOp is -benchmem's B/op column; zero when not reported.
+	BytesOp float64 `json:"b_op,omitempty"`
+	// ResidentB is the custom "resident-B" metric reported by the
+	// schedule-memory benchmarks: live heap bytes retained by the
+	// contact plan; zero when not reported.
+	ResidentB float64 `json:"resident_b,omitempty"`
+}
+
+// MemPair is a streaming benchmark normalized by its materialized
+// counterpart: slow must use at least MinRatio times the memory of
+// fast, in allocated bytes/op and (when reported) resident bytes.
+type MemPair struct {
+	Name     string  `json:"name"`
+	Fast     string  `json:"fast"`
+	Slow     string  `json:"slow"`
+	MinRatio float64 `json:"min_ratio"`
+	// MinResidentRatio optionally floors the resident-B ratio
+	// separately (defaults to MinRatio): residency ratios sit closer to
+	// the O(nodes) constant factor than allocation ratios do.
+	MinResidentRatio float64 `json:"min_resident_ratio,omitempty"`
+	// BytesRatio and ResidentRatio record the measured ratios.
+	BytesRatio    float64 `json:"bytes_ratio,omitempty"`
+	ResidentRatio float64 `json:"resident_ratio,omitempty"`
 }
 
 // Pair is a fast-path benchmark normalized by its reference (slow,
@@ -57,6 +88,7 @@ type Report struct {
 	Tolerance  float64                `json:"tolerance,omitempty"`
 	Benchmarks map[string]Measurement `json:"benchmarks"`
 	Pairs      []Pair                 `json:"pairs"`
+	MemPairs   []MemPair              `json:"mem_pairs,omitempty"`
 	ZeroAlloc  []string               `json:"zero_alloc,omitempty"`
 	// Seed records the pre-rework numbers of this machine for the
 	// headline benchmarks, documenting the speedup the rework bought.
@@ -94,6 +126,10 @@ func parseBench(r *bufio.Scanner) (map[string]Measurement, error) {
 				seen = true
 			case "allocs/op":
 				meas.AllocsOp = v
+			case "B/op":
+				meas.BytesOp = v
+			case "resident-B":
+				meas.ResidentB = v
 			}
 		}
 		if seen {
@@ -175,6 +211,42 @@ func main() {
 		} else {
 			fmt.Printf("benchguard: pair %-16s %8.2fx (baseline %.2fx)\n", p.Name, speedup, p.Speedup)
 		}
+	}
+
+	for _, p := range baseline.MemPairs {
+		fastM, okF := measured[p.Fast]
+		slowM, okS := measured[p.Slow]
+		if !okF || !okS {
+			fail("mem pair %q: benchmarks %s/%s missing from input", p.Name, p.Fast, p.Slow)
+			continue
+		}
+		if fastM.BytesOp <= 0 {
+			fail("mem pair %q: fast path reports no B/op (run with -benchmem)", p.Name)
+			continue
+		}
+		out := MemPair{Name: p.Name, Fast: p.Fast, Slow: p.Slow,
+			MinRatio: p.MinRatio, MinResidentRatio: p.MinResidentRatio}
+		out.BytesRatio = slowM.BytesOp / fastM.BytesOp
+		if out.BytesRatio < p.MinRatio {
+			fail("mem pair %q: bytes/op ratio %.1fx below the %.0fx floor (streaming memory grew)",
+				p.Name, out.BytesRatio, p.MinRatio)
+		} else {
+			fmt.Printf("benchguard: mem  %-16s %8.1fx bytes/op (floor %.0fx)\n", p.Name, out.BytesRatio, p.MinRatio)
+		}
+		if fastM.ResidentB > 0 && slowM.ResidentB > 0 {
+			floor := p.MinResidentRatio
+			if floor == 0 {
+				floor = p.MinRatio
+			}
+			out.ResidentRatio = slowM.ResidentB / fastM.ResidentB
+			if out.ResidentRatio < floor {
+				fail("mem pair %q: resident ratio %.1fx below the %.0fx floor (schedule residency grew)",
+					p.Name, out.ResidentRatio, floor)
+			} else {
+				fmt.Printf("benchguard: mem  %-16s %8.1fx resident (floor %.0fx)\n", p.Name, out.ResidentRatio, floor)
+			}
+		}
+		report.MemPairs = append(report.MemPairs, out)
 	}
 
 	for _, name := range baseline.ZeroAlloc {

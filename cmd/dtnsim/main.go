@@ -186,7 +186,17 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("mobility: %s\n", dtnsim.AnalyzeSchedule(cfg.Schedule))
+	// The mobility summary streams through its own source, like the run
+	// itself (cfg.Source) — the schedule is never materialized.
+	stream, err := sc.StreamMobility()
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := dtnsim.AnalyzeContactSource(stream)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mobility: %s\n", stats)
 	result, err := dtnsim.Run(cfg)
 	if err != nil {
 		fatal(err)

@@ -10,6 +10,14 @@
 //	figures -out results -seed 7
 //	figures -workers 4          # bound the simulation worker pool
 //	figures -specs              # also write each figure as SweepSpec JSON
+//	figures -only scale         # the 1k/5k/10k-node scale sweep
+//	figures -only scale -scale-nodes 1000,5000 -scale-runs 1
+//
+// The scale sweep is the node-count axis the streaming contact sources
+// open (DESIGN.md §8): delivery ratio, per-bundle delay and buffer
+// occupancy versus population under constant-density classic RWP. It
+// is not part of the default set — populations in the thousands take
+// minutes, so ask for it with -only scale.
 //
 // Every figure's sweep is built from registry specs, so -specs can
 // serialize it: the written <id>.sweep.json files re-run through
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"dtnsim"
@@ -34,14 +43,16 @@ import (
 
 func main() {
 	var (
-		outDir  = flag.String("out", "results", "directory for CSV output")
-		runs    = flag.Int("runs", 10, "runs per (protocol, load) point; the paper uses 10")
-		seed    = flag.Uint64("seed", 2012, "base seed")
-		only    = flag.String("only", "", "comma-separated experiment ids (default: all, plus fig14 and table2)")
-		plots   = flag.Bool("plots", true, "print ASCII charts")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		workers = flag.Int("workers", 0, "concurrent simulation runs per sweep (0 = all CPUs, 1 = sequential; results are identical)")
-		specs   = flag.Bool("specs", false, "also write each experiment's serializable SweepSpec as <id>.sweep.json")
+		outDir     = flag.String("out", "results", "directory for CSV output")
+		runs       = flag.Int("runs", 10, "runs per (protocol, load) point; the paper uses 10")
+		seed       = flag.Uint64("seed", 2012, "base seed")
+		only       = flag.String("only", "", "comma-separated experiment ids (default: all, plus fig14 and table2; 'scale' only runs when asked)")
+		plots      = flag.Bool("plots", true, "print ASCII charts")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		workers    = flag.Int("workers", 0, "concurrent simulation runs per sweep (0 = all CPUs, 1 = sequential; results are identical)")
+		specs      = flag.Bool("specs", false, "also write each experiment's serializable SweepSpec as <id>.sweep.json")
+		scaleNodes = flag.String("scale-nodes", "1000,5000,10000", "node counts for -only scale")
+		scaleRuns  = flag.Int("scale-runs", 3, "runs per (protocol, nodes) scale point")
 	)
 	flag.Parse()
 
@@ -91,6 +102,54 @@ func main() {
 	}
 	if want("table2") {
 		runTableII(*outDir, *runs, *seed, *workers)
+	}
+	// The scale sweep runs only when explicitly selected.
+	if selected["scale"] {
+		runScale(*outDir, *scaleNodes, *scaleRuns, *seed, *workers, *quiet)
+	}
+}
+
+// runScale executes the population sweep and writes scale.csv:
+// delivery ratio, per-bundle delay and buffer occupancy versus node
+// count for each protocol, each run streaming its mobility source.
+func runScale(outDir, nodesCSV string, runs int, seed uint64, workers int, quiet bool) {
+	sw := dtnsim.DefaultScaleSweep()
+	sw.Runs = runs
+	sw.BaseSeed = seed
+	sw.Workers = workers
+	sw.Nodes = sw.Nodes[:0]
+	for _, f := range strings.Split(nodesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			fatal(fmt.Errorf("bad -scale-nodes entry %q", f))
+		}
+		sw.Nodes = append(sw.Nodes, n)
+	}
+	if !quiet {
+		sw.OnPoint = func(label string, nodes int) {
+			fmt.Fprintf(os.Stderr, "\rscale: %-24s %6d nodes   ", label, nodes)
+		}
+	}
+	res, err := dtnsim.RunScale(sw)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	var csv strings.Builder
+	csv.WriteString("nodes,protocol,delivery_ratio,mean_delay_s,occupancy,completed,runs\n")
+	fmt.Println("scale: delivery / delay / occupancy vs population (streaming mobility)")
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&csv, "%d,%q,%.4f,%.1f,%.4f,%d,%d\n",
+				p.Nodes, s.Label, p.Delivery, p.Delay, p.Occupancy, p.Completed, p.Runs)
+			fmt.Printf("  %-24s %6d nodes: delivery %.3f, delay %8.0f s, occupancy %.3f\n",
+				s.Label, p.Nodes, p.Delivery, p.Delay, p.Occupancy)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "scale.csv"), []byte(csv.String()), 0o644); err != nil {
+		fatal(err)
 	}
 }
 

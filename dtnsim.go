@@ -80,6 +80,13 @@ type (
 	Time = sim.Time
 	// ContactStats summarizes a schedule's encounter structure.
 	ContactStats = contact.Stats
+	// ContactSource is a pull-based contact stream: the engine consumes
+	// one contact at a time, so contact-plan memory is the source's
+	// working set (O(nodes) for every built-in mobility model) instead
+	// of O(#contacts). Set it via Config.Source; a materialized
+	// Schedule remains the back-compat alternative. All mobility
+	// generators provide a Stream method returning one.
+	ContactSource = contact.Source
 )
 
 // Engine defaults from the paper's methodology (§IV).
@@ -96,6 +103,12 @@ func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 // AnalyzeSchedule computes encounter statistics (contact counts,
 // durations, inter-contact intervals) for a schedule.
 func AnalyzeSchedule(s *Schedule) ContactStats { return contact.Analyze(s) }
+
+// AnalyzeContactSource computes the same statistics from a streaming
+// source in one O(nodes + pairs)-memory pass, consuming it.
+func AnalyzeContactSource(src ContactSource) (ContactStats, error) {
+	return contact.AnalyzeSource(src)
+}
 
 // --- Protocols -------------------------------------------------------------
 
@@ -204,3 +217,12 @@ func ParseTrace(r io.Reader) (*Schedule, error) { return mobility.ParseTrace(r) 
 
 // WriteTrace writes a schedule in the format ParseTrace reads.
 func WriteTrace(w io.Writer, s *Schedule) error { return mobility.WriteTrace(w, s) }
+
+// OpenTraceSource streams a trace file from disk as a ContactSource in
+// O(1) memory (two sequential passes; see mobility.OpenTraceSource).
+func OpenTraceSource(path string) (ContactSource, error) { return mobility.OpenTraceSource(path) }
+
+// MaterializeSource drains a ContactSource into a validated Schedule,
+// for callers that need random access (analysis, trace export). Runs
+// never need it: pass the source to Config.Source instead.
+func MaterializeSource(src ContactSource) (*Schedule, error) { return contact.Materialize(src) }

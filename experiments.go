@@ -92,6 +92,30 @@ func TableOf(r *SweepResult, m Metric, title string) *ResultTable {
 // DefaultLoads is the paper's load axis: 5, 10, …, 50.
 func DefaultLoads() []int { return experiment.DefaultLoads() }
 
+// Scale sweeps: the population axis opened by streaming contact
+// sources (see DESIGN.md §8).
+type (
+	// ScaleSweep sweeps node count instead of load.
+	ScaleSweep = experiment.ScaleSweep
+	// ScaleResult is a finished scale sweep.
+	ScaleResult = experiment.ScaleResult
+	// ScaleSeries is one protocol's curve across populations.
+	ScaleSeries = experiment.ScaleSeries
+	// ScalePoint is one averaged (protocol, nodes) measurement.
+	ScalePoint = experiment.ScalePoint
+)
+
+// DefaultScaleSweep is the 1k/5k/10k-node classic-RWP scale experiment.
+func DefaultScaleSweep() ScaleSweep { return experiment.DefaultScaleSweep() }
+
+// RunScale executes a scale sweep; every run streams its mobility, so
+// contact-plan memory stays O(nodes) at any population.
+func RunScale(s ScaleSweep) (*ScaleResult, error) { return experiment.RunScale(s) }
+
+// ScaleMobility is the default population→mobility-spec mapping of the
+// scale sweep (constant-density classic RWP).
+func ScaleMobility(nodes int) string { return experiment.ScaleMobility(nodes) }
+
 // Standard scenarios and protocol factories for sweeps.
 
 // TraceScenario is the trace-based setup (synthetic Cambridge trace,

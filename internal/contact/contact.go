@@ -82,20 +82,11 @@ type Schedule struct {
 // ErrEmptySchedule is returned when a schedule contains no contacts.
 var ErrEmptySchedule = errors.New("contact: empty schedule")
 
-// Sort orders contacts canonically: by start, then endpoints, then end.
+// Sort orders contacts canonically under Less: by start, then
+// endpoints, then end.
 func (s *Schedule) Sort() {
 	sort.Slice(s.Contacts, func(i, j int) bool {
-		a, b := s.Contacts[i], s.Contacts[j]
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		if a.A != b.A {
-			return a.A < b.A
-		}
-		if a.B != b.B {
-			return a.B < b.B
-		}
-		return a.End < b.End
+		return Less(s.Contacts[i], s.Contacts[j])
 	})
 }
 
@@ -117,6 +108,45 @@ func (s *Schedule) Validate() error {
 		if i > 0 && s.Contacts[i-1].Start > c.Start {
 			return fmt.Errorf("contact %d: schedule not sorted by start time", i)
 		}
+	}
+	return nil
+}
+
+// NodeOverlap reports the first pair of contacts that share a node and
+// overlap in time, in schedule order. Overlap is generally legal — a
+// node co-located with two peers is in two simultaneous contacts under
+// every waypoint model — so Validate does not reject it; generators
+// whose canonical spec forbids it (ControlledInterval: a node's
+// encounters are a renewal sequence) check it via ValidateDisjoint.
+func (s *Schedule) NodeOverlap() (a, b Contact, found bool) {
+	// Sorted by start, so node n's contact i overlaps a later contact j
+	// iff j starts before the largest end seen for n up to i.
+	type last struct {
+		end sim.Time
+		c   Contact
+	}
+	open := make(map[NodeID]last, s.Nodes)
+	for _, c := range s.Contacts {
+		for _, n := range [2]NodeID{c.A, c.B} {
+			if prev, ok := open[n]; ok && c.Start < prev.end {
+				return prev.c, c, true
+			}
+			if prev, ok := open[n]; !ok || c.End > prev.end {
+				open[n] = last{end: c.End, c: c}
+			}
+		}
+	}
+	return Contact{}, Contact{}, false
+}
+
+// ValidateDisjoint runs Validate and additionally rejects schedules in
+// which any node sits in two overlapping contacts.
+func (s *Schedule) ValidateDisjoint() error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if a, b, found := s.NodeOverlap(); found {
+		return fmt.Errorf("contact: node overlap: %v and %v share a node", a, b)
 	}
 	return nil
 }

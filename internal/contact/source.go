@@ -1,0 +1,165 @@
+package contact
+
+import (
+	"dtnsim/internal/sim"
+)
+
+// Source is a pull-based stream of contacts in canonical order (see
+// Less). It is the streaming counterpart of Schedule: the engine pulls
+// one contact at a time, so a well-behaved source needs only O(nodes)
+// working memory regardless of how many contacts the scenario contains.
+//
+// A Source is single-use: once Next has returned false the stream is
+// exhausted. Sources that hold external resources (an open trace file)
+// additionally implement io.Closer; the engine closes such sources when
+// a run ends, even if it stopped before exhausting the stream.
+type Source interface {
+	// Next returns the next contact in canonical start order. ok is
+	// false when the stream is exhausted or failed; check Err to tell
+	// the two apart.
+	Next() (c Contact, ok bool)
+	// Nodes returns the node population size; contact endpoints lie in
+	// [0, Nodes()).
+	Nodes() int
+	// Horizon returns an upper bound on the stream's contact end times
+	// (typically the generator's configured span), or zero when the
+	// bound is unknown before the stream is drained. Core requires an
+	// explicit Config.Horizon when a source reports zero.
+	Horizon() sim.Time
+	// Err returns the error that truncated the stream, or nil after a
+	// clean exhaustion. Like bufio.Scanner, Err is meaningful once Next
+	// has returned false.
+	Err() error
+}
+
+// Less is the canonical contact ordering shared by Schedule.Sort and
+// every streaming source: by start, then endpoints, then end. It is a
+// total order over the contacts of any valid schedule (a pair never
+// repeats a start time within one schedule).
+func Less(a, b Contact) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	return a.End < b.End
+}
+
+// ScheduleSource adapts a materialized Schedule to the Source
+// interface: a cursor over the contact slice. It is the back-compat
+// bridge that lets Config.Schedule callers run on the streaming engine
+// unchanged.
+type ScheduleSource struct {
+	s       *Schedule
+	i       int
+	horizon sim.Time
+}
+
+// Stream returns a Source that yields the schedule's contacts in slice
+// order. The schedule must already be sorted (Validate enforces this);
+// the horizon is computed once here rather than per call.
+func (s *Schedule) Stream() *ScheduleSource {
+	return &ScheduleSource{s: s, horizon: s.Horizon()}
+}
+
+// Next returns the next contact of the underlying schedule.
+func (c *ScheduleSource) Next() (Contact, bool) {
+	if c.i >= len(c.s.Contacts) {
+		return Contact{}, false
+	}
+	ct := c.s.Contacts[c.i]
+	c.i++
+	return ct, true
+}
+
+// Nodes returns the schedule's node count.
+func (c *ScheduleSource) Nodes() int { return c.s.Nodes }
+
+// Horizon returns the schedule's latest contact end time.
+func (c *ScheduleSource) Horizon() sim.Time { return c.horizon }
+
+// Err always returns nil: a materialized schedule cannot fail mid-read.
+func (c *ScheduleSource) Err() error { return nil }
+
+// Materialize drains a source into a validated Schedule. It is the
+// inverse of Stream and exists for callers that genuinely need random
+// access (analysis, trace export); the engine itself never calls it.
+func Materialize(src Source) (*Schedule, error) {
+	s := &Schedule{Nodes: src.Nodes()}
+	for {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		s.Contacts = append(s.Contacts, c)
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Lookahead reorders an almost-sorted contact stream into canonical
+// order. Generators that discover contacts slightly out of start order
+// (a contact is only known when it *closes*, or rounds of encounters
+// are drawn batch-wise) Add them as discovered and Pop them back once
+// no later discovery can precede them: Pop releases the least contact
+// only while its start lies strictly below the caller-supplied bound,
+// which must be a lower bound on the start of every contact not yet
+// Added. The heap therefore holds only the generator's reordering
+// window, not the whole schedule.
+type Lookahead struct{ h []Contact }
+
+// Add inserts a discovered contact. The sift is hand-rolled rather
+// than container/heap so the per-contact hot path never boxes through
+// an interface (zero allocations at steady state).
+func (l *Lookahead) Add(c Contact) {
+	l.h = append(l.h, c)
+	i := len(l.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !Less(l.h[i], l.h[parent]) {
+			break
+		}
+		l.h[i], l.h[parent] = l.h[parent], l.h[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the least pending contact if its start is
+// strictly below bound. Pass sim.Infinity to drain unconditionally.
+func (l *Lookahead) Pop(bound sim.Time) (Contact, bool) {
+	if len(l.h) == 0 || l.h[0].Start >= bound {
+		return Contact{}, false
+	}
+	c := l.h[0]
+	last := len(l.h) - 1
+	l.h[0] = l.h[last]
+	l.h = l.h[:last]
+	i := 0
+	for {
+		kid := 2*i + 1
+		if kid >= last {
+			break
+		}
+		if kid+1 < last && Less(l.h[kid+1], l.h[kid]) {
+			kid++
+		}
+		if !Less(l.h[kid], l.h[i]) {
+			break
+		}
+		l.h[i], l.h[kid] = l.h[kid], l.h[i]
+		i = kid
+	}
+	return c, true
+}
+
+// Len returns the number of buffered contacts.
+func (l *Lookahead) Len() int { return len(l.h) }

@@ -27,24 +27,37 @@ type Stats struct {
 // Analyze computes Stats for a schedule. The schedule must be sorted
 // (contacts in start-time order), as produced by every generator here.
 func Analyze(s *Schedule) Stats {
-	st := Stats{Nodes: s.Nodes, Contacts: len(s.Contacts), Span: s.Horizon()}
-	st.EncountersPer = make([]int, s.Nodes)
-	if len(s.Contacts) == 0 {
-		return st
-	}
-	st.MinDuration = float64(s.Contacts[0].Duration())
+	st, _ := AnalyzeSource(s.Stream())
+	return st
+}
+
+// AnalyzeSource computes Stats from a streaming source in one pass,
+// consuming it. State is O(nodes + meeting pairs) — a schedule too big
+// to materialize can still be summarized. The error is the source's
+// Err after exhaustion; the returned Stats cover the contacts seen.
+func AnalyzeSource(src Source) (Stats, error) {
+	st := Stats{Nodes: src.Nodes()}
+	st.EncountersPer = make([]int, st.Nodes)
 	pairs := make(map[PairKey]bool)
-	lastSeen := make([]sim.Time, s.Nodes)
+	lastSeen := make([]sim.Time, st.Nodes)
 	for i := range lastSeen {
 		lastSeen[i] = -1
 	}
 	var durSum float64
 	var gapSum float64
 	var gapCount int
-	for _, c := range s.Contacts {
+	for {
+		c, ok := src.Next()
+		if !ok {
+			break
+		}
+		st.Contacts++
+		if c.End > st.Span {
+			st.Span = c.End
+		}
 		d := float64(c.Duration())
 		durSum += d
-		if d < st.MinDuration {
+		if st.Contacts == 1 || d < st.MinDuration {
 			st.MinDuration = d
 		}
 		if d > st.MaxDuration {
@@ -66,12 +79,14 @@ func Analyze(s *Schedule) Stats {
 			}
 		}
 	}
-	st.MeanDuration = durSum / float64(len(s.Contacts))
+	if st.Contacts > 0 {
+		st.MeanDuration = durSum / float64(st.Contacts)
+	}
 	if gapCount > 0 {
 		st.MeanInterval = gapSum / float64(gapCount)
 	}
 	st.PairsWithContact = len(pairs)
-	return st
+	return st, src.Err()
 }
 
 // InterContactTimes returns, for the given node, the sequence of gaps

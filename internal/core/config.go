@@ -46,8 +46,17 @@ type Flow struct {
 
 // Config describes one simulation run.
 type Config struct {
-	// Schedule is the contact plan to replay. Required, validated.
+	// Schedule is a materialized contact plan to replay. Exactly one of
+	// Schedule and Source must be set; a Schedule is adapted to the
+	// streaming engine via contact.Schedule.Stream, so existing callers
+	// are unaffected by the pull-based contact pipeline.
 	Schedule *contact.Schedule
+	// Source is a streaming contact plan: the engine pulls one contact
+	// at a time, keeping contact-plan memory at the source's working
+	// set (O(nodes) for the built-in mobility models) instead of
+	// O(#contacts). A Source is consumed by the run — build a fresh one
+	// per Run. Contacts are validated incrementally as they are pulled.
+	Source contact.Source
 	// Protocol is the routing policy under test. Required.
 	Protocol protocol.Protocol
 	// Flows is the workload. Required, non-empty. A source node may
@@ -95,19 +104,61 @@ func (cfg Config) withDefaults() Config {
 	if cfg.SampleEvery == 0 {
 		cfg.SampleEvery = DefaultSampleEvery
 	}
-	if cfg.Horizon == 0 && cfg.Schedule != nil {
-		cfg.Horizon = cfg.Schedule.Horizon()
-	}
 	return cfg
+}
+
+// nodeCount returns the node population of whichever contact plan is
+// set, or zero when neither is.
+func (cfg Config) nodeCount() int {
+	switch {
+	case cfg.Schedule != nil:
+		return cfg.Schedule.Nodes
+	case cfg.Source != nil:
+		return cfg.Source.Nodes()
+	}
+	return 0
+}
+
+// horizonCap resolves the run's horizon after validation: the explicit
+// Config.Horizon when set, otherwise the contact plan's own extent.
+// adaptive reports that the cap is an upper bound from a streaming
+// source (its span), which the engine tightens to the true latest
+// contact end once the source is exhausted — reproducing exactly the
+// horizon a materialized Schedule would have reported up front.
+func (cfg Config) horizonCap() (cap sim.Time, adaptive bool) {
+	if cfg.Horizon != 0 {
+		return cfg.Horizon, false
+	}
+	if cfg.Schedule != nil {
+		return cfg.Schedule.Horizon(), false
+	}
+	return cfg.Source.Horizon(), true
 }
 
 // validate checks the configuration after defaulting.
 func (cfg Config) validate() error {
-	if cfg.Schedule == nil {
-		return fmt.Errorf("%w: nil schedule", ErrConfig)
+	if cfg.Schedule == nil && cfg.Source == nil {
+		return fmt.Errorf("%w: no contact plan (set Schedule or Source)", ErrConfig)
 	}
-	if err := cfg.Schedule.Validate(); err != nil {
-		return fmt.Errorf("%w: %v", ErrConfig, err)
+	if cfg.Schedule != nil && cfg.Source != nil {
+		return fmt.Errorf("%w: both Schedule and Source set; pick one", ErrConfig)
+	}
+	if cfg.Schedule != nil {
+		if err := cfg.Schedule.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+	} else if n := cfg.Source.Nodes(); n < 2 {
+		return fmt.Errorf("%w: contact source reports %d node(s); need >=2", ErrConfig, n)
+	}
+	if cfg.Horizon < 0 {
+		return fmt.Errorf("%w: negative horizon %v", ErrConfig, cfg.Horizon)
+	}
+	// A run must know when to stop: a materialized schedule's horizon
+	// is its latest contact end, but a streaming source may not know
+	// its extent (an unbounded generator). Refusing here beats the old
+	// failure mode of silently running to t=0 on an empty horizon.
+	if cap, _ := cfg.horizonCap(); cap <= 0 {
+		return fmt.Errorf("%w: no horizon: set Config.Horizon or use a source that reports one", ErrConfig)
 	}
 	if cfg.Protocol == nil {
 		return fmt.Errorf("%w: nil protocol", ErrConfig)
@@ -141,7 +192,7 @@ func (cfg Config) validate() error {
 		if f.StartAt < 0 {
 			return fmt.Errorf("%w: flow %d starts at %v", ErrConfig, i, f.StartAt)
 		}
-		n := contact.NodeID(cfg.Schedule.Nodes)
+		n := contact.NodeID(cfg.nodeCount())
 		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
 			return fmt.Errorf("%w: flow %d endpoints (%d,%d) outside [0,%d)", ErrConfig, i, f.Src, f.Dst, n)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"dtnsim/internal/bundle"
@@ -80,10 +81,24 @@ type engine struct {
 	// old tracked-bundle scan), making each sampling tick
 	// O(nodes + tracked) instead of O(nodes × tracked).
 	holders *metrics.HolderTracker
-	// nextContact indexes the first schedule contact not yet handed to
-	// the scheduler: contacts stream into the event queue one pending
-	// event at a time instead of being preloaded as closures.
-	nextContact int
+	// src streams the contact plan; a materialized Config.Schedule is
+	// adapted via Stream, so the engine has a single pull-based path.
+	src contact.Source
+	// cap is the run's horizon bound; adaptiveCap marks it as a
+	// source-reported upper bound (the generator's span) that settle
+	// tightens to the true latest contact end at source exhaustion,
+	// reproducing a materialized schedule's horizon exactly.
+	cap         sim.Time
+	adaptiveCap bool
+	srcDone     bool
+	// Incremental stream validation: contacts must arrive in canonical
+	// start order with in-range endpoints.
+	prevStart sim.Time
+	maxEnd    sim.Time
+	pulled    int
+	// err truncates the run: the first stream failure stops the
+	// scheduler and is returned from Run.
+	err error
 
 	remaining   int
 	deliveredAt map[bundle.ID]sim.Time
@@ -97,21 +112,34 @@ type engine struct {
 
 // Run executes one simulation and returns its result.
 func Run(cfg Config) (*Result, error) {
+	if closer, ok := cfg.Source.(io.Closer); ok {
+		// A file-backed source must be released however the run ends:
+		// validation failure, early termination, explicit horizon.
+		defer closer.Close()
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	src := cfg.Source
+	if cfg.Schedule != nil {
+		src = cfg.Schedule.Stream()
+	}
+	cap, adaptive := cfg.horizonCap()
 	e := &engine{
 		cfg:         cfg,
-		sched:       sim.NewScheduler(cfg.Horizon),
+		sched:       sim.NewScheduler(cap),
 		rng:         sim.NewRNG(cfg.Seed),
 		holders:     metrics.NewHolderTracker(),
+		src:         src,
+		cap:         cap,
+		adaptiveCap: adaptive,
 		deliveredAt: make(map[bundle.ID]sim.Time),
 		firstStart:  sim.Infinity,
 	}
 	e.coll = metrics.NewCollector()
 	e.obs = append([]Observer{e.coll}, cfg.Observers...)
-	e.nodes = make([]*node.Node, cfg.Schedule.Nodes)
+	e.nodes = make([]*node.Node, cfg.nodeCount())
 	for i := range e.nodes {
 		n := node.New(contact.NodeID(i), cfg.BufferCap)
 		at := n.ID
@@ -132,16 +160,29 @@ func Run(cfg Config) (*Result, error) {
 	if err := e.scheduleWorkload(); err != nil {
 		return nil, err
 	}
-	e.scheduleContacts()
+	if err := e.scheduleContacts(); err != nil {
+		return nil, err
+	}
 	e.scheduleSampling()
 
 	end := e.sched.Run()
+	if e.err != nil {
+		return nil, e.err
+	}
 	if e.lastArrival > end {
 		// Deliveries inside the final contact complete after the
 		// contact-start event's timestamp.
 		end = e.lastArrival
 	}
 	return e.result(end), nil
+}
+
+// fail records the first stream failure and stops the run.
+func (e *engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.sched.Stop()
 }
 
 // scheduleWorkload creates flow bundles at their start times. Sequence
@@ -203,32 +244,97 @@ func (e *engine) generate(f Flow, base, firstSeq int) {
 	}
 }
 
-// scheduleContacts streams the contact schedule into the event queue
-// one pending event at a time: each contact event schedules its
-// successor before processing, so queue residency is O(1) per schedule
-// instead of O(#contacts) preloaded closures. Ordering class tiers keep
-// equal-timestamp ordering identical to the preloaded path.
-func (e *engine) scheduleContacts() {
-	e.nextContact = 0
+// scheduleContacts starts pulling the contact stream into the event
+// queue one pending event at a time: each contact event pulls and
+// schedules its successor before processing, so queue residency is O(1)
+// per run regardless of contact count. Ordering class tiers keep
+// equal-timestamp ordering identical to a preloaded event queue. An
+// immediately-exhausted source is rejected here, mirroring
+// Schedule.Validate's empty-schedule error on the materialized path.
+func (e *engine) scheduleContacts() error {
 	e.pushNextContact()
+	if e.err != nil {
+		return e.err
+	}
+	if e.pulled == 0 {
+		return fmt.Errorf("%w: %v", ErrConfig, contact.ErrEmptySchedule)
+	}
+	return nil
 }
 
-// pushNextContact schedules the next in-range contact, if any.
+// pushNextContact pulls the next contact from the source and schedules
+// it, validating the stream incrementally: contacts must be
+// individually valid, in-range, and in canonical start order. Pulling
+// stops at the first contact starting beyond the horizon (the stream is
+// sorted, so the rest are out of range too).
 func (e *engine) pushNextContact() {
-	if e.nextContact >= len(e.cfg.Schedule.Contacts) {
+	if e.srcDone {
 		return
 	}
-	c := e.cfg.Schedule.Contacts[e.nextContact]
-	if c.Start > e.cfg.Horizon {
-		return // sorted by start; the rest are out of range too
+	c, ok := e.src.Next()
+	if !ok {
+		e.srcDone = true
+		if err := e.src.Err(); err != nil {
+			e.fail(fmt.Errorf("core: contact source failed after %d contacts: %w", e.pulled, err))
+			return
+		}
+		e.settleHorizon()
+		return
 	}
-	e.nextContact++
+	if err := e.checkStreamed(c); err != nil {
+		e.srcDone = true
+		e.fail(err)
+		return
+	}
+	e.pulled++
+	e.prevStart = c.Start
+	if c.End > e.maxEnd {
+		e.maxEnd = c.End
+	}
+	if c.Start > e.cap {
+		e.srcDone = true
+		e.settleHorizon()
+		return
+	}
 	if _, err := e.sched.AtClass(c.Start, classContact, func() {
 		e.pushNextContact()
 		e.contact(c)
 	}); err != nil {
 		panic(fmt.Sprintf("core: scheduling contact %v: %v", c, err))
 	}
+}
+
+// checkStreamed validates one pulled contact against the stream
+// invariants a materialized schedule would have been checked for up
+// front.
+func (e *engine) checkStreamed(c contact.Contact) error {
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("core: streamed contact %d: %w", e.pulled, err)
+	}
+	if int(c.B) >= len(e.nodes) {
+		return fmt.Errorf("core: streamed contact %d: node %d out of range [0,%d)", e.pulled, c.B, len(e.nodes))
+	}
+	if c.Start < e.prevStart {
+		return fmt.Errorf("core: streamed contact %d: start %v before previous start %v (stream not sorted)",
+			e.pulled, c.Start, e.prevStart)
+	}
+	return nil
+}
+
+// settleHorizon tightens an adaptive (source-span) horizon to the true
+// latest contact end once the stream is exhausted. Any event already
+// queued past the settled horizon — a sampling tick, a late flow —
+// could only have run after every contact had been pulled, so lowering
+// the bound here is indistinguishable from having known it up front.
+func (e *engine) settleHorizon() {
+	if !e.adaptiveCap {
+		return
+	}
+	h := e.maxEnd
+	if h > e.cap {
+		h = e.cap
+	}
+	e.sched.SetHorizon(h)
 }
 
 func (e *engine) scheduleSampling() {

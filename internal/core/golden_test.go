@@ -137,29 +137,41 @@ func toGolden(r *core.Result) goldenResult {
 
 // goldenConfig builds the run config for one (protocol spec, mobility)
 // cell. Every run uses RunToHorizon so sampling, purging and TTL decay
-// stay active after the last delivery.
-func goldenConfig(t testing.TB, protoSpec string, m goldenMobility) core.Config {
+// stay active after the last delivery. streamed selects the contact
+// plan form: the materialized Schedule or the pull-based Source — the
+// golden grid runs both and demands bit-identical results, which is
+// the proof that streaming mobility is observationally equivalent.
+func goldenConfig(t testing.TB, protoSpec string, m goldenMobility, streamed bool) core.Config {
 	t.Helper()
 	src, err := mobility.Parse(m.spec)
 	if err != nil {
 		t.Fatalf("mobility spec %q: %v", m.spec, err)
 	}
-	sched, err := src.Generate(7)
-	if err != nil {
-		t.Fatalf("generate %q: %v", m.spec, err)
-	}
 	f, err := protocol.Parse(protoSpec)
 	if err != nil {
 		t.Fatalf("protocol spec %q: %v", protoSpec, err)
 	}
-	return core.Config{
-		Schedule:     sched,
+	cfg := core.Config{
 		Protocol:     f.New(),
 		Flows:        m.flows,
 		TxTime:       m.txTime,
 		Seed:         2012,
 		RunToHorizon: true,
 	}
+	if streamed {
+		stream, err := src.Stream(7)
+		if err != nil {
+			t.Fatalf("stream %q: %v", m.spec, err)
+		}
+		cfg.Source = stream
+	} else {
+		sched, err := src.Generate(7)
+		if err != nil {
+			t.Fatalf("generate %q: %v", m.spec, err)
+		}
+		cfg.Schedule = sched
+	}
+	return cfg
 }
 
 func goldenPath(name string) string { return filepath.Join("testdata", name) }
@@ -174,11 +186,21 @@ func TestGoldenResults(t *testing.T) {
 	for _, protoSpec := range protocol.BuiltinSpecs() {
 		for _, m := range goldenMobilities {
 			key := fmt.Sprintf("%s|%s", protoSpec, m.name)
-			res, err := core.Run(goldenConfig(t, protoSpec, m))
+			res, err := core.Run(goldenConfig(t, protoSpec, m, false))
 			if err != nil {
 				t.Fatalf("%s: %v", key, err)
 			}
 			got[key] = toGolden(res)
+			// The same cell through a streaming source must be
+			// indistinguishable from the materialized run.
+			sres, err := core.Run(goldenConfig(t, protoSpec, m, true))
+			if err != nil {
+				t.Fatalf("%s (streamed): %v", key, err)
+			}
+			if !reflect.DeepEqual(toGolden(res), toGolden(sres)) {
+				t.Errorf("%s: streamed source diverged from materialized schedule\n got: %+v\nwant: %+v",
+					key, toGolden(sres), toGolden(res))
+			}
 		}
 	}
 
@@ -229,11 +251,11 @@ func TestGoldenResultsRepeatable(t *testing.T) {
 		{"immunity", goldenMobilities[0]},
 		{"ecttl", goldenMobilities[2]},
 	} {
-		a, err := core.Run(goldenConfig(t, cell.proto, cell.mob))
+		a, err := core.Run(goldenConfig(t, cell.proto, cell.mob, false))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := core.Run(goldenConfig(t, cell.proto, cell.mob))
+		b, err := core.Run(goldenConfig(t, cell.proto, cell.mob, true))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -26,7 +26,9 @@ func TestCollectorMatchesNodeCounters(t *testing.T) {
 		for _, m := range goldenMobilities {
 			t.Run(fmt.Sprintf("%s|%s", protoSpec, m.name), func(t *testing.T) {
 				coll := metrics.NewCollector()
-				cfg := goldenConfig(t, protoSpec, m)
+				// The streamed path exercises the same books through the
+				// pull-based contact pipeline.
+				cfg := goldenConfig(t, protoSpec, m, true)
 				cfg.Observers = []core.Observer{coll}
 				res, err := core.Run(cfg)
 				if err != nil {

@@ -36,11 +36,11 @@ var streamGoldenCells = []struct {
 }
 
 // runStream executes one golden cell with a full event stream attached
-// and returns the CSV bytes.
-func runStream(t testing.TB, proto string, mob goldenMobility) []byte {
+// and returns the CSV bytes. streamed selects the contact-plan form.
+func runStream(t testing.TB, proto string, mob goldenMobility, streamed bool) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	cfg := goldenConfig(t, proto, mob)
+	cfg := goldenConfig(t, proto, mob, streamed)
 	st := report.NewStream(&buf, true)
 	cfg.Observers = []core.Observer{st}
 	if _, err := core.Run(cfg); err != nil {
@@ -59,7 +59,15 @@ func TestGoldenStreamCSV(t *testing.T) {
 	for _, cell := range streamGoldenCells {
 		cell := cell
 		t.Run(cell.file, func(t *testing.T) {
-			got := runStream(t, cell.proto, cell.mob)
+			got := runStream(t, cell.proto, cell.mob, false)
+			// The streamed-source run must produce the byte-identical
+			// event log: every observable engine action in the same
+			// order at the same time.
+			streamed := runStream(t, cell.proto, cell.mob, true)
+			if !bytes.Equal(got, streamed) {
+				t.Errorf("streamed source event CSV diverged from materialized (first diff at byte %d)",
+					firstDiff(got, streamed))
+			}
 			path := goldenPath(cell.file)
 			if *update {
 				if err := os.WriteFile(path, got, 0o644); err != nil {
@@ -111,7 +119,9 @@ func TestStreamDeterminismRace(t *testing.T) {
 				go func(i int) {
 					defer wg.Done()
 					var buf bytes.Buffer
-					cfg := goldenConfig(t, cell.proto, cell.mob)
+					// One run materialized, one streamed: concurrent
+					// equality also covers cross-path equivalence.
+					cfg := goldenConfig(t, cell.proto, cell.mob, i == 1)
 					cfg.Observers = []core.Observer{report.NewStream(&buf, true)}
 					_, errs[i] = core.Run(cfg)
 					out[i] = buf.Bytes()

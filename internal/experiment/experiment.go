@@ -48,6 +48,13 @@ type Scenario struct {
 	// safe for concurrent calls: sweeps with Workers > 1 invoke it from
 	// several goroutines when PerRunSchedule is set.
 	Generate func(seed uint64) (*contact.Schedule, error)
+	// Stream builds a pull-based contact source for a given seed; when
+	// set, runs consume mobility through it without materializing a
+	// schedule, so sweep memory stays O(nodes) per in-flight run.
+	// Spec-built scenarios always set it; hand-built scenarios may leave
+	// it nil and fall back to Generate. Must be safe for concurrent
+	// calls (sources themselves are per-run and single-use).
+	Stream func(seed uint64) (contact.Source, error)
 	// PerRunSchedule regenerates mobility for every run (RWP); when
 	// false the schedule is generated once from the sweep's base seed
 	// and shared by all runs, as with a fixed trace file.
@@ -140,7 +147,7 @@ func seedFor(base uint64, load, run int) uint64 {
 // grid is fanned out over a worker pool; see Sweep.Workers for the
 // determinism contract.
 func Run(sw Sweep) (*Result, error) {
-	if sw.Scenario.Generate == nil {
+	if sw.Scenario.Generate == nil && sw.Scenario.Stream == nil {
 		return nil, fmt.Errorf("experiment: scenario %q has no generator", sw.Scenario.Name)
 	}
 	if len(sw.Protocols) == 0 {
@@ -167,11 +174,13 @@ func Run(sw Sweep) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Shared (non-PerRunSchedule) schedules are generated once from the
-	// base seed and treated as read-only by every run, so the one
-	// instance is safe to hand to all workers.
+	// Streaming scenarios need no shared schedule: every run re-streams
+	// its source (from the base seed when the schedule is fixed across
+	// runs — same contacts, regenerated instead of retained). Hand-built
+	// Generate-only scenarios keep the materialized shared schedule,
+	// generated once and treated as read-only by every run.
 	var shared *contact.Schedule
-	if !sw.Scenario.PerRunSchedule {
+	if sw.Scenario.Stream == nil && !sw.Scenario.PerRunSchedule {
 		s, err := sw.Scenario.Generate(sw.BaseSeed)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: generating %s schedule: %w", sw.Scenario.Name, err)
@@ -332,32 +341,13 @@ func firstFailure(outcomes [][][]runOutcome) error {
 }
 
 // runOne executes a single (protocol, load, run) simulation. Everything
-// mutable — the schedule when PerRunSchedule is set, and always the
+// mutable — the contact source or per-run schedule, and always the
 // protocol instance — is created here, per job, so jobs never share
 // state across workers.
 func runOne(sw Sweep, shared *contact.Schedule, pf ProtocolFactory, load, run int) runOutcome {
 	seed := seedFor(sw.BaseSeed, load, run)
-	schedule := shared
-	if sw.Scenario.PerRunSchedule {
-		s, err := sw.Scenario.Generate(seed)
-		if err != nil {
-			return runOutcome{err: fmt.Errorf("experiment: %s run schedule: %w", sw.Scenario.Name, err)}
-		}
-		schedule = s
-	}
-	if schedule.Nodes < 2 {
-		return runOutcome{err: fmt.Errorf("experiment: %s schedule has %d node(s); need at least 2 for a source/destination pair",
-			sw.Scenario.Name, schedule.Nodes)}
-	}
-	// The pair depends only on the run index so every load point
-	// compares the same set of source/destination pairs, keeping
-	// curves comparable along the load axis (§IV re-randomizes the
-	// pair per run).
-	src, dst := pickPair(schedule.Nodes, seedFor(sw.BaseSeed, 0, run))
-	r, err := core.Run(core.Config{
-		Schedule:  schedule,
+	cfg := core.Config{
 		Protocol:  pf.New(),
-		Flows:     []core.Flow{{Src: src, Dst: dst, Count: load}},
 		TxTime:    sw.Scenario.TxTime,
 		BufferCap: sw.Scenario.BufferCap,
 		Seed:      seed,
@@ -365,7 +355,44 @@ func runOne(sw Sweep, shared *contact.Schedule, pf ProtocolFactory, load, run in
 		// steady-state time averages as in the paper; delay and
 		// delivery ratio are unaffected (§IV end conditions).
 		RunToHorizon: true,
-	})
+	}
+	var nodes int
+	switch {
+	case sw.Scenario.Stream != nil:
+		// Fixed-mobility scenarios stream from the base seed: same
+		// contacts every run, regenerated lazily instead of retained.
+		streamSeed := seed
+		if !sw.Scenario.PerRunSchedule {
+			streamSeed = sw.BaseSeed
+		}
+		src, err := sw.Scenario.Stream(streamSeed)
+		if err != nil {
+			return runOutcome{err: fmt.Errorf("experiment: %s run source: %w", sw.Scenario.Name, err)}
+		}
+		cfg.Source = src
+		nodes = src.Nodes()
+	case sw.Scenario.PerRunSchedule:
+		s, err := sw.Scenario.Generate(seed)
+		if err != nil {
+			return runOutcome{err: fmt.Errorf("experiment: %s run schedule: %w", sw.Scenario.Name, err)}
+		}
+		cfg.Schedule = s
+		nodes = s.Nodes
+	default:
+		cfg.Schedule = shared
+		nodes = shared.Nodes
+	}
+	if nodes < 2 {
+		return runOutcome{err: fmt.Errorf("experiment: %s schedule has %d node(s); need at least 2 for a source/destination pair",
+			sw.Scenario.Name, nodes)}
+	}
+	// The pair depends only on the run index so every load point
+	// compares the same set of source/destination pairs, keeping
+	// curves comparable along the load axis (§IV re-randomizes the
+	// pair per run).
+	src, dst := pickPair(nodes, seedFor(sw.BaseSeed, 0, run))
+	cfg.Flows = []core.Flow{{Src: src, Dst: dst, Count: load}}
+	r, err := core.Run(cfg)
 	if err != nil {
 		return runOutcome{err: fmt.Errorf("experiment: %s/%s load %d: %w", sw.Scenario.Name, pf.Label, load, err)}
 	}

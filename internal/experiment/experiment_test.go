@@ -75,6 +75,7 @@ func TestRunSweepDefaults(t *testing.T) {
 func TestRunSweepErrors(t *testing.T) {
 	sw := tinySweep()
 	sw.Scenario.Generate = nil
+	sw.Scenario.Stream = nil
 	if _, err := Run(sw); err == nil {
 		t.Error("nil generator accepted")
 	}
@@ -89,11 +90,19 @@ func TestRunSweepErrors(t *testing.T) {
 		t.Error("unknown metric accepted")
 	}
 	sw = tinySweep()
+	sw.Scenario.Stream = nil
 	sw.Scenario.Generate = func(uint64) (*contact.Schedule, error) {
 		return nil, fmt.Errorf("boom")
 	}
 	if _, err := Run(sw); err == nil {
 		t.Error("generator error swallowed")
+	}
+	sw = tinySweep()
+	sw.Scenario.Stream = func(uint64) (contact.Source, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	if _, err := Run(sw); err == nil {
+		t.Error("stream error swallowed")
 	}
 }
 

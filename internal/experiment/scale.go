@@ -1,0 +1,266 @@
+// Scale sweeps: the node-count axis the streaming contact pipeline
+// opens. The paper's experiments stop at 96 nodes because a
+// materialized contact plan is O(#contacts) memory and the classic-RWP
+// detector O(nodes²) time; with mobility resolved to streaming sources
+// (grid-indexed detection, O(nodes) working set) the same engine runs
+// thousands of nodes, and the interesting question becomes how delivery
+// ratio, delay and buffer occupancy scale with population (Rashidi et
+// al.; Chen & Choon Chuah).
+
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/stats"
+)
+
+// ScaleSweep sweeps population size instead of load: one flow of Load
+// bundles between a random pair, simulated at each node count over
+// mobility resolved per run through a streaming source.
+type ScaleSweep struct {
+	Name string
+	// Nodes is the population axis, e.g. 1000, 5000, 10000.
+	Nodes []int
+	// Mobility maps a population size to a mobility spec. Defaults to
+	// ScaleMobility.
+	Mobility func(nodes int) string
+	// Protocols under test.
+	Protocols []ProtocolFactory
+	// Load is the bundles per flow; defaults to 30.
+	Load int
+	// Runs per point; defaults to 3.
+	Runs int
+	// BaseSeed anchors all derived randomness.
+	BaseSeed uint64
+	// Workers bounds concurrent runs (0 = GOMAXPROCS). Results are
+	// bit-identical for every value: seeds derive from (BaseSeed,
+	// nodes, run) and points fold in run order.
+	Workers int
+	// OnPoint, if set, reports progress after each (protocol, nodes)
+	// point, from the calling goroutine in sweep order.
+	OnPoint func(label string, nodes int)
+}
+
+// ScalePoint is one averaged (protocol, nodes) measurement.
+type ScalePoint struct {
+	Nodes int
+	// Delivery is the mean delivery ratio, Delay the mean per-bundle
+	// delivery delay over runs that delivered anything (NaN when none
+	// did), Occupancy the mean buffer occupancy level.
+	Delivery, Delay, Occupancy float64
+	// Completed counts runs that delivered every bundle.
+	Completed int
+	Runs      int
+}
+
+// ScaleSeries is one protocol's curve across populations.
+type ScaleSeries struct {
+	Label  string
+	Points []ScalePoint
+}
+
+// ScaleResult is a finished scale sweep.
+type ScaleResult struct {
+	Name   string
+	Nodes  []int
+	Series []ScaleSeries
+}
+
+// ScaleMobility is the default population→spec mapping: classic RWP at
+// constant density (25 nodes/km², 100 m radio range), area side scaled
+// with √nodes, a 50,000 s window sampled every 25 s. Density constant
+// means per-node contact opportunity is roughly constant while the
+// source→destination distance grows with the area — the regime where
+// delivery ratio and delay degrade with N.
+func ScaleMobility(nodes int) string {
+	side := 1000 * math.Sqrt(float64(nodes)/25)
+	return fmt.Sprintf("rwp:nodes=%d,area=%.0f,span=50000,range=100,dt=25", nodes, side)
+}
+
+// DefaultScaleSweep is the scale experiment the figures CLI runs: pure
+// epidemic and epidemic-with-TTL at 1k/5k/10k nodes.
+func DefaultScaleSweep() ScaleSweep {
+	return ScaleSweep{
+		Name:      "scale",
+		Nodes:     []int{1000, 5000, 10000},
+		Protocols: []ProtocolFactory{Pure(), TTL300()},
+	}
+}
+
+// RunScale executes the sweep. Every run resolves its mobility spec to
+// a streaming source, so contact-plan memory stays O(nodes) even at the
+// populations a materialized schedule could not hold.
+func RunScale(sw ScaleSweep) (*ScaleResult, error) {
+	if len(sw.Nodes) == 0 {
+		return nil, fmt.Errorf("experiment: scale sweep has no node counts")
+	}
+	if len(sw.Protocols) == 0 {
+		return nil, fmt.Errorf("experiment: scale sweep has no protocols")
+	}
+	if sw.Mobility == nil {
+		sw.Mobility = ScaleMobility
+	}
+	if sw.Load <= 0 {
+		sw.Load = 30
+	}
+	if sw.Runs <= 0 {
+		sw.Runs = 3
+	}
+	workers := sw.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Mirror runParallel's shape: workers drain a job channel, the
+	// calling goroutine folds points in sweep order as soon as each
+	// point's runs finish — so OnPoint fires live, not in a burst at
+	// the end — and a failed run flips `failed`, making workers skip
+	// the remaining (expensive, thousands-of-nodes) jobs.
+	type job struct{ pi, ni, run int }
+	nP, nN := len(sw.Protocols), len(sw.Nodes)
+	outcomes := make([][][]runOutcome, nP)
+	pending := make([][]sync.WaitGroup, nP)
+	for pi := 0; pi < nP; pi++ {
+		outcomes[pi] = make([][]runOutcome, nN)
+		pending[pi] = make([]sync.WaitGroup, nN)
+		for ni := 0; ni < nN; ni++ {
+			outcomes[pi][ni] = make([]runOutcome, sw.Runs)
+			pending[pi][ni].Add(sw.Runs)
+		}
+	}
+	jobs := make(chan job)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if failed.Load() {
+					outcomes[j.pi][j.ni][j.run] = runOutcome{err: errSkipped}
+				} else {
+					out := runScaleOne(sw, sw.Protocols[j.pi], sw.Nodes[j.ni], j.run)
+					if out.err != nil {
+						failed.Store(true)
+					}
+					outcomes[j.pi][j.ni][j.run] = out
+				}
+				pending[j.pi][j.ni].Done()
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for pi := 0; pi < nP; pi++ {
+			for ni := 0; ni < nN; ni++ {
+				for run := 0; run < sw.Runs; run++ {
+					jobs <- job{pi, ni, run}
+				}
+			}
+		}
+	}()
+	defer wg.Wait()
+
+	res := &ScaleResult{Name: sw.Name, Nodes: sw.Nodes}
+	for pi, pf := range sw.Protocols {
+		series := ScaleSeries{Label: pf.Label}
+		for ni, n := range sw.Nodes {
+			pending[pi][ni].Wait()
+			var delivery, delay, occupancy stats.Welford
+			completed := 0
+			for run := 0; run < sw.Runs; run++ {
+				out := outcomes[pi][ni][run]
+				if out.err != nil {
+					failed.Store(true)
+					return nil, firstScaleFailure(outcomes)
+				}
+				r := out.res
+				if r.Completed {
+					completed++
+				}
+				delivery.Add(r.DeliveryRatio)
+				occupancy.Add(r.MeanOccupancy)
+				if r.Delivered > 0 {
+					delay.Add(r.MeanDelay)
+				}
+			}
+			outcomes[pi][ni] = nil // release the point's results once folded
+			pt := ScalePoint{
+				Nodes:     n,
+				Delivery:  delivery.Mean(),
+				Occupancy: occupancy.Mean(),
+				Delay:     math.NaN(),
+				Completed: completed,
+				Runs:      sw.Runs,
+			}
+			if delay.N() > 0 {
+				pt.Delay = delay.Mean()
+			}
+			series.Points = append(series.Points, pt)
+			if sw.OnPoint != nil {
+				sw.OnPoint(pf.Label, n)
+			}
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// firstScaleFailure returns the first non-skip error in grid order.
+func firstScaleFailure(outcomes [][][]runOutcome) error {
+	var skip error
+	for _, byNodes := range outcomes {
+		for _, byRun := range byNodes {
+			for _, out := range byRun {
+				if out.err == nil {
+					continue
+				}
+				if out.err != errSkipped {
+					return out.err
+				}
+				skip = out.err
+			}
+		}
+	}
+	return skip
+}
+
+// runScaleOne executes one (protocol, nodes, run) simulation through a
+// streaming source.
+func runScaleOne(sw ScaleSweep, pf ProtocolFactory, nodes, run int) runOutcome {
+	sc, err := ScenarioFromSpec(sw.Mobility(nodes))
+	if err != nil {
+		return runOutcome{err: fmt.Errorf("experiment: scale mobility for %d nodes: %w", nodes, err)}
+	}
+	if sc.Stream == nil {
+		return runOutcome{err: fmt.Errorf("experiment: scale mobility %q has no streaming source", sc.Spec)}
+	}
+	seed := seedFor(sw.BaseSeed, nodes, run)
+	src, err := sc.Stream(seed)
+	if err != nil {
+		return runOutcome{err: fmt.Errorf("experiment: scale source (%d nodes): %w", nodes, err)}
+	}
+	if src.Nodes() < 2 {
+		return runOutcome{err: fmt.Errorf("experiment: scale source reports %d node(s)", src.Nodes())}
+	}
+	from, to := pickPair(src.Nodes(), seedFor(sw.BaseSeed, 0, run))
+	r, err := core.Run(core.Config{
+		Source:       src,
+		Protocol:     pf.New(),
+		Flows:        []core.Flow{{Src: from, Dst: to, Count: sw.Load}},
+		TxTime:       sc.TxTime,
+		BufferCap:    sc.BufferCap,
+		Seed:         seed,
+		RunToHorizon: true,
+	})
+	if err != nil {
+		return runOutcome{err: fmt.Errorf("experiment: scale %s at %d nodes: %w", pf.Label, nodes, err)}
+	}
+	return runOutcome{res: r}
+}

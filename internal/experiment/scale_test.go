@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// tinyScale is a fast scale sweep over small populations (the axis
+// mechanics are identical at any N; the big populations are exercised
+// by the benchmarks and the CI smoke run).
+func tinyScale() ScaleSweep {
+	return ScaleSweep{
+		Name:  "tiny-scale",
+		Nodes: []int{12, 24},
+		Mobility: func(nodes int) string {
+			return fmt.Sprintf("rwp:nodes=%d,area=1500,span=40000,range=150,dt=25", nodes)
+		},
+		Protocols: []ProtocolFactory{Pure()},
+		Load:      10,
+		Runs:      2,
+		BaseSeed:  7,
+	}
+}
+
+func TestRunScaleShape(t *testing.T) {
+	res, err := RunScale(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].Points) != 2 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	for i, p := range res.Series[0].Points {
+		if p.Nodes != res.Nodes[i] {
+			t.Errorf("point %d nodes = %d, want %d", i, p.Nodes, res.Nodes[i])
+		}
+		if p.Delivery < 0 || p.Delivery > 1 {
+			t.Errorf("point %d delivery %v out of [0,1]", i, p.Delivery)
+		}
+		if p.Runs != 2 {
+			t.Errorf("point %d runs = %d", i, p.Runs)
+		}
+	}
+}
+
+// TestRunScaleDeterministicAcrossWorkers: the scale grid must fold to
+// bit-identical results for every worker count, like the load sweeps.
+func TestRunScaleDeterministicAcrossWorkers(t *testing.T) {
+	seq := tinyScale()
+	seq.Workers = 1
+	a, err := RunScale(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := tinyScale()
+	par.Workers = 4
+	b, err := RunScale(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("worker counts diverge:\n1: %+v\n4: %+v", a, b)
+	}
+}
+
+func TestRunScaleErrors(t *testing.T) {
+	sw := tinyScale()
+	sw.Nodes = nil
+	if _, err := RunScale(sw); err == nil {
+		t.Error("empty node axis accepted")
+	}
+	sw = tinyScale()
+	sw.Protocols = nil
+	if _, err := RunScale(sw); err == nil {
+		t.Error("no protocols accepted")
+	}
+	sw = tinyScale()
+	sw.Mobility = func(int) string { return "bogus:spec" }
+	if _, err := RunScale(sw); err == nil {
+		t.Error("bad mobility spec accepted")
+	}
+}

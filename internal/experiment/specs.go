@@ -20,6 +20,7 @@ func ScenarioFromSpec(specStr string) (Scenario, error) {
 		Name:           src.Kind,
 		Spec:           src.Spec,
 		Generate:       src.Generate,
+		Stream:         src.Stream,
 		PerRunSchedule: src.PerRun,
 	}
 	if src.Kind == "interval" {

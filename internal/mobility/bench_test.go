@@ -1,0 +1,104 @@
+package mobility
+
+import (
+	"runtime"
+	"testing"
+)
+
+// The schedule-memory benchmark pair behind cmd/benchguard's memory
+// gate: generating 5k-node subscriber-point mobility materialized
+// versus streamed. benchguard enforces (from BENCH_hotpath.json) that
+// the materialized path allocates and retains at least min_ratio times
+// more than the streaming path — the O(#contacts) → O(nodes) claim as
+// a regression gate.
+//
+// Both benchmarks also report "resident-B": the heap bytes still live
+// (after GC) while the run's contact plan is held — the peak schedule
+// residency a simulation pays. The materialized plan retains every
+// contact; the streaming plan retains per-node generator state.
+
+// bench5k is the 5k-node scenario: 100 km² keeps 2000 points legal
+// under the paper's 100/km² density bound, and the span is long enough
+// that the contact count (hundreds of thousands) dwarfs the node
+// count — the regime the O(nodes)-vs-O(#contacts) gate is about.
+func bench5k() SubscriberPointRWP {
+	return SubscriberPointRWP{Nodes: 5000, Points: 2000, AreaSide: 10000, Span: 200000, Seed: 1}
+}
+
+// residentDelta reports the live-heap growth of build, with the
+// returned value kept reachable, as the "resident-B" metric.
+func residentDelta(b *testing.B, build func() any) {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	keep := build()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc {
+		b.ReportMetric(float64(after.HeapAlloc-before.HeapAlloc), "resident-B")
+	} else {
+		b.ReportMetric(0, "resident-B")
+	}
+	runtime.KeepAlive(keep)
+}
+
+func BenchmarkScheduleMaterialized5k(b *testing.B) {
+	g := bench5k()
+	b.ReportAllocs()
+	var contacts int
+	for i := 0; i < b.N; i++ {
+		s, err := g.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		contacts = len(s.Contacts)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(contacts), "contacts")
+	residentDelta(b, func() any {
+		s, err := g.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	})
+}
+
+func BenchmarkScheduleStreaming5k(b *testing.B) {
+	g := bench5k()
+	b.ReportAllocs()
+	var contacts int
+	for i := 0; i < b.N; i++ {
+		src, err := g.Stream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		contacts = 0
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+			contacts++
+		}
+		if err := src.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(contacts), "contacts")
+	// Residency mid-stream: the source half drained, as the engine
+	// would hold it.
+	residentDelta(b, func() any {
+		src, err := g.Stream()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < contacts/2; i++ {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+		}
+		return src
+	})
+}

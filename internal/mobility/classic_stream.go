@@ -1,0 +1,238 @@
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"dtnsim/internal/contact"
+	"dtnsim/internal/sim"
+)
+
+// Stream returns a pull-based source producing exactly Generate's
+// contact stream while holding only O(nodes) state:
+//
+//   - waypoint paths are generated lazily — each node keeps its RNG and
+//     its current leg, drawing the next leg on demand instead of
+//     materializing the whole itinerary;
+//   - range detection uses a grid occupancy index with cell side Range:
+//     per sample step each node is checked only against nodes in its
+//     own and neighbouring cells (any pair within Range must share a
+//     3×3 neighbourhood), so a step costs O(nodes + nearby pairs)
+//     instead of the materialized path's O(nodes²) full pairwise scan;
+//   - contacts are only known when they *close*, which is out of start
+//     order, so closes go through a contact.Lookahead heap bounded by
+//     the earliest still-open contact — the heap holds the reordering
+//     window, not the schedule.
+func (g ClassicRWP) Stream() (contact.Source, error) {
+	g = g.Defaults()
+	if g.Nodes < 2 {
+		return nil, fmt.Errorf("mobility: ClassicRWP needs >=2 nodes, got %d", g.Nodes)
+	}
+	if g.MinSpeed <= 0 {
+		return nil, fmt.Errorf("mobility: ClassicRWP MinSpeed must be > 0 (speed-decay pathology), got %v", g.MinSpeed)
+	}
+	root := sim.NewRNG(g.Seed)
+	s := &classicSource{
+		g:     g,
+		walks: make([]classicWalk, g.Nodes),
+		pos:   make([]point, g.Nodes),
+		open:  make(map[contact.PairKey]*classicOpen),
+		grid:  make(map[gridCell][]int),
+		steps: int(float64(g.Span)/g.SampleDT) + 1,
+	}
+	for n := range s.walks {
+		rng := root.Derive(0xC00 + uint64(n))
+		w := &s.walks[n]
+		w.rng = rng
+		w.genPos = point{rng.Uniform(0, g.AreaSide), rng.Uniform(0, g.AreaSide)}
+		w.cur = leg{a: w.genPos, b: w.genPos} // zero-length pause until the first draw
+		s.advanceWalk(w, 0)
+	}
+	return s, nil
+}
+
+// classicWalk is one node's lazy waypoint path: the current leg plus
+// the generation clock for drawing the next one.
+type classicWalk struct {
+	rng     *sim.RNG
+	cur     leg
+	pending leg // the pause leg paired with a freshly drawn travel leg
+	hasPend bool
+	genT    float64 // time at which the next leg pair starts
+	genPos  point
+	done    bool // generation loop ended (genT reached the span)
+}
+
+// classicOpen is an in-range pair's open contact window.
+type classicOpen struct {
+	start float64
+	seen  int // last sample step this pair tested in range
+}
+
+type gridCell struct{ x, y int }
+
+// classicSource runs the sampled-position simulation step by step,
+// emitting closed contacts through a lookahead heap.
+type classicSource struct {
+	g     ClassicRWP
+	walks []classicWalk
+	pos   []point
+	open  map[contact.PairKey]*classicOpen
+	grid  map[gridCell][]int
+	cells []gridCell // cells occupied this step, for O(occupied) reset
+	free  [][]int    // recycled node slices for vacated cells
+	ahead contact.Lookahead
+	step  int
+	steps int
+	done  bool
+	bound sim.Time // release bound for the lookahead heap
+}
+
+// advanceWalk moves a node's current leg forward until it covers time t,
+// drawing new legs on demand with exactly Generate's draw sequence
+// (destination, speed, pause — two legs per draw).
+func (s *classicSource) advanceWalk(w *classicWalk, t float64) {
+	for w.cur.t1 < t {
+		if w.hasPend {
+			w.cur, w.hasPend = w.pending, false
+			continue
+		}
+		if w.done || sim.Time(w.genT) >= s.g.Span {
+			w.done = true
+			return // clamp to the final pause leg, as posAt's hint walk does
+		}
+		dst := point{w.rng.Uniform(0, s.g.AreaSide), w.rng.Uniform(0, s.g.AreaSide)}
+		speed := w.rng.Uniform(s.g.MinSpeed, s.g.MaxSpeed)
+		arrive := w.genT + dist(w.genPos, dst)/speed
+		pause := w.rng.Uniform(0, s.g.MaxPause)
+		w.cur = leg{t0: w.genT, t1: arrive, a: w.genPos, b: dst}
+		w.pending = leg{t0: arrive, t1: arrive + pause, a: dst, b: dst}
+		w.hasPend = true
+		w.genPos = dst
+		w.genT = arrive + pause
+	}
+}
+
+// runStep samples every node's position at the step time, updates the
+// occupancy grid and the open-pair set, and queues closed contacts.
+// It returns the time the step sampled.
+func (s *classicSource) runStep() float64 {
+	g := s.g
+	t := float64(s.step) * g.SampleDT
+	if sim.Time(t) > g.Span {
+		t = float64(g.Span)
+	}
+	for n := range s.walks {
+		w := &s.walks[n]
+		s.advanceWalk(w, t)
+		s.pos[n] = w.cur.at(t)
+	}
+	// Rebuild the occupancy index. Cell side = Range, so every in-range
+	// pair shares a 3×3 cell neighbourhood. Vacated cells are deleted —
+	// not truncated — so the map tracks the cells occupied *this* step
+	// (≤ nodes of them), not every cell ever visited; the node slices
+	// are recycled through a free list to keep the rebuild light.
+	for _, c := range s.cells {
+		s.free = append(s.free, s.grid[c][:0])
+		delete(s.grid, c)
+	}
+	s.cells = s.cells[:0]
+	for n, p := range s.pos {
+		c := gridCell{int(math.Floor(p.x / g.Range)), int(math.Floor(p.y / g.Range))}
+		cell, ok := s.grid[c]
+		if !ok {
+			s.cells = append(s.cells, c)
+			if k := len(s.free); k > 0 {
+				cell = s.free[k-1]
+				s.free = s.free[:k-1]
+			}
+		}
+		s.grid[c] = append(cell, n)
+	}
+	r2 := g.Range * g.Range
+	for _, c := range s.cells {
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				nb := gridCell{c.x + dx, c.y + dy}
+				for _, i := range s.grid[c] {
+					for _, j := range s.grid[nb] {
+						if j <= i {
+							continue
+						}
+						ddx := s.pos[i].x - s.pos[j].x
+						ddy := s.pos[i].y - s.pos[j].y
+						if ddx*ddx+ddy*ddy > r2 {
+							continue
+						}
+						key := contact.MakePairKey(contact.NodeID(i), contact.NodeID(j))
+						st := s.open[key]
+						if st == nil {
+							s.open[key] = &classicOpen{start: t, seen: s.step}
+						} else {
+							st.seen = s.step
+						}
+					}
+				}
+			}
+		}
+	}
+	// Pairs not re-confirmed this step have moved out of range: close
+	// them. The remaining opens set the lookahead release bound — no
+	// future close can start before the earliest open window.
+	minOpen := math.Inf(1)
+	for key, st := range s.open {
+		if st.seen == s.step {
+			if st.start < minOpen {
+				minOpen = st.start
+			}
+			continue
+		}
+		delete(s.open, key)
+		if t > st.start {
+			s.ahead.Add(contact.Contact{A: key.A, B: key.B, Start: sim.Time(st.start), End: sim.Time(t)})
+		}
+	}
+	next := t + g.SampleDT
+	if next > minOpen {
+		next = minOpen
+	}
+	s.bound = sim.Time(next)
+	return t
+}
+
+// finish closes every contact still open at the span.
+func (s *classicSource) finish() {
+	for key, st := range s.open {
+		if float64(s.g.Span) > st.start {
+			s.ahead.Add(contact.Contact{A: key.A, B: key.B, Start: sim.Time(st.start), End: s.g.Span})
+		}
+		delete(s.open, key)
+	}
+	s.bound = sim.Infinity
+	s.done = true
+}
+
+// Next advances the sampled simulation until a contact is releasable.
+func (s *classicSource) Next() (contact.Contact, bool) {
+	for {
+		if c, ok := s.ahead.Pop(s.bound); ok {
+			return c, true
+		}
+		if s.done {
+			return contact.Contact{}, false
+		}
+		if s.step > s.steps {
+			s.finish()
+			continue
+		}
+		t := s.runStep()
+		s.step++
+		if sim.Time(t) >= s.g.Span {
+			s.finish()
+		}
+	}
+}
+
+func (s *classicSource) Nodes() int        { return s.g.Nodes }
+func (s *classicSource) Horizon() sim.Time { return s.g.Span }
+func (s *classicSource) Err() error        { return nil }

@@ -19,6 +19,12 @@
 //     bounded number of encounters per node, and a configurable maximum
 //     inter-encounter interval.
 //
-// Every generator is deterministic under an explicit seed and returns a
-// validated, sorted contact.Schedule.
+// Every generator is deterministic under an explicit seed and comes in
+// two observationally identical forms: Generate materializes a
+// validated, sorted contact.Schedule, and Stream returns a pull-based
+// contact.Source emitting the same contacts in the same order from an
+// O(nodes) working set (per-point and grid occupancy indexes, lazy
+// waypoint paths, lookahead-heap emission; OpenTraceSource streams
+// trace files from disk in O(1) memory). DESIGN.md §8 describes the
+// streaming architecture; stream_test.go proves the bit-equivalence.
 package mobility

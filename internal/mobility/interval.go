@@ -18,13 +18,15 @@ import (
 //
 // Encounters happen in rounds: each round the population is randomly
 // paired off; a pair's meeting starts Uniform(MinInterval, MaxInterval)
-// seconds after the later partner's previous meeting *started* (the
-// paper bounds the interval between successive encounters, which is a
-// start-to-start measure), and lasts Uniform(MinDur, MaxDur) seconds.
-// Consecutive meetings of a node may therefore overlap slightly, which
-// the engine permits — a node can exchange with two peers in one
-// window. Every node gets exactly Encounters meetings (one per round
-// when the population is even).
+// seconds after the later partner's previous meeting started (the
+// paper bounds the interval between successive encounters, a
+// start-to-start measure), anchored at the previous meeting's *end*
+// whenever that drawn start would fall inside it — a node is never in
+// two meetings at once (ValidateDisjoint enforces this). An earlier
+// revision skipped the end anchor, so a long meeting could overlap the
+// next one drawn from a short interval. The meeting lasts
+// Uniform(MinDur, MaxDur) seconds; every node gets exactly Encounters
+// meetings (one per round when the population is even).
 type ControlledInterval struct {
 	Nodes       int
 	Encounters  int     // encounters per node
@@ -63,38 +65,142 @@ func (g ControlledInterval) Defaults() ControlledInterval {
 	return g
 }
 
+// check validates the generator parameters shared by Generate and
+// Stream.
+func (g ControlledInterval) check() error {
+	if g.Nodes < 2 {
+		return fmt.Errorf("mobility: ControlledInterval needs >=2 nodes, got %d", g.Nodes)
+	}
+	if g.MaxInterval < g.MinInterval {
+		return fmt.Errorf("mobility: MaxInterval %v < MinInterval %v", g.MaxInterval, g.MinInterval)
+	}
+	return nil
+}
+
+// intervalState tracks each node's previous meeting window: the start
+// anchors the paper's start-to-start interval draw, the end is the
+// floor below which the next meeting may not begin.
+type intervalState struct{ start, end []float64 }
+
+func newIntervalState(nodes int) *intervalState {
+	return &intervalState{start: make([]float64, nodes), end: make([]float64, nodes)}
+}
+
+// round draws one pairing round into emit. Factoring the draw loop
+// keeps Generate, Stream, and Stream's horizon pre-pass on one RNG
+// sequence by construction.
+func (g ControlledInterval) round(rng *sim.RNG, st *intervalState, emit func(contact.Contact)) {
+	perm := rng.Perm(g.Nodes)
+	for k := 0; k+1 < len(perm); k += 2 {
+		a := contact.NodeID(perm[k])
+		b := contact.NodeID(perm[k+1])
+		start := math.Max(st.start[a], st.start[b]) + rng.Uniform(g.MinInterval, g.MaxInterval)
+		// End anchor: a drawn interval shorter than the previous
+		// meeting's duration would start this one inside it.
+		start = math.Max(start, math.Max(st.end[a], st.end[b]))
+		end := start + rng.Uniform(g.MinDur, g.MaxDur)
+		rs, re := math.Round(start), math.Round(end)
+		if re > rs {
+			emit(contact.Contact{
+				A: a, B: b, Start: sim.Time(rs), End: sim.Time(re),
+			}.Normalize())
+		}
+		st.start[a], st.start[b] = start, start
+		st.end[a], st.end[b] = end, end
+	}
+}
+
 // Generate produces the controlled-interval schedule.
 func (g ControlledInterval) Generate() (*contact.Schedule, error) {
 	g = g.Defaults()
-	if g.Nodes < 2 {
-		return nil, fmt.Errorf("mobility: ControlledInterval needs >=2 nodes, got %d", g.Nodes)
-	}
-	if g.MaxInterval < g.MinInterval {
-		return nil, fmt.Errorf("mobility: MaxInterval %v < MinInterval %v", g.MaxInterval, g.MinInterval)
+	if err := g.check(); err != nil {
+		return nil, err
 	}
 	rng := sim.NewRNG(g.Seed)
 	s := &contact.Schedule{Nodes: g.Nodes}
-	lastStart := make([]float64, g.Nodes)
+	st := newIntervalState(g.Nodes)
 	for round := 0; round < g.Encounters; round++ {
-		perm := rng.Perm(g.Nodes)
-		for k := 0; k+1 < len(perm); k += 2 {
-			a := contact.NodeID(perm[k])
-			b := contact.NodeID(perm[k+1])
-			start := math.Max(lastStart[a], lastStart[b]) + rng.Uniform(g.MinInterval, g.MaxInterval)
-			end := start + rng.Uniform(g.MinDur, g.MaxDur)
-			rs, re := math.Round(start), math.Round(end)
-			if re > rs {
-				s.Contacts = append(s.Contacts, contact.Contact{
-					A: a, B: b, Start: sim.Time(rs), End: sim.Time(re),
-				}.Normalize())
-			}
-			lastStart[a] = start
-			lastStart[b] = start
-		}
+		g.round(rng, st, func(c contact.Contact) { s.Contacts = append(s.Contacts, c) })
 	}
 	s.Sort()
-	if err := s.Validate(); err != nil {
+	if err := s.ValidateDisjoint(); err != nil {
 		return nil, fmt.Errorf("mobility: controlled-interval schedule invalid: %w", err)
 	}
 	return s, nil
 }
+
+// Stream returns a pull-based source of the same contact stream
+// Generate materializes, bit for bit. Rounds are drawn lazily into a
+// contact.Lookahead heap: a contact drawn in a later round can start
+// before one drawn earlier (nodes' renewal chains progress at different
+// rates), but never before min(last) + MinInterval, which bounds the
+// release. The horizon — needed up front, and unknowable without
+// playing the renewal chains out — comes from a contact-free pre-pass
+// over the same draw sequence: O(nodes·encounters) time, O(nodes)
+// memory, no contact storage.
+func (g ControlledInterval) Stream() (contact.Source, error) {
+	g = g.Defaults()
+	if err := g.check(); err != nil {
+		return nil, err
+	}
+	var horizon sim.Time
+	pre := sim.NewRNG(g.Seed)
+	st := newIntervalState(g.Nodes)
+	for round := 0; round < g.Encounters; round++ {
+		g.round(pre, st, func(c contact.Contact) {
+			if c.End > horizon {
+				horizon = c.End
+			}
+		})
+	}
+	return &intervalSource{
+		g:       g,
+		rng:     sim.NewRNG(g.Seed),
+		st:      newIntervalState(g.Nodes),
+		horizon: horizon,
+	}, nil
+}
+
+type intervalSource struct {
+	g       ControlledInterval
+	rng     *sim.RNG
+	st      *intervalState
+	round   int
+	horizon sim.Time
+	ahead   contact.Lookahead
+}
+
+// bound returns a lower bound on the start of every contact in rounds
+// not yet drawn: no node meets again before its previous meeting's
+// start plus MinInterval, and the end anchor only pushes starts later
+// (rounding is monotone, so rounding the bound keeps it below every
+// future rounded start).
+func (s *intervalSource) bound() sim.Time {
+	if s.round >= s.g.Encounters {
+		return sim.Infinity
+	}
+	minStart := math.Inf(1)
+	for _, v := range s.st.start {
+		if v < minStart {
+			minStart = v
+		}
+	}
+	return sim.Time(math.Round(minStart + s.g.MinInterval))
+}
+
+func (s *intervalSource) Next() (contact.Contact, bool) {
+	for {
+		if c, ok := s.ahead.Pop(s.bound()); ok {
+			return c, true
+		}
+		if s.round >= s.g.Encounters {
+			return contact.Contact{}, false
+		}
+		s.g.round(s.rng, s.st, s.ahead.Add)
+		s.round++
+	}
+}
+
+func (s *intervalSource) Nodes() int        { return s.g.Nodes }
+func (s *intervalSource) Horizon() sim.Time { return s.horizon }
+func (s *intervalSource) Err() error        { return nil }

@@ -28,9 +28,16 @@ type Source struct {
 	// schedule for every run (synthetic waypoint models) or generate it
 	// once and share it (trace files, seed-pinned generators).
 	PerRun bool
-	// Generate builds the schedule. The seed is the run's seed unless
-	// the spec pinned one with seed=N. Must be safe for concurrent use.
+	// Generate materializes the full schedule. The seed is the run's
+	// seed unless the spec pinned one with seed=N. Must be safe for
+	// concurrent use.
 	Generate func(seed uint64) (*contact.Schedule, error)
+	// Stream builds a pull-based contact source emitting the same
+	// stream Generate materializes, in O(nodes) working memory. Every
+	// built-in spec provides it; the engine and sweep harnesses prefer
+	// it over Generate. A source is single-use: call Stream once per
+	// run. Must be safe for concurrent use.
+	Stream func(seed uint64) (contact.Source, error)
 }
 
 // SpecInfo documents one registered spec for listings (-list).
@@ -138,7 +145,7 @@ func builtinRegistry() *Registry {
 		"subscriber[:seed=N,nodes=N,points=N,area=M,span=S] — the paper's modified subscriber-point RWP (regenerated per run)",
 		parseSubscriber)
 	r.Register("rwp",
-		"rwp[:seed=N,nodes=N,area=M,span=S,range=M] — textbook random waypoint with range detection (regenerated per run)",
+		"rwp[:seed=N,nodes=N,area=M,span=S,range=M,dt=S] — textbook random waypoint with range detection (regenerated per run)",
 		parseClassic)
 	r.Register("interval",
 		"interval[:max=S,min=S,nodes=N,encounters=N,seed=N] — the Fig. 14 bounded inter-encounter-interval scenario (regenerated per run)",
@@ -203,14 +210,20 @@ func parseCambridge(args string) (Source, error) {
 	if span != 0 {
 		pairs = append(pairs, [2]string{"span", fmtFloat(span)})
 	}
+	gen := func(runSeed uint64) SyntheticCambridge {
+		if pinned {
+			runSeed = seed
+		}
+		return SyntheticCambridge{Seed: runSeed, Nodes: nodes, Span: sim.Time(span)}
+	}
 	return Source{
 		Spec:   canonical("cambridge", pairs...),
 		PerRun: false, // a trace is fixed across runs, like the real file
 		Generate: func(runSeed uint64) (*contact.Schedule, error) {
-			if pinned {
-				runSeed = seed
-			}
-			return SyntheticCambridge{Seed: runSeed, Nodes: nodes, Span: sim.Time(span)}.Generate()
+			return gen(runSeed).Generate()
+		},
+		Stream: func(runSeed uint64) (contact.Source, error) {
+			return gen(runSeed).Stream()
 		},
 	}, nil
 }
@@ -262,17 +275,23 @@ func parseSubscriber(args string) (Source, error) {
 	if span != 0 {
 		pairs = append(pairs, [2]string{"span", fmtFloat(span)})
 	}
+	gen := func(runSeed uint64) SubscriberPointRWP {
+		if pinned {
+			runSeed = seed
+		}
+		return SubscriberPointRWP{
+			Seed: runSeed, Nodes: nodes, Points: points,
+			AreaSide: area, Span: sim.Time(span),
+		}
+	}
 	return Source{
 		Spec:   canonical("subscriber", pairs...),
 		PerRun: !pinned,
 		Generate: func(runSeed uint64) (*contact.Schedule, error) {
-			if pinned {
-				runSeed = seed
-			}
-			return SubscriberPointRWP{
-				Seed: runSeed, Nodes: nodes, Points: points,
-				AreaSide: area, Span: sim.Time(span),
-			}.Generate()
+			return gen(runSeed).Generate()
+		},
+		Stream: func(runSeed uint64) (contact.Source, error) {
+			return gen(runSeed).Stream()
 		},
 	}, nil
 }
@@ -302,10 +321,14 @@ func parseClassic(args string) (Source, error) {
 	if err != nil {
 		return Source{}, err
 	}
+	dt, err := ps.Float("dt", 0)
+	if err != nil {
+		return Source{}, err
+	}
 	if err := ps.Unknown(); err != nil {
 		return Source{}, err
 	}
-	if nodes < 0 || area < 0 || span < 0 || rng < 0 {
+	if nodes < 0 || area < 0 || span < 0 || rng < 0 || dt < 0 {
 		return Source{}, fmt.Errorf("parameters must be non-negative")
 	}
 	var pairs [][2]string
@@ -324,17 +347,26 @@ func parseClassic(args string) (Source, error) {
 	if rng != 0 {
 		pairs = append(pairs, [2]string{"range", fmtFloat(rng)})
 	}
+	if dt != 0 {
+		pairs = append(pairs, [2]string{"dt", fmtFloat(dt)})
+	}
+	gen := func(runSeed uint64) ClassicRWP {
+		if pinned {
+			runSeed = seed
+		}
+		return ClassicRWP{
+			Seed: runSeed, Nodes: nodes, AreaSide: area,
+			Span: sim.Time(span), Range: rng, SampleDT: dt,
+		}
+	}
 	return Source{
 		Spec:   canonical("rwp", pairs...),
 		PerRun: !pinned,
 		Generate: func(runSeed uint64) (*contact.Schedule, error) {
-			if pinned {
-				runSeed = seed
-			}
-			return ClassicRWP{
-				Seed: runSeed, Nodes: nodes, AreaSide: area,
-				Span: sim.Time(span), Range: rng,
-			}.Generate()
+			return gen(runSeed).Generate()
+		},
+		Stream: func(runSeed uint64) (contact.Source, error) {
+			return gen(runSeed).Stream()
 		},
 	}, nil
 }
@@ -386,17 +418,23 @@ func parseInterval(args string) (Source, error) {
 	if pinned {
 		pairs = append(pairs, [2]string{"seed", fmtUint(seed)})
 	}
+	gen := func(runSeed uint64) ControlledInterval {
+		if pinned {
+			runSeed = seed
+		}
+		return ControlledInterval{
+			Seed: runSeed, MaxInterval: maxI, MinInterval: minI,
+			Nodes: nodes, Encounters: enc,
+		}
+	}
 	return Source{
 		Spec:   canonical("interval", pairs...),
 		PerRun: !pinned,
 		Generate: func(runSeed uint64) (*contact.Schedule, error) {
-			if pinned {
-				runSeed = seed
-			}
-			return ControlledInterval{
-				Seed: runSeed, MaxInterval: maxI, MinInterval: minI,
-				Nodes: nodes, Encounters: enc,
-			}.Generate()
+			return gen(runSeed).Generate()
+		},
+		Stream: func(runSeed uint64) (contact.Source, error) {
+			return gen(runSeed).Stream()
 		},
 	}, nil
 }
@@ -418,6 +456,9 @@ func parseTraceFile(args string) (Source, error) {
 			}
 			defer f.Close()
 			return ParseTrace(f)
+		},
+		Stream: func(uint64) (contact.Source, error) {
+			return OpenTraceSource(path)
 		},
 	}, nil
 }

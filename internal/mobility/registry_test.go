@@ -13,7 +13,7 @@ func TestMobilitySpecsRoundTrip(t *testing.T) {
 	specs := append(BuiltinSpecs(),
 		"cambridge:seed=42", "cambridge:nodes=8,seed=7", "cambridge:span=100000",
 		"subscriber:nodes=20", "subscriber:seed=3,points=50,area=2000",
-		"rwp:nodes=40", "rwp:area=500,range=50",
+		"rwp:nodes=40", "rwp:area=500,range=50", "rwp:nodes=24,dt=5",
 		"interval:max=2000", "interval:max=400,min=100,nodes=10,encounters=5",
 		"trace:/tmp/contacts.txt", "trace:odd:path,with=chars",
 	)

@@ -79,14 +79,8 @@ type visit struct {
 // Generate simulates the itineraries and extracts the contact schedule.
 func (g SubscriberPointRWP) Generate() (*contact.Schedule, error) {
 	g = g.Defaults()
-	if g.Nodes < 2 {
-		return nil, fmt.Errorf("mobility: RWP needs >=2 nodes, got %d", g.Nodes)
-	}
-	if g.Points < 2 {
-		return nil, fmt.Errorf("mobility: RWP needs >=2 subscriber points, got %d", g.Points)
-	}
-	if g.Points > 100 {
-		return nil, fmt.Errorf("mobility: paper bounds subscriber points at 100/km², got %d", g.Points)
+	if err := g.check(); err != nil {
+		return nil, err
 	}
 	root := sim.NewRNG(g.Seed)
 	placeRNG := root.Derive(0xA11)

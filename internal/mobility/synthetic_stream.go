@@ -1,0 +1,155 @@
+package mobility
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"dtnsim/internal/contact"
+	"dtnsim/internal/sim"
+)
+
+// Stream returns a pull-based source of the same contact stream
+// Generate materializes, bit for bit: every unordered pair is an
+// independent renewal process drawn lazily from its own RNG stream, and
+// a k-way merge heap releases the per-pair streams in canonical order.
+// Working memory is O(pairs) — each pair holds one RNG and one pending
+// contact — independent of the contact count, which grows with Span.
+//
+// The same empty-draw retry as Generate applies: emptiness is decidable
+// at construction because every pair's first contact is pulled to prime
+// the merge heap.
+func (g SyntheticCambridge) Stream() (contact.Source, error) {
+	g = g.Defaults()
+	if g.Nodes < 2 {
+		return nil, fmt.Errorf("mobility: SyntheticCambridge needs >=2 nodes, got %d", g.Nodes)
+	}
+	if g.Span <= 0 {
+		return nil, fmt.Errorf("mobility: SyntheticCambridge needs positive span, got %v", g.Span)
+	}
+	const maxAttempts = 16
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		src := g.newStream(sim.NewRNG(g.Seed + uint64(attempt)*0x9e3779b97f4a7c15))
+		if src.merge.Len() > 0 {
+			return src, nil
+		}
+	}
+	return nil, fmt.Errorf("mobility: no contacts within span %v after %d attempts; increase Span or Nodes",
+		g.Span, maxAttempts)
+}
+
+// pairRenewal is one unordered pair's lazy renewal process. Its draw
+// sequence is exactly generateOnce's inner loop, so a drained pair
+// stream equals the pair's slice of the materialized schedule.
+type pairRenewal struct {
+	a, b     contact.NodeID
+	rng      *sim.RNG
+	activity float64
+	t        float64
+	done     bool
+}
+
+// next advances the renewal process to its next non-degenerate contact.
+func (p *pairRenewal) next(g SyntheticCambridge) (contact.Contact, bool) {
+	for !p.done {
+		gap := p.rng.Pareto(g.Alpha, g.MinGap, g.MaxGap) * g.diurnalFactor(p.t) / p.activity
+		p.t += gap
+		if sim.Time(p.t) >= g.Span {
+			p.done = true
+			return contact.Contact{}, false
+		}
+		dur := p.rng.LogNormal(math.Log(g.MedianDur), g.DurSigma)
+		if dur < g.MinDur {
+			dur = g.MinDur
+		}
+		if dur > g.MaxDur {
+			dur = g.MaxDur
+		}
+		end := p.t + dur
+		if sim.Time(end) > g.Span {
+			end = float64(g.Span)
+		}
+		rs, re := math.Round(p.t), math.Round(end)
+		p.t = end
+		if re > rs {
+			return contact.Contact{A: p.a, B: p.b, Start: sim.Time(rs), End: sim.Time(re)}, true
+		}
+	}
+	return contact.Contact{}, false
+}
+
+// syntheticSource merges the per-pair renewal streams. Each pair's
+// contacts strictly increase in start time, so holding one pending
+// contact per pair in a heap ordered by contact.Less yields the global
+// canonical order — the order Generate's sort produces.
+type syntheticSource struct {
+	g     SyntheticCambridge
+	pairs []pairRenewal
+	merge mergeHeap
+}
+
+// mergeEntry is one pair's pending contact in the merge heap.
+type mergeEntry struct {
+	c    contact.Contact
+	pair int
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int           { return len(h) }
+func (h mergeHeap) Less(i, j int) bool { return contact.Less(h[i].c, h[j].c) }
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// newStream primes one attempt: pair RNGs are derived from the root in
+// (i, j) order — the order generateOnce consumes the root stream — and
+// each pair's first contact seeds the merge heap.
+func (g SyntheticCambridge) newStream(root *sim.RNG) *syntheticSource {
+	s := &syntheticSource{g: g, pairs: make([]pairRenewal, 0, g.Nodes*(g.Nodes-1)/2)}
+	for i := 0; i < g.Nodes; i++ {
+		for j := i + 1; j < g.Nodes; j++ {
+			rng := root.Derive(uint64(i)<<32 | uint64(j))
+			p := pairRenewal{
+				a:        contact.NodeID(i),
+				b:        contact.NodeID(j),
+				rng:      rng,
+				activity: rng.Uniform(1-g.PairActivity, 1+g.PairActivity),
+			}
+			p.t = rng.Uniform(0, g.MaxGap/4)
+			s.pairs = append(s.pairs, p)
+		}
+	}
+	for idx := range s.pairs {
+		if c, ok := s.pairs[idx].next(g); ok {
+			s.merge = append(s.merge, mergeEntry{c: c, pair: idx})
+		}
+	}
+	heap.Init(&s.merge)
+	return s
+}
+
+// Next pops the globally least pending contact and refills its pair.
+func (s *syntheticSource) Next() (contact.Contact, bool) {
+	if s.merge.Len() == 0 {
+		return contact.Contact{}, false
+	}
+	out := s.merge[0]
+	if c, ok := s.pairs[out.pair].next(s.g); ok {
+		s.merge[0] = mergeEntry{c: c, pair: out.pair}
+		heap.Fix(&s.merge, 0)
+	} else {
+		heap.Pop(&s.merge)
+	}
+	return out.c, true
+}
+
+func (s *syntheticSource) Nodes() int        { return s.g.Nodes }
+func (s *syntheticSource) Horizon() sim.Time { return s.g.Span }
+func (s *syntheticSource) Err() error        { return nil }

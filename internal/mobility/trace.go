@@ -40,25 +40,9 @@ func ParseTrace(r io.Reader) (*contact.Schedule, error) {
 			}
 			continue
 		}
-		fields := strings.Fields(text)
-		if len(fields) < 4 {
-			return nil, fmt.Errorf("mobility: trace line %d: want 4 fields, got %d", line, len(fields))
-		}
-		var vals [4]float64
-		for i := 0; i < 4; i++ {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("mobility: trace line %d field %d: %v", line, i+1, err)
-			}
-			vals[i] = v
-		}
-		a, b := contact.NodeID(vals[0]), contact.NodeID(vals[1])
-		if float64(a) != vals[0] || float64(b) != vals[1] || a < 0 || b < 0 {
-			return nil, fmt.Errorf("mobility: trace line %d: node IDs must be non-negative integers", line)
-		}
-		c := contact.Contact{A: a, B: b, Start: sim.Time(vals[2]), End: sim.Time(vals[3])}.Normalize()
-		if err := c.Validate(); err != nil {
-			return nil, fmt.Errorf("mobility: trace line %d: %w", line, err)
+		c, err := parseTraceLine(text, line)
+		if err != nil {
+			return nil, err
 		}
 		if c.B > maxID {
 			maxID = c.B
@@ -77,6 +61,32 @@ func ParseTrace(r io.Reader) (*contact.Schedule, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// parseTraceLine parses one non-comment record of the canonical trace
+// format into a normalized, validated contact.
+func parseTraceLine(text string, line int) (contact.Contact, error) {
+	fields := strings.Fields(text)
+	if len(fields) < 4 {
+		return contact.Contact{}, fmt.Errorf("mobility: trace line %d: want 4 fields, got %d", line, len(fields))
+	}
+	var vals [4]float64
+	for i := 0; i < 4; i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return contact.Contact{}, fmt.Errorf("mobility: trace line %d field %d: %v", line, i+1, err)
+		}
+		vals[i] = v
+	}
+	a, b := contact.NodeID(vals[0]), contact.NodeID(vals[1])
+	if float64(a) != vals[0] || float64(b) != vals[1] || a < 0 || b < 0 {
+		return contact.Contact{}, fmt.Errorf("mobility: trace line %d: node IDs must be non-negative integers", line)
+	}
+	c := contact.Contact{A: a, B: b, Start: sim.Time(vals[2]), End: sim.Time(vals[3])}.Normalize()
+	if err := c.Validate(); err != nil {
+		return contact.Contact{}, fmt.Errorf("mobility: trace line %d: %w", line, err)
+	}
+	return c, nil
 }
 
 func parseNodesHeader(line string) (int, bool) {

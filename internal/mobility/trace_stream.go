@@ -1,0 +1,182 @@
+package mobility
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"dtnsim/internal/contact"
+	"dtnsim/internal/sim"
+)
+
+// OpenTraceSource streams an encounter-trace file as a contact.Source
+// in O(1) memory. It makes two passes over the file: a pre-scan that
+// validates every record and learns what a materialized parse would
+// have known up front — the node count (max ID + 1, raised by a
+// "# nodes: N" header), the exact horizon (latest contact end), and
+// whether the records are already in start order — then a streaming
+// pass that re-parses records lazily as the engine pulls them.
+//
+// Trace files whose records are out of start order (WriteTrace always
+// writes sorted ones) cannot be streamed; they fall back to a fully
+// parsed, sorted schedule behind the same Source interface, trading
+// memory for compatibility.
+//
+// The returned source owns the open file; it closes it on exhaustion
+// or error, and also implements io.Closer for callers (the engine)
+// that abandon a stream early.
+func OpenTraceSource(path string) (contact.Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: trace source: %w", err)
+	}
+	pre, err := preScanTrace(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if !pre.sorted {
+		// Out-of-order records: materialize once, stream the sorted slice.
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("mobility: trace source: %w", err)
+		}
+		defer f.Close()
+		s, err := ParseTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		return s.Stream(), nil
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: trace source: %w", err)
+	}
+	return &traceSource{f: f, sc: newTraceScanner(f), pre: pre}, nil
+}
+
+// traceStats is what the pre-scan learns about a trace file.
+type traceStats struct {
+	nodes   int
+	horizon sim.Time
+	sorted  bool
+}
+
+// preScanTrace validates every record and accumulates the stats in one
+// sequential O(1)-memory read.
+func preScanTrace(f *os.File) (traceStats, error) {
+	st := traceStats{sorted: true}
+	sc := newTraceScanner(f)
+	line, records := 0, 0
+	maxID := contact.NodeID(-1)
+	declared := 0
+	var prevStart sim.Time
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if n, ok := parseNodesHeader(text); ok {
+				declared = n
+			}
+			continue
+		}
+		c, err := parseTraceLine(text, line)
+		if err != nil {
+			return st, err
+		}
+		records++
+		if c.Start < prevStart {
+			st.sorted = false
+		}
+		prevStart = c.Start
+		if c.B > maxID {
+			maxID = c.B
+		}
+		if c.End > st.horizon {
+			st.horizon = c.End
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("mobility: reading trace: %w", err)
+	}
+	if records == 0 {
+		return st, fmt.Errorf("mobility: trace source: %w", contact.ErrEmptySchedule)
+	}
+	st.nodes = int(maxID) + 1
+	if declared > st.nodes {
+		st.nodes = declared
+	}
+	if st.nodes < 2 {
+		return st, fmt.Errorf("mobility: trace source: schedule needs >=2 nodes, has %d", st.nodes)
+	}
+	return st, nil
+}
+
+func newTraceScanner(f *os.File) *bufio.Scanner {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return sc
+}
+
+// traceSource is the line-by-line streaming pass.
+type traceSource struct {
+	f    *os.File
+	sc   *bufio.Scanner
+	pre  traceStats
+	line int
+	err  error
+	done bool
+}
+
+func (t *traceSource) Next() (contact.Contact, bool) {
+	if t.done {
+		return contact.Contact{}, false
+	}
+	for t.sc.Scan() {
+		t.line++
+		text := strings.TrimSpace(t.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		c, err := parseTraceLine(text, t.line)
+		if err != nil {
+			// The pre-scan accepted this file; a parse failure now means
+			// it changed underneath us.
+			t.fail(fmt.Errorf("%v (file changed since pre-scan?)", err))
+			return contact.Contact{}, false
+		}
+		return c, true
+	}
+	if err := t.sc.Err(); err != nil {
+		t.fail(fmt.Errorf("mobility: reading trace: %w", err))
+		return contact.Contact{}, false
+	}
+	t.close()
+	return contact.Contact{}, false
+}
+
+func (t *traceSource) fail(err error) {
+	t.err = err
+	t.close()
+}
+
+func (t *traceSource) close() {
+	if !t.done {
+		t.done = true
+		t.f.Close()
+	}
+}
+
+// Close releases the underlying file; safe to call more than once.
+func (t *traceSource) Close() error {
+	t.close()
+	return nil
+}
+
+func (t *traceSource) Nodes() int        { return t.pre.nodes }
+func (t *traceSource) Horizon() sim.Time { return t.pre.horizon }
+func (t *traceSource) Err() error        { return t.err }

@@ -36,6 +36,17 @@ func (s *Scheduler) Now() Time { return s.now }
 // Horizon returns the time at which the scheduler stops processing events.
 func (s *Scheduler) Horizon() Time { return s.horizon }
 
+// SetHorizon lowers the horizon mid-run. A producer that streams events
+// from a source whose true extent is only known at exhaustion (the
+// engine's contact source) calls this once the final extent is known;
+// events already queued beyond the new horizon simply never run.
+// Raising the horizon or moving it before the current time is ignored.
+func (s *Scheduler) SetHorizon(t Time) {
+	if t >= s.now && t < s.horizon {
+		s.horizon = t
+	}
+}
+
 // At schedules fn to run at time t in the default ordering class 0. It
 // returns the event handle so the caller may cancel it, or an error if
 // t precedes the current time.

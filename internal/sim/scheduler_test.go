@@ -162,3 +162,38 @@ func TestSchedulerAtClass(t *testing.T) {
 		t.Error("AtClass in the past should error")
 	}
 }
+
+func TestSchedulerSetHorizon(t *testing.T) {
+	s := NewScheduler(1000)
+	var ran []Time
+	for _, at := range []Time{100, 400, 900} {
+		at := at
+		if _, err := s.At(at, func() { ran = append(ran, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.At(100, func() { s.SetHorizon(500) }); err != nil {
+		t.Fatal(err)
+	}
+	end := s.Run()
+	if len(ran) != 2 || ran[0] != 100 || ran[1] != 400 {
+		t.Errorf("ran %v, want [100 400] after lowering the horizon to 500", ran)
+	}
+	if end != 500 {
+		t.Errorf("end = %v, want the lowered horizon 500", end)
+	}
+
+	// Raising is ignored; moving before the current time is ignored.
+	s2 := NewScheduler(300)
+	s2.SetHorizon(900)
+	if s2.Horizon() != 300 {
+		t.Errorf("raise accepted: horizon %v", s2.Horizon())
+	}
+	if _, err := s2.At(200, func() { s2.SetHorizon(100) }); err != nil {
+		t.Fatal(err)
+	}
+	s2.Run()
+	if s2.Horizon() != 300 {
+		t.Errorf("pre-now lowering accepted: horizon %v", s2.Horizon())
+	}
+}

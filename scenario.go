@@ -135,21 +135,25 @@ func (s Scenario) Normalize() (Scenario, error) {
 }
 
 // Compile resolves the scenario to the engine configuration a Go caller
-// would have built by hand: the registries supply the schedule and the
-// protocol instance, everything else copies over verbatim. Compiling
-// twice yields independent protocol instances.
+// would have built by hand: the registries supply the contact plan and
+// the protocol instance, everything else copies over verbatim. Mobility
+// is resolved to a streaming Source — never materialized — so compiled
+// scenarios run in O(nodes) contact-plan memory; results are
+// bit-identical to a Config built around the materialized Schedule.
+// The Source is consumed by one Run, so compile once per run (compiling
+// twice also yields independent protocol instances).
 func (s Scenario) Compile() (Config, error) {
 	if err := s.Check(); err != nil {
 		return Config{}, err
 	}
 	src, _ := mobility.Parse(string(s.Mobility))
-	schedule, err := src.Generate(s.Seed)
+	stream, err := src.Stream(s.Seed)
 	if err != nil {
-		return Config{}, fmt.Errorf("dtnsim: generating %s mobility: %w", src.Kind, err)
+		return Config{}, fmt.Errorf("dtnsim: streaming %s mobility: %w", src.Kind, err)
 	}
 	fac, _ := protocol.Parse(string(s.Protocol))
 	return Config{
-		Schedule:       schedule,
+		Source:         stream,
 		Protocol:       fac.New(),
 		Flows:          s.Flows,
 		BufferCap:      s.BufferCap,
@@ -160,6 +164,37 @@ func (s Scenario) Compile() (Config, error) {
 		Seed:           s.Seed,
 		RunToHorizon:   s.RunToHorizon,
 	}, nil
+}
+
+// StreamMobility resolves the scenario's mobility to a fresh streaming
+// source — e.g. to summarize it with AnalyzeContactSource without
+// holding the schedule. Each call returns an independent single-use
+// stream; Compile builds its own.
+func (s Scenario) StreamMobility() (ContactSource, error) {
+	src, err := mobility.Parse(string(s.Mobility))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	stream, err := src.Stream(s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dtnsim: streaming %s mobility: %w", src.Kind, err)
+	}
+	return stream, nil
+}
+
+// Materialize resolves the scenario's mobility to a full Schedule —
+// the form tools needing random access (WriteTrace) want. Runs don't:
+// Compile streams.
+func (s Scenario) Materialize() (*Schedule, error) {
+	src, err := mobility.Parse(string(s.Mobility))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	sched, err := src.Generate(s.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dtnsim: generating %s mobility: %w", src.Kind, err)
+	}
+	return sched, nil
 }
 
 // RunScenario compiles and executes a scenario. Observers, if any,
