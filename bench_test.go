@@ -235,6 +235,46 @@ func BenchmarkContactHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkContactHotPathConstrained is BenchmarkContactHotPath with
+// the finite-bandwidth machinery active but never binding: 1-byte
+// bundles under an effectively unbounded bandwidth and byte capacity.
+// The event sequence is identical to the unconstrained benchmark, so
+// the pair isolates the resource model's bookkeeping overhead;
+// benchguard gates the ratio at <~10% (BENCH_hotpath.json pair
+// "constrained-overhead").
+func BenchmarkContactHotPathConstrained(b *testing.B) {
+	trace, err := dtnsim.CambridgeTrace(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rwp, err := dtnsim.SubscriberRWP(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schedules := []*dtnsim.Schedule{trace, rwp}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sched := range schedules {
+			for _, p := range dtnsim.Protocols() {
+				_, err := dtnsim.Run(dtnsim.Config{
+					Schedule:     sched,
+					Protocol:     p,
+					Flows:        []dtnsim.Flow{{Src: 0, Dst: 7, Count: 50, Size: 1}},
+					Seed:         benchSeed,
+					RunToHorizon: true,
+					Bandwidth:    1e15,
+					BufferBytes:  1 << 50,
+					DropPolicy:   "dropfront",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkSyntheticTraceGeneration(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -78,6 +78,11 @@ type Pair struct {
 	Slow string `json:"slow"`
 	// Speedup is slow ns/op over fast ns/op as measured.
 	Speedup float64 `json:"speedup"`
+	// Tolerance optionally overrides the report-level tolerance for
+	// this pair: overhead gates (e.g. constrained-vs-unconstrained
+	// bookkeeping, baseline speedup ~1.0) want a tighter band than the
+	// conservative 10x-speedup floors.
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // Report is the BENCH_hotpath.json schema: measured numbers plus the
@@ -204,10 +209,16 @@ func main() {
 			continue
 		}
 		speedup := slowM.NsOp / fastM.NsOp
-		report.Pairs = append(report.Pairs, Pair{Name: p.Name, Fast: p.Fast, Slow: p.Slow, Speedup: speedup})
-		if p.Speedup > 0 && speedup < p.Speedup*(1-tol) {
+		pairTol := tol
+		if p.Tolerance > 0 {
+			pairTol = p.Tolerance
+		}
+		report.Pairs = append(report.Pairs, Pair{
+			Name: p.Name, Fast: p.Fast, Slow: p.Slow, Speedup: speedup, Tolerance: p.Tolerance,
+		})
+		if p.Speedup > 0 && speedup < p.Speedup*(1-pairTol) {
 			fail("pair %q: speedup %.2fx fell >%.0f%% below baseline %.2fx (fast path ns/op regressed)",
-				p.Name, speedup, tol*100, p.Speedup)
+				p.Name, speedup, pairTol*100, p.Speedup)
 		} else {
 			fmt.Printf("benchguard: pair %-16s %8.2fx (baseline %.2fx)\n", p.Name, speedup, p.Speedup)
 		}

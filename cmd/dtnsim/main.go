@@ -59,6 +59,11 @@ func main() {
 		seedFlag     = flag.Uint64("seed", 42, "random seed (mobility and protocol draws)")
 		bufFlag      = flag.Int("buffer", dtnsim.DefaultBufferCap, "per-node buffer capacity in bundles")
 		txFlag       = flag.Float64("txtime", dtnsim.DefaultTxTime, "seconds to transmit one bundle")
+		bwFlag       = flag.Float64("bw", 0, "contact bandwidth in bytes/sec (0 = unconstrained legacy model)")
+		sizeFlag     = flag.Int64("size", 0, "payload size per bundle in bytes (0 = size-less legacy model)")
+		bufBytesFlag = flag.Int64("bufbytes", 0, "per-node buffer byte capacity (0 = unbounded)")
+		dropFlag     = flag.String("drop", "", "byte-pressure drop policy: droptail | dropfront | droprandom (default droptail)")
+		ctlBytesFlag = flag.Float64("ctlbytes", 0, "bytes charged per control record against a bandwidth-limited contact")
 		horizonFlag  = flag.Bool("full", false, "run to the mobility horizon instead of stopping at delivery")
 		maxIFlag     = flag.Float64("maxinterval", 400, "interval mobility: max inter-encounter gap in seconds")
 		sweepFlag    = flag.Bool("sweep", false, "run the paper's §IV load sweep (5..50) instead of a single simulation")
@@ -126,7 +131,13 @@ func main() {
 		if *mobFlag == "" {
 			legacyName = *mobilityFlag
 		}
-		runSweep(mobSpec, legacyName, protoSpec, bufferCap, txTime, *seedFlag, *runsFlag, *workersFlag, *dumpFlag)
+		runSweep(sweepParams{
+			mobSpec: mobSpec, legacyName: legacyName, protoSpec: protoSpec,
+			bufferCap: bufferCap, txTime: txTime,
+			bandwidth: *bwFlag, bundleSize: *sizeFlag, bufferBytes: *bufBytesFlag,
+			dropPolicy: *dropFlag, controlBytes: *ctlBytesFlag,
+			seed: *seedFlag, runs: *runsFlag, workers: *workersFlag, dump: *dumpFlag,
+		})
 		return
 	}
 
@@ -139,7 +150,8 @@ func main() {
 		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		for _, name := range []string{"mobility", "mob", "trace", "protocol", "proto",
 			"p", "q", "antipackets", "ttl", "load", "src", "dst", "seed",
-			"buffer", "txtime", "full", "maxinterval"} {
+			"buffer", "txtime", "full", "maxinterval",
+			"bw", "size", "bufbytes", "drop", "ctlbytes"} {
 			if set[name] {
 				fmt.Fprintf(os.Stderr, "dtnsim: -%s is ignored with -scenario (the file defines the run)\n", name)
 			}
@@ -161,6 +173,11 @@ func main() {
 			TxTime:       *txFlag,
 			Seed:         *seedFlag,
 			RunToHorizon: *horizonFlag,
+			Bandwidth:    *bwFlag,
+			BundleSize:   *sizeFlag,
+			BufferBytes:  *bufBytesFlag,
+			DropPolicy:   *dropFlag,
+			ControlBytes: *ctlBytesFlag,
 		}
 	}
 
@@ -218,8 +235,8 @@ func main() {
 	fmt.Printf("buffer occupancy level: %.3f\n", result.MeanOccupancy)
 	fmt.Printf("bundle duplication rate: %.3f\n", result.MeanDuplication)
 	fmt.Printf("signaling overhead: %d records\n", result.ControlRecords)
-	fmt.Printf("bundle transmissions: %d (refused %d, evicted %d, expired %d)\n",
-		result.DataTransmissions, result.Refused, result.Evicted, result.Expired)
+	fmt.Printf("bundle transmissions: %d (refused %d, evicted %d, expired %d, bytepressure %d)\n",
+		result.DataTransmissions, result.Refused, result.Evicted, result.Expired, result.ByteDropped)
 	fmt.Printf("finished at: %v\n", result.FinishedAt)
 }
 
@@ -287,29 +304,54 @@ func printSpecLists() {
 	for _, s := range dtnsim.MobilitySpecs() {
 		fmt.Printf("  %-12s %s\n", s.Name, s.Usage)
 	}
+	fmt.Println()
+	fmt.Println("drop policies (use with -drop, Scenario \"drop\" key; need -bufbytes):")
+	for _, name := range dtnsim.DropPolicies() {
+		fmt.Printf("  %-12s\n", name)
+	}
+}
+
+// sweepParams carries the sweep-mode flag values.
+type sweepParams struct {
+	mobSpec, legacyName, protoSpec string
+	bufferCap                      int
+	txTime                         float64
+	bandwidth                      float64
+	bundleSize                     int64
+	bufferBytes                    int64
+	dropPolicy                     string
+	controlBytes                   float64
+	seed                           uint64
+	runs, workers                  int
+	dump                           bool
 }
 
 // runSweep executes the paper's load sweep for one protocol on the
 // selected mobility source and prints the per-metric tables; with dump
 // set it prints the sweep's SweepSpec JSON instead of running.
-func runSweep(mobSpec, legacyName, protoSpec string, bufferCap int, txTime float64, seed uint64, runs, workers int, dump bool) {
+func runSweep(p sweepParams) {
 	spec := dtnsim.SweepSpec{
 		Scenario: dtnsim.Scenario{
-			Name:      legacyName,
-			Mobility:  dtnsim.MobilitySpec(mobSpec),
-			TxTime:    txTime,
-			BufferCap: bufferCap,
-			Seed:      seed,
+			Name:         p.legacyName,
+			Mobility:     dtnsim.MobilitySpec(p.mobSpec),
+			TxTime:       p.txTime,
+			BufferCap:    p.bufferCap,
+			Seed:         p.seed,
+			Bandwidth:    p.bandwidth,
+			BundleSize:   p.bundleSize,
+			BufferBytes:  p.bufferBytes,
+			DropPolicy:   p.dropPolicy,
+			ControlBytes: p.controlBytes,
 		},
-		Protocols: []dtnsim.ProtocolSpec{dtnsim.ProtocolSpec(protoSpec)},
-		Runs:      runs,
-		Workers:   workers,
+		Protocols: []dtnsim.ProtocolSpec{dtnsim.ProtocolSpec(p.protoSpec)},
+		Runs:      p.runs,
+		Workers:   p.workers,
 	}
 	sweep, err := spec.Compile()
 	if err != nil {
 		fatal(err)
 	}
-	if dump {
+	if p.dump {
 		// Round-trip through the compiled sweep so the dump carries
 		// canonical specs, matching single-run -dump's Normalize.
 		canon, err := dtnsim.SweepSpecOf(spec.Name, sweep)
@@ -333,7 +375,7 @@ func runSweep(mobSpec, legacyName, protoSpec string, bufferCap int, txTime float
 	fmt.Fprintln(os.Stderr)
 	for _, m := range []dtnsim.Metric{dtnsim.MetricDelivery, dtnsim.MetricDelay,
 		dtnsim.MetricOccupancy, dtnsim.MetricDuplication} {
-		fmt.Println(dtnsim.TableOf(res, m, fmt.Sprintf("%s (%s, %d runs/point)", m, sweep.Scenario.Name, runs)).ASCII())
+		fmt.Println(dtnsim.TableOf(res, m, fmt.Sprintf("%s (%s, %d runs/point)", m, sweep.Scenario.Name, p.runs)).ASCII())
 	}
 }
 

@@ -12,6 +12,7 @@
 //	figures -specs              # also write each figure as SweepSpec JSON
 //	figures -only scale         # the 1k/5k/10k-node scale sweep
 //	figures -only scale -scale-nodes 1000,5000 -scale-runs 1
+//	figures -only constrained   # the finite-bandwidth resource sweep
 //
 // The scale sweep is the node-count axis the streaming contact sources
 // open (DESIGN.md §8): delivery ratio, per-bundle delay and buffer
@@ -103,10 +104,51 @@ func main() {
 	if want("table2") {
 		runTableII(*outDir, *runs, *seed, *workers)
 	}
-	// The scale sweep runs only when explicitly selected.
+	// The scale and constrained sweeps run only when explicitly selected.
 	if selected["scale"] {
 		runScale(*outDir, *scaleNodes, *scaleRuns, *seed, *workers, *quiet)
 	}
+	if selected["constrained"] {
+		runConstrained(*outDir, *runs, *seed, *workers, *quiet)
+	}
+}
+
+// runConstrained executes the bandwidth sweep (DESIGN.md §9) and writes
+// constrained.csv: delivery ratio, per-bundle delay and drop counts
+// versus contact bandwidth for each (protocol, drop policy) series at a
+// fixed load of sized bundles.
+func runConstrained(outDir string, runs int, seed uint64, workers int, quiet bool) {
+	sw := dtnsim.DefaultConstrainedSweep()
+	sw.Runs = runs
+	sw.BaseSeed = seed
+	sw.Workers = workers
+	if !quiet {
+		sw.OnPoint = func(label string, bw float64) {
+			fmt.Fprintf(os.Stderr, "\rconstrained: %-36s bw %8.0f B/s   ", label, bw)
+		}
+	}
+	res, err := dtnsim.RunConstrained(sw)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	var csv strings.Builder
+	csv.WriteString("bandwidth_Bps,protocol,drop_policy,delivery_ratio,mean_delay_s,drops,byte_dropped,refused,completed,runs\n")
+	fmt.Println("constrained: delivery / delay / drops vs contact bandwidth (1 MB bundles, byte-bounded buffers)")
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&csv, "%g,%q,%q,%.4f,%.1f,%.1f,%.1f,%.1f,%d,%d\n",
+				p.Bandwidth, s.Protocol, s.Policy, p.Delivery, p.Delay, p.Drops, p.ByteDropped, p.Refused, p.Completed, p.Runs)
+			fmt.Printf("  %-36s %8.0f B/s: delivery %.3f, delay %8.0f s, drops %6.1f (bytepressure %.1f, refused %.1f)\n",
+				s.Label, p.Bandwidth, p.Delivery, p.Delay, p.Drops, p.ByteDropped, p.Refused)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "constrained.csv"), []byte(csv.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("expected shape: delivery rises with bandwidth; once byte pressure binds, dropfront/droprandom out-deliver droptail for TTL-less flooding (fresh copies displace stale ones)")
 }
 
 // runScale executes the population sweep and writes scale.csv:

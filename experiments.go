@@ -1,6 +1,7 @@
 package dtnsim
 
 import (
+	"dtnsim/internal/buffer"
 	"dtnsim/internal/experiment"
 	"dtnsim/internal/report"
 )
@@ -104,6 +105,34 @@ type (
 	// ScalePoint is one averaged (protocol, nodes) measurement.
 	ScalePoint = experiment.ScalePoint
 )
+
+// Constrained sweeps: the resource axis opened by finite-bandwidth
+// contacts, sized bundles and byte-bounded buffers (DESIGN.md §9).
+type (
+	// ConstrainedSweep sweeps contact bandwidth at a fixed load.
+	ConstrainedSweep = experiment.ConstrainedSweep
+	// ConstrainedResult is a finished constrained sweep.
+	ConstrainedResult = experiment.ConstrainedResult
+	// ConstrainedSeries is one (protocol, drop policy) curve across
+	// bandwidths.
+	ConstrainedSeries = experiment.ConstrainedSeries
+	// ConstrainedPoint is one averaged (series, bandwidth) measurement.
+	ConstrainedPoint = experiment.ConstrainedPoint
+)
+
+// DefaultConstrainedSweep is the trace-based bandwidth sweep the
+// figures CLI runs with -only constrained: delivery/delay/drops versus
+// bandwidth for pure epidemic and TTL under all three drop policies.
+func DefaultConstrainedSweep() ConstrainedSweep { return experiment.DefaultConstrainedSweep() }
+
+// RunConstrained executes a constrained sweep.
+func RunConstrained(s ConstrainedSweep) (*ConstrainedResult, error) {
+	return experiment.RunConstrained(s)
+}
+
+// DropPolicies lists the registered buffer drop-policy names usable in
+// Config.DropPolicy, Scenario "drop" keys and ConstrainedSweep.
+func DropPolicies() []string { return buffer.DropPolicyNames() }
 
 // DefaultScaleSweep is the 1k/5k/10k-node classic-RWP scale experiment.
 func DefaultScaleSweep() ScaleSweep { return experiment.DefaultScaleSweep() }

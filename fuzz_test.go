@@ -1,0 +1,102 @@
+package dtnsim_test
+
+// Fuzzers for the public JSON boundaries, alongside the spec-grammar
+// fuzzers in internal/protocol and internal/mobility: arbitrary bytes
+// must never panic ParseScenario/ParseSweepSpec, and any accepted value
+// must be a fixed point of canonical re-marshalling — parse(marshal(x))
+// == x, so files survive round trips through tooling bit-identically.
+
+import (
+	"reflect"
+	"testing"
+
+	"dtnsim"
+)
+
+func FuzzParseScenario(f *testing.F) {
+	seeds := []string{
+		`{"mobility":"cambridge","protocol":"pure","flows":[{"src":0,"dst":1,"count":1}]}`,
+		`{"mobility":"subscriber:seed=3","protocol":"pq:p=0.8,q=0.5,anti",
+		  "flows":[{"src":1,"dst":3,"count":7,"start_at":50,"size":1048576}],
+		  "buffer_cap":20,"tx_time":25,"seed":9,"run_to_horizon":true,
+		  "bw":50000,"size":524288,"bufbytes":5242880,"drop":"dropfront","ctlbytes":64}`,
+		`{"mobility":"interval:max=2000","protocol":"ttl:300","flows":[{"src":0,"dst":7,"count":25}],"drop":"droprandom","bufbytes":1}`,
+		`{"mobility":"trace:/no/such/file","protocol":"ecttl","flows":[{"src":0,"dst":1,"count":1}]}`,
+		`{}`,
+		`[]`,
+		`{"mobility":"cambridge"`,
+		"\x00\xff garbage",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := dtnsim.ParseScenario(data)
+		if err != nil {
+			return // rejected input: only a panic is a failure
+		}
+		out, err := sc.JSON()
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		back, err := dtnsim.ParseScenario(out)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(back, sc) {
+			t.Fatalf("re-marshal is not a fixed point:\n got: %+v\nwant: %+v", back, sc)
+		}
+		// A parseable scenario must normalize, and normalization must be
+		// idempotent (canonical specs re-normalize to themselves).
+		norm, err := sc.Normalize()
+		if err != nil {
+			t.Fatalf("accepted scenario does not normalize: %v", err)
+		}
+		again, err := norm.Normalize()
+		if err != nil {
+			t.Fatalf("normalized scenario does not re-normalize: %v", err)
+		}
+		if !reflect.DeepEqual(again, norm) {
+			t.Fatalf("Normalize not idempotent:\n got: %+v\nwant: %+v", again, norm)
+		}
+	})
+}
+
+func FuzzParseSweepSpec(f *testing.F) {
+	seeds := []string{
+		`{"scenario":{"mobility":"cambridge"},"protocols":["pure"]}`,
+		`{"name":"x","scenario":{"mobility":"subscriber","seed":2012,"tx_time":25,"buffer_cap":20,
+		  "bw":3000,"size":1048576,"bufbytes":5242880,"drop":"droprandom","ctlbytes":16},
+		  "protocols":["pure","ttl:300"],"labels":["Pure","TTL"],
+		  "loads":[5,10],"runs":2,"metrics":["delivery","occupancy"],"workers":2}`,
+		`{"scenario":{"mobility":"interval:max=400"},"protocols":["ecttl"],"metrics":["warp"]}`,
+		`{"scenario":{"mobility":"cambridge","sample_every":5},"protocols":["pure"]}`,
+		`{"protocols":[]}`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := dtnsim.ParseSweepSpec(data)
+		if err != nil {
+			return
+		}
+		out, err := spec.JSON()
+		if err != nil {
+			t.Fatalf("accepted sweep does not marshal: %v", err)
+		}
+		back, err := dtnsim.ParseSweepSpec(out)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(back, spec) {
+			t.Fatalf("re-marshal is not a fixed point:\n got: %+v\nwant: %+v", back, spec)
+		}
+		// An accepted sweep must still compile (ParseSweepSpec validated
+		// it once; the canonical form must not lose that).
+		if _, err := back.Compile(); err != nil {
+			t.Fatalf("canonical sweep does not compile: %v", err)
+		}
+	})
+}

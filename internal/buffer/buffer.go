@@ -26,6 +26,11 @@ import (
 // is not pinned.
 var ErrFull = errors.New("buffer: store full")
 
+// ErrFullBytes is returned by Put when storing the copy would exceed the
+// store's byte capacity. Callers relieve byte pressure first via
+// MakeByteRoom with a DropPolicy.
+var ErrFullBytes = errors.New("buffer: store byte capacity exceeded")
+
 // ErrDuplicate is returned by Put when a copy of the bundle is already
 // stored.
 var ErrDuplicate = errors.New("buffer: duplicate bundle")
@@ -69,6 +74,15 @@ type Store struct {
 	// immunity tables stored in each node" — tables occupy buffer space
 	// and compete with bundles (DESIGN.md §3).
 	controlLoad float64
+	// capBytes is the optional byte capacity (DESIGN.md §9); zero means
+	// unbounded, the legacy slots-only model. Like the slot capacity it
+	// binds only unpinned copies.
+	capBytes int64
+	// unpinnedBytes and totalBytes track the stored payload bytes
+	// (Bundle.Meta.Size) incrementally on Put/Remove/purge, so the byte
+	// capacity check is O(1). Size-less (legacy) bundles contribute
+	// nothing to either.
+	unpinnedBytes, totalBytes int64
 }
 
 // New returns an empty store with the given capacity in bundles.
@@ -86,6 +100,37 @@ func New(capacity int) *Store {
 
 // Cap returns the configured capacity.
 func (s *Store) Cap() int { return s.cap }
+
+// SetByteCap sets the store's byte capacity; zero disables byte
+// accounting checks (bytes are still tracked). It must be called before
+// copies are stored — shrinking under live contents is not supported —
+// and panics on a negative capacity.
+func (s *Store) SetByteCap(capBytes int64) {
+	if capBytes < 0 {
+		panic(fmt.Sprintf("buffer: byte capacity must be non-negative, got %d", capBytes))
+	}
+	if len(s.copies) > 0 {
+		panic("buffer: SetByteCap on a non-empty store")
+	}
+	s.capBytes = capBytes
+}
+
+// ByteCap returns the configured byte capacity (0 = unbounded).
+func (s *Store) ByteCap() int64 { return s.capBytes }
+
+// UsedBytes returns the payload bytes of every stored copy, pinned
+// included.
+func (s *Store) UsedBytes() int64 { return s.totalBytes }
+
+// UnpinnedBytes returns the payload bytes counted against the byte
+// capacity.
+func (s *Store) UnpinnedBytes() int64 { return s.unpinnedBytes }
+
+// FitsBytes reports whether an unpinned copy of the given payload size
+// would pass the byte capacity check right now.
+func (s *Store) FitsBytes(size int64) bool {
+	return s.capBytes == 0 || size <= 0 || s.unpinnedBytes+size <= s.capBytes
+}
 
 // Len returns the total number of stored copies, pinned included.
 func (s *Store) Len() int { return len(s.copies) }
@@ -149,15 +194,22 @@ func (s *Store) Put(c *bundle.Copy) error {
 	if !c.Pinned && s.Free() <= 0 {
 		return fmt.Errorf("%w: cap=%d", ErrFull, s.cap)
 	}
+	if !c.Pinned && !s.FitsBytes(c.Bundle.Meta.Size) {
+		return fmt.Errorf("%w: cap=%dB", ErrFullBytes, s.capBytes)
+	}
 	s.copies[c.Bundle.ID] = c
 	i := s.searchIdx(c.Bundle.ID)
 	s.order = append(s.order, nil)
 	copy(s.order[i+1:], s.order[i:])
 	s.order[i] = c
+	s.totalBytes += c.Bundle.Meta.Size
 	if c.Pinned {
 		s.pinned++
-	} else if c.Expiry < s.minExpiry {
-		s.minExpiry = c.Expiry
+	} else {
+		s.unpinnedBytes += c.Bundle.Meta.Size
+		if c.Expiry < s.minExpiry {
+			s.minExpiry = c.Expiry
+		}
 	}
 	return nil
 }
@@ -175,8 +227,11 @@ func (s *Store) Remove(id bundle.ID) bool {
 	copy(s.order[i:], s.order[i+1:])
 	s.order[len(s.order)-1] = nil
 	s.order = s.order[:len(s.order)-1]
+	s.totalBytes -= c.Bundle.Meta.Size
 	if c.Pinned {
 		s.pinned--
+	} else {
+		s.unpinnedBytes -= c.Bundle.Meta.Size
 	}
 	if s.Unpinned() == 0 {
 		// Cheap exact reset; otherwise the stale-low bound stands until
@@ -265,16 +320,21 @@ func (s *Store) purge(match func(*bundle.Copy) bool) []*bundle.Copy {
 	kept := s.order[:0]
 	minExpiry := sim.Infinity
 	pinned := 0
+	var unpinnedBytes, totalBytes int64
 	for _, c := range s.order {
 		if match(c) {
 			delete(s.copies, c.Bundle.ID)
 			purged = append(purged, c)
 			continue
 		}
+		totalBytes += c.Bundle.Meta.Size
 		if c.Pinned {
 			pinned++
-		} else if c.Expiry < minExpiry {
-			minExpiry = c.Expiry
+		} else {
+			unpinnedBytes += c.Bundle.Meta.Size
+			if c.Expiry < minExpiry {
+				minExpiry = c.Expiry
+			}
 		}
 		kept = append(kept, c)
 	}
@@ -284,5 +344,6 @@ func (s *Store) purge(match func(*bundle.Copy) bool) []*bundle.Copy {
 	s.order = kept
 	s.pinned = pinned
 	s.minExpiry = minExpiry
+	s.unpinnedBytes, s.totalBytes = unpinnedBytes, totalBytes
 	return purged
 }

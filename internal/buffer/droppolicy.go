@@ -1,0 +1,201 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/sim"
+)
+
+// ErrDropPolicy wraps drop-policy spec resolution failures.
+var ErrDropPolicy = errors.New("buffer: invalid drop policy")
+
+// DropPolicy decides which stored copy to shed when an incoming sized
+// copy does not fit a store's byte capacity. The engine consults it
+// only under byte pressure; the paper's slot-count policies stay in the
+// protocols (Admit), untouched.
+//
+// Contract: Victim returns an unpinned stored copy with a positive
+// payload size — evicting anything else cannot relieve byte pressure —
+// or nil to refuse the incoming copy instead. Selection must be
+// deterministic given the policy's own state (seeded RNG included), so
+// runs stay reproducible.
+type DropPolicy interface {
+	// Name returns the registry spec this policy resolves from.
+	Name() string
+	// Victim picks the next copy to drop from s, or nil to refuse the
+	// incoming copy.
+	Victim(s *Store) *bundle.Copy
+}
+
+// DropPolicyFactory builds a policy instance for one run; seed feeds
+// randomized policies (droprandom) so victim choices are reproducible.
+type DropPolicyFactory func(seed uint64) DropPolicy
+
+type dropPolicyEntry struct {
+	usage   string
+	factory DropPolicyFactory
+}
+
+var dropPolicies = map[string]dropPolicyEntry{}
+var dropPolicyNames []string
+
+// RegisterDropPolicy adds a named drop policy; it panics on an empty or
+// duplicate name (registration is init-time, a collision is a
+// programming error).
+func RegisterDropPolicy(name, usage string, f DropPolicyFactory) {
+	if name == "" || f == nil {
+		panic("buffer: RegisterDropPolicy requires a name and a factory")
+	}
+	if _, dup := dropPolicies[name]; dup {
+		panic(fmt.Sprintf("buffer: drop policy %q registered twice", name))
+	}
+	dropPolicies[name] = dropPolicyEntry{usage: usage, factory: f}
+	dropPolicyNames = append(dropPolicyNames, name)
+}
+
+// NewDropPolicy resolves a drop-policy name to a fresh instance. All
+// failures wrap ErrDropPolicy; it never panics, making it the safe
+// boundary for user-supplied specs.
+func NewDropPolicy(name string, seed uint64) (DropPolicy, error) {
+	e, ok := dropPolicies[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown policy %q (have %s)",
+			ErrDropPolicy, name, strings.Join(DropPolicyNames(), ", "))
+	}
+	return e.factory(seed), nil
+}
+
+// ValidDropPolicy reports whether name resolves in the registry.
+func ValidDropPolicy(name string) bool {
+	_, ok := dropPolicies[name]
+	return ok
+}
+
+// CheckDropPolicy validates a config-level drop-policy name: empty
+// (meaning "the default") and registered names pass; anything else
+// returns the registry's unknown-policy error for the caller to wrap
+// in its own sentinel. Config boundaries share this so the message has
+// one source of truth.
+func CheckDropPolicy(name string) error {
+	if name == "" || ValidDropPolicy(name) {
+		return nil
+	}
+	return fmt.Errorf("unknown drop policy %q (have %s)", name, strings.Join(DropPolicyNames(), ", "))
+}
+
+// DropPolicyNames returns the registered policy names, sorted.
+func DropPolicyNames() []string {
+	out := append([]string(nil), dropPolicyNames...)
+	sort.Strings(out)
+	return out
+}
+
+// DropPolicyUsage returns the one-line description of a registered
+// policy, or "".
+func DropPolicyUsage(name string) string { return dropPolicies[name].usage }
+
+// DefaultDropPolicy is the policy byte-capacity configs get when they
+// name none: droptail, the paper's implicit policy everywhere a full
+// buffer simply refuses new bundles.
+const DefaultDropPolicy = "droptail"
+
+func init() {
+	RegisterDropPolicy("droptail",
+		"refuse the incoming bundle when it does not fit (the paper's implicit full-buffer behaviour)",
+		func(uint64) DropPolicy { return dropTail{} })
+	RegisterDropPolicy("dropfront",
+		"evict the oldest stored sized bundle (FIFO / drop-from-front)",
+		func(uint64) DropPolicy { return dropFront{} })
+	RegisterDropPolicy("droprandom",
+		"evict a uniformly random stored sized bundle (seeded, reproducible)",
+		func(seed uint64) DropPolicy { return &dropRandom{rng: sim.NewRNG(seed)} })
+}
+
+// evictable reports whether dropping c can relieve byte pressure.
+func evictable(c *bundle.Copy) bool { return !c.Pinned && c.Bundle.Meta.Size > 0 }
+
+// dropTail never evicts: arriving traffic is shed, stored traffic kept.
+type dropTail struct{}
+
+func (dropTail) Name() string               { return "droptail" }
+func (dropTail) Victim(*Store) *bundle.Copy { return nil }
+
+// dropFront evicts the oldest stored copy (minimum StoredAt, ties
+// broken by bundle ID so runs are deterministic).
+type dropFront struct{}
+
+func (dropFront) Name() string { return "dropfront" }
+
+func (dropFront) Victim(s *Store) *bundle.Copy {
+	var victim *bundle.Copy
+	s.Range(func(c *bundle.Copy) bool {
+		if !evictable(c) {
+			return true
+		}
+		// Range walks ascending bundle IDs, so a strict StoredAt
+		// comparison keeps the smallest-ID copy among ties.
+		if victim == nil || c.StoredAt < victim.StoredAt {
+			victim = c
+		}
+		return true
+	})
+	return victim
+}
+
+// dropRandom evicts a uniformly random evictable copy using its own
+// seeded RNG (reservoir sampling over the store's deterministic
+// iteration order, so choices replay exactly for a given seed).
+type dropRandom struct{ rng *sim.RNG }
+
+func (*dropRandom) Name() string { return "droprandom" }
+
+func (p *dropRandom) Victim(s *Store) *bundle.Copy {
+	var victim *bundle.Copy
+	n := 0
+	s.Range(func(c *bundle.Copy) bool {
+		if !evictable(c) {
+			return true
+		}
+		n++
+		if p.rng.IntN(n) == 0 {
+			victim = c
+		}
+		return true
+	})
+	return victim
+}
+
+// MakeByteRoom evicts copies chosen by policy until an unpinned copy of
+// the given payload size fits the byte capacity, returning the evicted
+// copies (already removed from the store) in eviction order. ok reports
+// whether the incoming copy now fits; on ok=false the caller refuses
+// it. A copy larger than the whole byte capacity is refused up front,
+// before anything is evicted.
+//
+// Every victim satisfies the DropPolicy contract (unpinned, positive
+// size), so each round strictly shrinks the unpinned byte load and the
+// loop terminates.
+func (s *Store) MakeByteRoom(size int64, policy DropPolicy) (evicted []*bundle.Copy, ok bool) {
+	if s.FitsBytes(size) {
+		return nil, true
+	}
+	if size > s.capBytes {
+		return nil, false
+	}
+	for !s.FitsBytes(size) {
+		v := policy.Victim(s)
+		if v == nil {
+			return evicted, false
+		}
+		if !evictable(v) {
+			panic(fmt.Sprintf("buffer: drop policy %q picked non-evictable victim %v", policy.Name(), v.Bundle.ID))
+		}
+		s.Remove(v.Bundle.ID)
+		evicted = append(evicted, v)
+	}
+	return evicted, true
+}

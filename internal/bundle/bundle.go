@@ -35,11 +35,25 @@ func (id ID) Less(o ID) bool {
 	return id.Seq < o.Seq
 }
 
+// Meta carries a bundle's resource attributes: the knobs the
+// finite-bandwidth contact model budgets against. The zero value is the
+// legacy resource-less model, under which transfers consume only link
+// slots and buffers only count copies.
+type Meta struct {
+	// Size is the bundle's payload size in bytes. Zero means size-less:
+	// the bundle costs nothing against contact byte budgets or buffer
+	// byte capacities.
+	Size int64
+}
+
 // Bundle is the immutable description of a message.
 type Bundle struct {
 	ID        ID
 	Dst       contact.NodeID
 	CreatedAt sim.Time
+	// Meta holds the bundle's resource attributes (payload size). Like
+	// the rest of Bundle it is immutable after creation.
+	Meta Meta
 	// FirstSeq is the lowest sequence number any flow with this bundle's
 	// (Src, Dst) pair uses — 1 for the paper's single-flow workloads,
 	// higher when flows to other destinations occupy the source's earlier

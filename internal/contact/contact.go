@@ -9,6 +9,7 @@ package contact
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"dtnsim/internal/sim"
@@ -18,11 +19,19 @@ import (
 type NodeID int
 
 // Contact is one encounter window between two nodes. Invariants
-// (enforced by Validate): A < B, Start < End, both times non-negative.
+// (enforced by Validate): A < B, Start < End, both times non-negative,
+// Bandwidth non-negative.
 type Contact struct {
 	A, B  NodeID
 	Start sim.Time
 	End   sim.Time
+	// Bandwidth is this contact's link capacity in bytes per second;
+	// zero means "unset" — the engine falls back to its global
+	// core.Config.Bandwidth, and when that too is zero the contact is
+	// capacity-unbounded (the legacy slots-only model). The field rides
+	// through streaming sources untouched, so heterogeneous-link contact
+	// plans stay O(nodes) in memory like any other.
+	Bandwidth float64
 }
 
 // Duration returns the length of the encounter window.
@@ -66,6 +75,10 @@ func (c Contact) Validate() error {
 		return fmt.Errorf("contact: negative start %v", c.Start)
 	case c.End <= c.Start:
 		return fmt.Errorf("contact: empty or inverted window %v..%v", c.Start, c.End)
+	// `!(>= 0)` also rejects NaN, which would otherwise slip past a
+	// `< 0` check and silently run the contact unconstrained.
+	case !(c.Bandwidth >= 0) || math.IsInf(c.Bandwidth, 0):
+		return fmt.Errorf("contact: bandwidth %v must be finite and non-negative", c.Bandwidth)
 	}
 	return nil
 }

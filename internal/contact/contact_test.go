@@ -2,6 +2,7 @@ package contact
 
 import (
 	"errors"
+	"math"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -15,12 +16,16 @@ func TestContactValidate(t *testing.T) {
 		c    Contact
 		ok   bool
 	}{
-		{"valid", Contact{0, 1, 10, 20}, true},
-		{"self", Contact{3, 3, 10, 20}, false},
-		{"unordered endpoints", Contact{2, 1, 10, 20}, false},
-		{"negative start", Contact{0, 1, -1, 20}, false},
-		{"empty window", Contact{0, 1, 10, 10}, false},
-		{"inverted window", Contact{0, 1, 20, 10}, false},
+		{"valid", Contact{A: 0, B: 1, Start: 10, End: 20}, true},
+		{"self", Contact{A: 3, B: 3, Start: 10, End: 20}, false},
+		{"unordered endpoints", Contact{A: 2, B: 1, Start: 10, End: 20}, false},
+		{"negative start", Contact{A: 0, B: 1, Start: -1, End: 20}, false},
+		{"empty window", Contact{A: 0, B: 1, Start: 10, End: 10}, false},
+		{"inverted window", Contact{A: 0, B: 1, Start: 20, End: 10}, false},
+		{"per-contact bandwidth", Contact{A: 0, B: 1, Start: 10, End: 20, Bandwidth: 1e6}, true},
+		{"negative bandwidth", Contact{A: 0, B: 1, Start: 10, End: 20, Bandwidth: -1}, false},
+		{"NaN bandwidth", Contact{A: 0, B: 1, Start: 10, End: 20, Bandwidth: math.NaN()}, false},
+		{"Inf bandwidth", Contact{A: 0, B: 1, Start: 10, End: 20, Bandwidth: math.Inf(1)}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -57,9 +62,9 @@ func TestNormalize(t *testing.T) {
 
 func TestScheduleSortAndValidate(t *testing.T) {
 	s := &Schedule{Nodes: 4, Contacts: []Contact{
-		{0, 1, 100, 200},
-		{2, 3, 50, 80},
-		{0, 2, 50, 60},
+		{A: 0, B: 1, Start: 100, End: 200},
+		{A: 2, B: 3, Start: 50, End: 80},
+		{A: 0, B: 2, Start: 50, End: 60},
 	}}
 	if err := s.Validate(); err == nil {
 		t.Fatal("unsorted schedule validated")
@@ -74,7 +79,7 @@ func TestScheduleSortAndValidate(t *testing.T) {
 }
 
 func TestScheduleValidateBounds(t *testing.T) {
-	s := &Schedule{Nodes: 2, Contacts: []Contact{{0, 5, 0, 10}}}
+	s := &Schedule{Nodes: 2, Contacts: []Contact{{A: 0, B: 5, Start: 0, End: 10}}}
 	if err := s.Validate(); err == nil {
 		t.Fatal("out-of-range node ID validated")
 	}
@@ -86,9 +91,9 @@ func TestScheduleValidateBounds(t *testing.T) {
 
 func TestScheduleHorizonAndClip(t *testing.T) {
 	s := &Schedule{Nodes: 3, Contacts: []Contact{
-		{0, 1, 0, 100},
-		{1, 2, 150, 400},
-		{0, 2, 500, 600},
+		{A: 0, B: 1, Start: 0, End: 100},
+		{A: 1, B: 2, Start: 150, End: 400},
+		{A: 0, B: 2, Start: 500, End: 600},
 	}}
 	if h := s.Horizon(); h != 600 {
 		t.Fatalf("Horizon = %v, want 600", h)
@@ -107,7 +112,7 @@ func TestScheduleHorizonAndClip(t *testing.T) {
 
 func TestScheduleFilter(t *testing.T) {
 	s := &Schedule{Nodes: 3, Contacts: []Contact{
-		{0, 1, 0, 10}, {1, 2, 5, 15}, {0, 2, 20, 30},
+		{A: 0, B: 1, Start: 0, End: 10}, {A: 1, B: 2, Start: 5, End: 15}, {A: 0, B: 2, Start: 20, End: 30},
 	}}
 	f := s.Filter(func(c Contact) bool { return c.Involves(0) })
 	if len(f.Contacts) != 2 {
@@ -116,8 +121,8 @@ func TestScheduleFilter(t *testing.T) {
 }
 
 func TestMergeSorts(t *testing.T) {
-	a := &Schedule{Nodes: 3, Contacts: []Contact{{0, 1, 100, 110}}}
-	b := &Schedule{Nodes: 3, Contacts: []Contact{{1, 2, 50, 60}, {0, 2, 150, 160}}}
+	a := &Schedule{Nodes: 3, Contacts: []Contact{{A: 0, B: 1, Start: 100, End: 110}}}
+	b := &Schedule{Nodes: 3, Contacts: []Contact{{A: 1, B: 2, Start: 50, End: 60}, {A: 0, B: 2, Start: 150, End: 160}}}
 	m := Merge(a, b)
 	if err := m.Validate(); err != nil {
 		t.Fatalf("merged schedule invalid: %v", err)

@@ -6,9 +6,9 @@ import (
 
 func testSchedule() *Schedule {
 	s := &Schedule{Nodes: 3, Contacts: []Contact{
-		{0, 1, 0, 100},   // dur 100
-		{0, 2, 300, 400}, // node0 gap 200; node2 first
-		{1, 2, 500, 700}, // node1 gap 400, node2 gap 100
+		{A: 0, B: 1, Start: 0, End: 100},   // dur 100
+		{A: 0, B: 2, Start: 300, End: 400}, // node0 gap 200; node2 first
+		{A: 1, B: 2, Start: 500, End: 700}, // node1 gap 400, node2 gap 100
 	}}
 	s.Sort()
 	return s
@@ -73,9 +73,9 @@ func TestInterContactTimes(t *testing.T) {
 func TestInterContactOverlapping(t *testing.T) {
 	// Overlapping windows produce no negative gaps.
 	s := &Schedule{Nodes: 3, Contacts: []Contact{
-		{0, 1, 0, 100},
-		{0, 2, 50, 150}, // overlaps previous for node 0
-		{0, 1, 200, 250},
+		{A: 0, B: 1, Start: 0, End: 100},
+		{A: 0, B: 2, Start: 50, End: 150}, // overlaps previous for node 0
+		{A: 0, B: 1, Start: 200, End: 250},
 	}}
 	s.Sort()
 	gaps := InterContactTimes(s, 0)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"dtnsim/internal/buffer"
 	"dtnsim/internal/contact"
 	"dtnsim/internal/protocol"
 	"dtnsim/internal/sim"
@@ -42,6 +43,10 @@ type Flow struct {
 	Dst     contact.NodeID `json:"dst"`
 	Count   int            `json:"count"`
 	StartAt sim.Time       `json:"start_at,omitempty"`
+	// Size is the payload size in bytes of every bundle in this flow;
+	// zero keeps the legacy size-less model in which transfers consume
+	// only link slots (DESIGN.md §9).
+	Size int64 `json:"size,omitempty"`
 }
 
 // Config describes one simulation run.
@@ -76,6 +81,28 @@ type Config struct {
 	Horizon sim.Time
 	// Seed drives the protocol's random choices (P-Q draws).
 	Seed uint64
+	// Bandwidth is the contact link capacity in bytes per second,
+	// applied to every contact that does not carry its own
+	// Contact.Bandwidth. Zero means unconstrained (the legacy
+	// slots-only model): a contact of duration D at bandwidth B
+	// transfers at most ⌊D·B⌋ payload bytes, consumed in the protocol's
+	// Wants order; a bundle the remaining budget cannot carry whole is
+	// not transferred at all (DESIGN.md §9).
+	Bandwidth float64
+	// BufferBytes is the per-node buffer byte capacity alongside the
+	// BufferCap slot count; zero means unbounded bytes. Under byte
+	// pressure the store consults DropPolicy.
+	BufferBytes int64
+	// DropPolicy names the buffer.DropPolicy consulted when an incoming
+	// sized bundle does not fit BufferBytes: "droptail" (default),
+	// "dropfront", or "droprandom". Ignored while BufferBytes is zero.
+	DropPolicy string
+	// ControlBytes is the signaling cost in bytes of one control record
+	// (summary-vector entry, immunity record, anti-packet), charged
+	// against a bandwidth-constrained contact's byte budget before data
+	// transfers — the §V-C overhead as a first-class resource. Zero
+	// keeps signaling free; it has no effect on unconstrained contacts.
+	ControlBytes float64
 	// RunToHorizon disables early termination when all flows complete,
 	// so buffer/duplication dynamics can be observed afterwards.
 	RunToHorizon bool
@@ -182,9 +209,26 @@ func (cfg Config) validate() error {
 	if cfg.RecordsPerSlot < 0 {
 		return fmt.Errorf("%w: records per slot %d", ErrConfig, cfg.RecordsPerSlot)
 	}
+	// Resource-model knobs: zero disables each one, so only negative and
+	// non-finite values (and unknown policy names) can be invalid.
+	if cfg.Bandwidth < 0 || math.IsNaN(cfg.Bandwidth) || math.IsInf(cfg.Bandwidth, 0) {
+		return fmt.Errorf("%w: bandwidth %v", ErrConfig, cfg.Bandwidth)
+	}
+	if cfg.BufferBytes < 0 {
+		return fmt.Errorf("%w: buffer bytes %d", ErrConfig, cfg.BufferBytes)
+	}
+	if cfg.ControlBytes < 0 || math.IsNaN(cfg.ControlBytes) || math.IsInf(cfg.ControlBytes, 0) {
+		return fmt.Errorf("%w: control bytes %v", ErrConfig, cfg.ControlBytes)
+	}
+	if err := buffer.CheckDropPolicy(cfg.DropPolicy); err != nil {
+		return fmt.Errorf("%w: %v", ErrConfig, err)
+	}
 	for i, f := range cfg.Flows {
 		if f.Count <= 0 {
 			return fmt.Errorf("%w: flow %d has count %d", ErrConfig, i, f.Count)
+		}
+		if f.Size < 0 {
+			return fmt.Errorf("%w: flow %d has bundle size %d", ErrConfig, i, f.Size)
 		}
 		if f.Src == f.Dst {
 			return fmt.Errorf("%w: flow %d is a self-loop on node %d", ErrConfig, i, f.Src)

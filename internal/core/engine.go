@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
+	"dtnsim/internal/buffer"
 	"dtnsim/internal/bundle"
 	"dtnsim/internal/contact"
 	"dtnsim/internal/metrics"
@@ -44,6 +46,9 @@ type Result struct {
 	DataTransmissions int64
 	// Refused, Evicted and Expired aggregate buffer-policy events.
 	Refused, Evicted, Expired int64
+	// ByteDropped aggregates copies shed by the buffer DropPolicy under
+	// byte pressure; always zero in the unconstrained default model.
+	ByteDropped int64
 	// FinishedAt is the virtual time the run ended.
 	FinishedAt sim.Time
 	// DeliveryTimes maps each delivered bundle to its arrival time.
@@ -84,6 +89,9 @@ type engine struct {
 	// src streams the contact plan; a materialized Config.Schedule is
 	// adapted via Stream, so the engine has a single pull-based path.
 	src contact.Source
+	// dropPolicy is consulted on byte-pressure admission; nil while
+	// Config.BufferBytes is zero (no byte capacity, the legacy model).
+	dropPolicy buffer.DropPolicy
 	// cap is the run's horizon bound; adaptiveCap marks it as a
 	// source-reported upper bound (the generator's span) that settle
 	// tightens to the true latest contact end at source exhaustion,
@@ -139,9 +147,26 @@ func Run(cfg Config) (*Result, error) {
 	}
 	e.coll = metrics.NewCollector()
 	e.obs = append([]Observer{e.coll}, cfg.Observers...)
+	if cfg.BufferBytes > 0 {
+		name := cfg.DropPolicy
+		if name == "" {
+			name = buffer.DefaultDropPolicy
+		}
+		// The policy seed is decorrelated from the protocol RNG so
+		// droprandom's victim draws cannot perturb P-Q's forwarding
+		// draws (and vice versa).
+		pol, err := buffer.NewDropPolicy(name, cfg.Seed^0xb17ed70b5eed)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		e.dropPolicy = pol
+	}
 	e.nodes = make([]*node.Node, cfg.nodeCount())
 	for i := range e.nodes {
 		n := node.New(contact.NodeID(i), cfg.BufferCap)
+		if cfg.BufferBytes > 0 {
+			n.Store.SetByteCap(cfg.BufferBytes)
+		}
 		at := n.ID
 		n.DropHook = func(id bundle.ID, reason node.DropReason, now sim.Time) {
 			if reason != node.DropRefused {
@@ -227,6 +252,7 @@ func (e *engine) generate(f Flow, base, firstSeq int) {
 			ID:        bundle.ID{Src: f.Src, Seq: base + i},
 			Dst:       f.Dst,
 			CreatedAt: now,
+			Meta:      bundle.Meta{Size: f.Size},
 			FirstSeq:  firstSeq,
 		}
 		cp := &bundle.Copy{Bundle: b, StoredAt: now, Pinned: true, Expiry: sim.Infinity}
@@ -361,6 +387,10 @@ func (e *engine) scheduleSampling() {
 
 // contact processes one encounter per DESIGN.md §5: purge, control
 // exchange, then budgeted half-duplex transmissions, lower ID first.
+// With a finite bandwidth in effect (the contact's own, else the
+// config's), the encounter additionally carries at most ⌊D·B⌋ payload
+// bytes across both directions, with the control exchange optionally
+// charged ControlBytes per record first (DESIGN.md §9).
 func (e *engine) contact(c contact.Contact) {
 	if e.remaining == 0 && !e.cfg.RunToHorizon {
 		return
@@ -374,25 +404,58 @@ func (e *engine) contact(c contact.Contact) {
 
 	dur := float64(c.Duration())
 	recordBudget := int(dur / e.cfg.TxTime * float64(e.cfg.RecordsPerSlot))
+	bw := c.Bandwidth
+	if bw == 0 {
+		bw = e.cfg.Bandwidth
+	}
+	limited := bw > 0
+	var bytesLeft int64
+	var ctlBefore int64
+	if limited {
+		// ⌊D·B⌋, clamped: an out-of-range float→int64 conversion is
+		// implementation-defined (a huge bandwidth must mean "effectively
+		// unbounded", not a negative budget).
+		if budget := math.Floor(dur * bw); budget >= math.MaxInt64 {
+			bytesLeft = math.MaxInt64
+		} else {
+			bytesLeft = int64(budget)
+		}
+		ctlBefore = a.ControlSent + b.ControlSent
+	}
 	e.cfg.Protocol.Exchange(a, b, now, recordBudget)
+	if limited && e.cfg.ControlBytes > 0 {
+		// Signaling shares the link: the records the exchange carried
+		// are charged against the contact's byte budget before data.
+		bytesLeft -= int64(float64(a.ControlSent+b.ControlSent-ctlBefore) * e.cfg.ControlBytes)
+		if bytesLeft < 0 {
+			bytesLeft = 0
+		}
+	}
 
 	slots := int(dur / e.cfg.TxTime)
 	if slots <= 0 {
 		return
 	}
 	// Lower-ID node sends first (§IV collision avoidance); the peer uses
-	// whatever budget remains.
-	used := e.transmitBatch(a, b, now, slots, 0)
-	e.transmitBatch(b, a, now, slots, used)
+	// whatever slot and byte budget remains.
+	used, bytesLeft := e.transmitBatch(a, b, now, slots, 0, limited, bytesLeft)
+	e.transmitBatch(b, a, now, slots, used, limited, bytesLeft)
 }
 
-// transmitBatch sends the sender's wanted bundles while slots remain.
-// used is the number of slots already consumed in this contact; the
-// return value is the updated count. Transmission i completes at
-// start + (i+1)·TxTime.
-func (e *engine) transmitBatch(sender, receiver *node.Node, start sim.Time, slots, used int) int {
+// transmitBatch sends the sender's wanted bundles while slots — and,
+// when the contact is bandwidth-limited, payload bytes — remain. used
+// is the number of slots already consumed in this contact; the return
+// values are the updated slot count and byte budget. Transmission i
+// completes at start + (i+1)·TxTime.
+//
+// Partial-transfer semantics: a bundle the remaining byte budget cannot
+// carry whole ends the batch — it is not transmitted, not mutated, and
+// not marked carried by the receiver; budget is consumed strictly in
+// the protocol's Wants order, so a large bundle is never skipped in
+// favour of a smaller, lower-priority one.
+func (e *engine) transmitBatch(sender, receiver *node.Node, start sim.Time, slots, used int, limited bool, bytesLeft int64) (int, int64) {
 	if used >= slots {
-		return used
+		return used, bytesLeft
 	}
 	wants := e.cfg.Protocol.Wants(sender, receiver, start, e.rng)
 	for _, id := range wants {
@@ -411,11 +474,17 @@ func (e *engine) transmitBatch(sender, receiver *node.Node, start sim.Time, slot
 		if receiver.Store.Has(id) || receiver.Received.Has(id) {
 			continue
 		}
+		if limited {
+			if cp.Bundle.Meta.Size > bytesLeft {
+				break
+			}
+			bytesLeft -= cp.Bundle.Meta.Size
+		}
 		used++
 		at := start + sim.Time(float64(used)*e.cfg.TxTime)
 		e.transmit(sender, receiver, cp, at)
 	}
-	return used
+	return used, bytesLeft
 }
 
 // transmit performs one bundle transmission. OnTransmit (EC increments,
@@ -434,6 +503,16 @@ func (e *engine) transmit(sender, receiver *node.Node, cp *bundle.Copy, at sim.T
 		e.deliver(sender, receiver, cp.Bundle, at)
 		return
 	}
+	// Byte admission runs before the protocol's slot-count Admit:
+	// Admit may evict destructively (EC sheds its highest-count copy),
+	// and a byte refusal after that eviction would have drained a
+	// buffered copy with nothing admitted in its place. The order is
+	// safe the other way around — a byte-pressure eviction also frees
+	// a slot, and a protocol eviction also frees bytes, so neither
+	// stage can invalidate the other's admission.
+	if !e.admitBytes(receiver, rcpt, at) {
+		return
+	}
 	if e.cfg.Protocol.Admit(receiver, rcpt, at) {
 		e.cfg.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
 		if err := receiver.Store.Put(rcpt); err != nil {
@@ -442,6 +521,27 @@ func (e *engine) transmit(sender, receiver *node.Node, cp *bundle.Copy, at sim.T
 		}
 		e.holders.Inc(rcpt.Bundle.ID)
 	}
+}
+
+// admitBytes relieves byte pressure at the receiver for an incoming
+// sized copy: victims chosen by the configured DropPolicy are shed
+// (reported with the bytepressure drop reason), and the incoming copy
+// is refused when room cannot be made. A nil policy (no byte capacity
+// configured) and size-less copies pass through untouched — the legacy
+// path costs one branch.
+func (e *engine) admitBytes(receiver *node.Node, rcpt *bundle.Copy, at sim.Time) bool {
+	if e.dropPolicy == nil || rcpt.Bundle.Meta.Size == 0 {
+		return true
+	}
+	evicted, ok := receiver.Store.MakeByteRoom(rcpt.Bundle.Meta.Size, e.dropPolicy)
+	for _, cp := range evicted {
+		receiver.NoteByteDropped(cp.Bundle.ID, at)
+	}
+	if !ok {
+		receiver.NoteRefused(rcpt.Bundle.ID, at)
+		return false
+	}
+	return true
 }
 
 func (e *engine) deliver(sender, dst *node.Node, b *bundle.Bundle, at sim.Time) {
@@ -500,6 +600,7 @@ func (e *engine) result(end sim.Time) *Result {
 		r.Refused += n.Refused
 		r.Evicted += n.Evicted
 		r.Expired += n.Expired
+		r.ByteDropped += n.ByteDropped
 		r.FinalOccupancy[i] = n.Store.Occupancy()
 		r.FinalBuffered[i] = n.Store.Len()
 	}

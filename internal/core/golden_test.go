@@ -67,6 +67,37 @@ var goldenMobilities = []goldenMobility{
 		flows:  []core.Flow{{Src: 0, Dst: 7, Count: 20}},
 		txTime: 25,
 	},
+	// The three cells below fill the golden grid's substrate gaps
+	// (PR 5): a classic-RWP cell — the one registry mobility the grid
+	// never covered — plus cambridge and subscriber cells at a second
+	// seed with different workloads, so the fixed-trace substrates are
+	// pinned at more than one draw.
+	{
+		name: "classic",
+		// Reduced span keeps the cell fast while still producing ~700
+		// contacts among 12 nodes.
+		spec:   "rwp:seed=7,span=100000,dt=25",
+		flows:  []core.Flow{{Src: 2, Dst: 9, Count: 20}},
+		txTime: 100,
+	},
+	{
+		name: "cambridge",
+		spec: "cambridge:seed=11",
+		// Two flows with distinct sources (the trace cell pins the
+		// shared-source block allocation; this one pins independent
+		// sources).
+		flows: []core.Flow{
+			{Src: 3, Dst: 10, Count: 15},
+			{Src: 5, Dst: 2, Count: 10, StartAt: 20000},
+		},
+		txTime: 100,
+	},
+	{
+		name:   "subscriber",
+		spec:   "subscriber:seed=11",
+		flows:  []core.Flow{{Src: 4, Dst: 11, Count: 25}},
+		txTime: 100,
+	},
 }
 
 // goldenDelivery is one DeliveryTimes entry in deterministic order.
@@ -95,6 +126,7 @@ type goldenResult struct {
 	Refused           int64            `json:"refused"`
 	Evicted           int64            `json:"evicted"`
 	Expired           int64            `json:"expired"`
+	ByteDropped       int64            `json:"byte_dropped,omitempty"`
 	FinishedAt        float64          `json:"finished_at"`
 	DeliveryTimes     []goldenDelivery `json:"delivery_times"`
 	FinalOccupancy    []float64        `json:"final_occupancy"`
@@ -128,6 +160,7 @@ func toGolden(r *core.Result) goldenResult {
 		Refused:           r.Refused,
 		Evicted:           r.Evicted,
 		Expired:           r.Expired,
+		ByteDropped:       r.ByteDropped,
 		FinishedAt:        float64(r.FinishedAt),
 		DeliveryTimes:     dt,
 		FinalOccupancy:    r.FinalOccupancy,

@@ -12,10 +12,13 @@ import (
 	"fmt"
 	"testing"
 
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
 	"dtnsim/internal/core"
 	"dtnsim/internal/metrics"
 	"dtnsim/internal/node"
 	"dtnsim/internal/protocol"
+	"dtnsim/internal/sim"
 )
 
 func TestCollectorMatchesNodeCounters(t *testing.T) {
@@ -25,42 +28,81 @@ func TestCollectorMatchesNodeCounters(t *testing.T) {
 	for _, protoSpec := range protocol.BuiltinSpecs() {
 		for _, m := range goldenMobilities {
 			t.Run(fmt.Sprintf("%s|%s", protoSpec, m.name), func(t *testing.T) {
-				coll := metrics.NewCollector()
 				// The streamed path exercises the same books through the
 				// pull-based contact pipeline.
 				cfg := goldenConfig(t, protoSpec, m, true)
-				cfg.Observers = []core.Observer{coll}
-				res, err := core.Run(cfg)
-				if err != nil {
-					t.Fatal(err)
+				reconcileCollector(t, cfg)
+			})
+			// The same cell again under the constrained resource model,
+			// tuned so the byte capacity binds: the bytepressure drop
+			// reason must reconcile end-to-end like the original four.
+			t.Run(fmt.Sprintf("%s|%s|constrained", protoSpec, m.name), func(t *testing.T) {
+				cfg := goldenConfig(t, protoSpec, m, true)
+				for i := range cfg.Flows {
+					cfg.Flows[i].Size = 1 << 20
 				}
-				if got, want := coll.Transmissions(), res.DataTransmissions; got != want {
-					t.Errorf("observer transmissions %d != node DataSent aggregate %d", got, want)
-				}
-				if got, want := int(coll.Generated()), res.Generated; got != want {
-					t.Errorf("observer generated %d != result %d", got, want)
-				}
-				if got, want := int(coll.Delivered()), res.Delivered; got != want {
-					t.Errorf("observer delivered %d != result %d", got, want)
-				}
-				if got, want := coll.DropsByReason(node.DropRefused), res.Refused; got != want {
-					t.Errorf("observer refused %d != node aggregate %d", got, want)
-				}
-				if got, want := coll.DropsByReason(node.DropEvicted), res.Evicted; got != want {
-					t.Errorf("observer evicted %d != node aggregate %d", got, want)
-				}
-				if got, want := coll.DropsByReason(node.DropExpired), res.Expired; got != want {
-					t.Errorf("observer expired %d != node aggregate %d", got, want)
-				}
-				// Purged drops have no failure counter by design; the
-				// total must still reconcile exactly.
-				purged := coll.Drops() - coll.DropsByReason(node.DropRefused) -
-					coll.DropsByReason(node.DropEvicted) - coll.DropsByReason(node.DropExpired)
-				if purged != coll.DropsByReason(node.DropPurged) {
-					t.Errorf("drop reasons do not sum: total %d, purged %d",
-						coll.Drops(), coll.DropsByReason(node.DropPurged))
-				}
+				cfg.Bandwidth = 50_000
+				cfg.BufferBytes = 3 << 20
+				cfg.DropPolicy = "dropfront"
+				cfg.ControlBytes = 64
+				reconcileCollector(t, cfg)
 			})
 		}
+	}
+}
+
+// reconcileCollector runs cfg with a fresh collector and a
+// reason-validity observer attached and cross-checks the observer
+// stream against the node-counter aggregates in the Result.
+func reconcileCollector(t *testing.T, cfg core.Config) {
+	t.Helper()
+	coll := metrics.NewCollector()
+	// Every drop on the observer stream must carry a reason from the
+	// node.DropReason enum — the unified taxonomy this test pins.
+	valid := &core.FuncObserver{
+		Drop: func(at contact.NodeID, id bundle.ID, reason node.DropReason, now sim.Time) {
+			if !reason.Valid() {
+				t.Errorf("drop of %v at node %d carries invalid reason %q", id, at, reason)
+			}
+		},
+	}
+	cfg.Observers = []core.Observer{coll, valid}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := coll.Transmissions(), res.DataTransmissions; got != want {
+		t.Errorf("observer transmissions %d != node DataSent aggregate %d", got, want)
+	}
+	if got, want := int(coll.Generated()), res.Generated; got != want {
+		t.Errorf("observer generated %d != result %d", got, want)
+	}
+	if got, want := int(coll.Delivered()), res.Delivered; got != want {
+		t.Errorf("observer delivered %d != result %d", got, want)
+	}
+	if got, want := coll.DropsByReason(node.DropRefused), res.Refused; got != want {
+		t.Errorf("observer refused %d != node aggregate %d", got, want)
+	}
+	if got, want := coll.DropsByReason(node.DropEvicted), res.Evicted; got != want {
+		t.Errorf("observer evicted %d != node aggregate %d", got, want)
+	}
+	if got, want := coll.DropsByReason(node.DropExpired), res.Expired; got != want {
+		t.Errorf("observer expired %d != node aggregate %d", got, want)
+	}
+	if got, want := coll.DropsByReason(node.DropBytePressure), res.ByteDropped; got != want {
+		t.Errorf("observer bytepressure %d != node aggregate %d", got, want)
+	}
+	if got := coll.InvalidDrops(); got != 0 {
+		t.Errorf("collector saw %d drops with reasons outside the enum", got)
+	}
+	// Summing the complete reason enum must reproduce the total drop
+	// count exactly — a drop with a missing or double-counted reason
+	// cannot hide.
+	var sum int64
+	for _, reason := range node.DropReasons() {
+		sum += coll.DropsByReason(reason)
+	}
+	if sum != coll.Drops() {
+		t.Errorf("drop reasons do not sum: total %d, by-reason sum %d", coll.Drops(), sum)
 	}
 }

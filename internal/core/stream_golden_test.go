@@ -33,6 +33,9 @@ var streamGoldenCells = []struct {
 	{"stream_trace_immunity.csv", "immunity", goldenMobilities[0]},
 	{"stream_rwp_pure.csv", "pure", goldenMobilities[1]},
 	{"stream_interval_ecttl.csv", "ecttl", goldenMobilities[2]},
+	// The classic-RWP substrate added with the PR 5 grid gap fill; TTL
+	// renewals expire copies on its sparse contacts.
+	{"stream_classic_ttl.csv", "ttl:300", goldenMobilities[3]},
 }
 
 // runStream executes one golden cell with a full event stream attached

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// smallConstrained is a fast two-bandwidth, one-protocol configuration
+// over the fixed Cambridge trace.
+func smallConstrained() ConstrainedSweep {
+	return ConstrainedSweep{
+		Name:       "test",
+		Scenario:   TraceScenario(),
+		Bandwidths: []float64{1e3, 1e6},
+		Protocols:  []ProtocolFactory{Pure()},
+		Load:       30,
+		Runs:       2,
+		BaseSeed:   2012,
+	}
+}
+
+func TestRunConstrainedStructure(t *testing.T) {
+	sw := smallConstrained()
+	sw.DropPolicies = []string{"droptail", "dropfront"}
+	res, err := RunConstrained(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (1 protocol x 2 policies)", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if !strings.Contains(s.Label, "/") {
+			t.Errorf("multi-policy series label %q should carry the policy", s.Label)
+		}
+		if len(s.Points) != len(sw.Bandwidths) {
+			t.Fatalf("series %q has %d points, want %d", s.Label, len(s.Points), len(sw.Bandwidths))
+		}
+		for i, p := range s.Points {
+			if p.Bandwidth != sw.Bandwidths[i] {
+				t.Errorf("point %d bandwidth %g, want %g", i, p.Bandwidth, sw.Bandwidths[i])
+			}
+			if p.Delivery < 0 || p.Delivery > 1 {
+				t.Errorf("delivery %v out of range", p.Delivery)
+			}
+			if p.Runs != sw.Runs {
+				t.Errorf("point records %d runs, want %d", p.Runs, sw.Runs)
+			}
+		}
+	}
+}
+
+// TestConstrainedBandwidthBinds: the starved point must deliver less
+// than the effectively-unconstrained one, and the unconstrained one
+// must see at least as many buffer drops (a starved link injects too
+// few copies to create buffer pressure) — the tradeoff the sweep
+// exists to expose.
+func TestConstrainedBandwidthBinds(t *testing.T) {
+	res, err := RunConstrained(smallConstrained())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Series[0].Points
+	starved, free := pts[0], pts[len(pts)-1]
+	if !(starved.Delivery < free.Delivery) {
+		t.Errorf("delivery at 1 kB/s (%v) should be below delivery at 1 MB/s (%v)",
+			starved.Delivery, free.Delivery)
+	}
+	if free.Drops < starved.Drops {
+		t.Errorf("drops at 1 MB/s (%v) should not be below drops at 1 kB/s (%v)",
+			free.Drops, starved.Drops)
+	}
+}
+
+func TestRunConstrainedDeterministicAcrossWorkers(t *testing.T) {
+	seq := smallConstrained()
+	seq.Workers = 1
+	par := smallConstrained()
+	par.Workers = 4
+	a, err := RunConstrained(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunConstrained(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a.Series {
+		for pi := range a.Series[si].Points {
+			pa, pb := a.Series[si].Points[pi], b.Series[si].Points[pi]
+			if pa.Delivery != pb.Delivery || pa.Drops != pb.Drops ||
+				(pa.Delay != pb.Delay && !(math.IsNaN(pa.Delay) && math.IsNaN(pb.Delay))) {
+				t.Fatalf("workers changed point %d/%d: %+v vs %+v", si, pi, pa, pb)
+			}
+		}
+	}
+}
+
+func TestRunConstrainedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ConstrainedSweep)
+	}{
+		{"no bandwidths", func(s *ConstrainedSweep) { s.Bandwidths = nil }},
+		{"negative bandwidth", func(s *ConstrainedSweep) { s.Bandwidths = []float64{-1} }},
+		{"zero bandwidth", func(s *ConstrainedSweep) { s.Bandwidths = []float64{0} }},
+		{"no protocols", func(s *ConstrainedSweep) { s.Protocols = nil }},
+		{"bad policy", func(s *ConstrainedSweep) { s.DropPolicies = []string{"nosuch"} }},
+		{"no generator", func(s *ConstrainedSweep) { s.Scenario = Scenario{Name: "empty"} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sw := smallConstrained()
+			tc.mutate(&sw)
+			if _, err := RunConstrained(sw); err == nil {
+				t.Fatal("expected an error")
+			}
+		})
+	}
+}
+
+func TestDefaultConstrainedSweepRunsReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full default constrained sweep is slow")
+	}
+	sw := DefaultConstrainedSweep()
+	sw.Runs = 1
+	sw.Bandwidths = []float64{1e4}
+	res, err := RunConstrained(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 protocols x 3 registered policies.
+	if len(res.Series) != 6 {
+		t.Fatalf("default sweep produced %d series, want 6", len(res.Series))
+	}
+}

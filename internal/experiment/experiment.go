@@ -62,6 +62,15 @@ type Scenario struct {
 	// TxTime and BufferCap override the engine defaults when non-zero.
 	TxTime    float64
 	BufferCap int
+	// Resource-model knobs (DESIGN.md §9), applied to every run; zero
+	// disables each one, preserving the paper's unconstrained model.
+	// BundleSize is the payload size given to every generated workload
+	// bundle; the rest map one-to-one onto core.Config.
+	Bandwidth    float64
+	BundleSize   int64
+	BufferBytes  int64
+	DropPolicy   string
+	ControlBytes float64
 }
 
 // ProtocolFactory builds a fresh protocol instance per run.
@@ -355,6 +364,10 @@ func runOne(sw Sweep, shared *contact.Schedule, pf ProtocolFactory, load, run in
 		// steady-state time averages as in the paper; delay and
 		// delivery ratio are unaffected (§IV end conditions).
 		RunToHorizon: true,
+		Bandwidth:    sw.Scenario.Bandwidth,
+		BufferBytes:  sw.Scenario.BufferBytes,
+		DropPolicy:   sw.Scenario.DropPolicy,
+		ControlBytes: sw.Scenario.ControlBytes,
 	}
 	var nodes int
 	switch {
@@ -391,7 +404,7 @@ func runOne(sw Sweep, shared *contact.Schedule, pf ProtocolFactory, load, run in
 	// curves comparable along the load axis (§IV re-randomizes the
 	// pair per run).
 	src, dst := pickPair(nodes, seedFor(sw.BaseSeed, 0, run))
-	cfg.Flows = []core.Flow{{Src: src, Dst: dst, Count: load}}
+	cfg.Flows = []core.Flow{{Src: src, Dst: dst, Count: load, Size: sw.Scenario.BundleSize}}
 	r, err := core.Run(cfg)
 	if err != nil {
 		return runOutcome{err: fmt.Errorf("experiment: %s/%s load %d: %w", sw.Scenario.Name, pf.Label, load, err)}

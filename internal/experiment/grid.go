@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// outcomeGrid runs a flat (nI × nJ × runs) simulation grid on a
+// bounded worker pool: the shape RunScale and RunConstrained share.
+// Workers drain a job channel; the caller folds cells in sweep order
+// via waitCell as soon as each cell's runs finish (so OnPoint fires
+// live), releases folded cells to bound memory, and on a failed run
+// calls fail() — the first error flips the skip flag so the remaining
+// (potentially expensive) jobs are marked skipped rather than run.
+//
+// RunSweep keeps its own pool: its in-flight window backpressure and
+// in-order OnPoint contract differ materially from the flat grid.
+type outcomeGrid struct {
+	outcomes [][][]runOutcome
+	pending  [][]sync.WaitGroup
+	failed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// startGrid dispatches the full grid over workers goroutines and
+// returns immediately; job(i, j, run) executes one simulation.
+func startGrid(nI, nJ, runs, workers int, job func(i, j, run int) runOutcome) *outcomeGrid {
+	g := &outcomeGrid{
+		outcomes: make([][][]runOutcome, nI),
+		pending:  make([][]sync.WaitGroup, nI),
+	}
+	for i := 0; i < nI; i++ {
+		g.outcomes[i] = make([][]runOutcome, nJ)
+		g.pending[i] = make([]sync.WaitGroup, nJ)
+		for j := 0; j < nJ; j++ {
+			g.outcomes[i][j] = make([]runOutcome, runs)
+			g.pending[i][j].Add(runs)
+		}
+	}
+	type jobKey struct{ i, j, run int }
+	jobs := make(chan jobKey)
+	for w := 0; w < workers; w++ {
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			for k := range jobs {
+				if g.failed.Load() {
+					g.outcomes[k.i][k.j][k.run] = runOutcome{err: errSkipped}
+				} else {
+					out := job(k.i, k.j, k.run)
+					if out.err != nil {
+						g.failed.Store(true)
+					}
+					g.outcomes[k.i][k.j][k.run] = out
+				}
+				g.pending[k.i][k.j].Done()
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := 0; i < nI; i++ {
+			for j := 0; j < nJ; j++ {
+				for run := 0; run < runs; run++ {
+					jobs <- jobKey{i, j, run}
+				}
+			}
+		}
+	}()
+	return g
+}
+
+// waitCell blocks until every run of cell (i, j) has finished and
+// returns its outcomes.
+func (g *outcomeGrid) waitCell(i, j int) []runOutcome {
+	g.pending[i][j].Wait()
+	return g.outcomes[i][j]
+}
+
+// releaseCell drops a folded cell's run results so a long sweep does
+// not hold every Result live at once.
+func (g *outcomeGrid) releaseCell(i, j int) { g.outcomes[i][j] = nil }
+
+// fail drains the whole grid — after the skip flag is set, workers
+// mark the rest skipped quickly — and returns the first non-skip error
+// in grid order. The drain is what makes the scan safe: without it
+// workers would still be writing outcome cells (a data race) and the
+// causal error might not have landed yet.
+func (g *outcomeGrid) fail() error {
+	g.failed.Store(true)
+	for i := range g.pending {
+		for j := range g.pending[i] {
+			g.pending[i][j].Wait()
+		}
+	}
+	var skip error
+	for _, byCell := range g.outcomes {
+		for _, byRun := range byCell {
+			for _, out := range byRun {
+				if out.err == nil {
+					continue
+				}
+				if out.err != errSkipped {
+					return out.err
+				}
+				skip = out.err
+			}
+		}
+	}
+	return skip
+}
+
+// wait blocks until every worker has exited (the grid fully drained).
+func (g *outcomeGrid) wait() { g.wg.Wait() }

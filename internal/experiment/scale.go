@@ -13,8 +13,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"dtnsim/internal/core"
 	"dtnsim/internal/stats"
@@ -117,68 +115,26 @@ func RunScale(sw ScaleSweep) (*ScaleResult, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Mirror runParallel's shape: workers drain a job channel, the
-	// calling goroutine folds points in sweep order as soon as each
+	// The shared flat-grid pool (grid.go): workers drain a job channel,
+	// the calling goroutine folds points in sweep order as soon as each
 	// point's runs finish — so OnPoint fires live, not in a burst at
-	// the end — and a failed run flips `failed`, making workers skip
-	// the remaining (expensive, thousands-of-nodes) jobs.
-	type job struct{ pi, ni, run int }
-	nP, nN := len(sw.Protocols), len(sw.Nodes)
-	outcomes := make([][][]runOutcome, nP)
-	pending := make([][]sync.WaitGroup, nP)
-	for pi := 0; pi < nP; pi++ {
-		outcomes[pi] = make([][]runOutcome, nN)
-		pending[pi] = make([]sync.WaitGroup, nN)
-		for ni := 0; ni < nN; ni++ {
-			outcomes[pi][ni] = make([]runOutcome, sw.Runs)
-			pending[pi][ni].Add(sw.Runs)
-		}
-	}
-	jobs := make(chan job)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if failed.Load() {
-					outcomes[j.pi][j.ni][j.run] = runOutcome{err: errSkipped}
-				} else {
-					out := runScaleOne(sw, sw.Protocols[j.pi], sw.Nodes[j.ni], j.run)
-					if out.err != nil {
-						failed.Store(true)
-					}
-					outcomes[j.pi][j.ni][j.run] = out
-				}
-				pending[j.pi][j.ni].Done()
-			}
-		}()
-	}
-	go func() {
-		defer close(jobs)
-		for pi := 0; pi < nP; pi++ {
-			for ni := 0; ni < nN; ni++ {
-				for run := 0; run < sw.Runs; run++ {
-					jobs <- job{pi, ni, run}
-				}
-			}
-		}
-	}()
-	defer wg.Wait()
+	// the end — and a failed run makes workers skip the remaining
+	// (expensive, thousands-of-nodes) jobs.
+	g := startGrid(len(sw.Protocols), len(sw.Nodes), sw.Runs, workers,
+		func(pi, ni, run int) runOutcome {
+			return runScaleOne(sw, sw.Protocols[pi], sw.Nodes[ni], run)
+		})
+	defer g.wait()
 
 	res := &ScaleResult{Name: sw.Name, Nodes: sw.Nodes}
 	for pi, pf := range sw.Protocols {
 		series := ScaleSeries{Label: pf.Label}
 		for ni, n := range sw.Nodes {
-			pending[pi][ni].Wait()
 			var delivery, delay, occupancy stats.Welford
 			completed := 0
-			for run := 0; run < sw.Runs; run++ {
-				out := outcomes[pi][ni][run]
+			for _, out := range g.waitCell(pi, ni) {
 				if out.err != nil {
-					failed.Store(true)
-					return nil, firstScaleFailure(outcomes)
+					return nil, g.fail()
 				}
 				r := out.res
 				if r.Completed {
@@ -190,7 +146,7 @@ func RunScale(sw ScaleSweep) (*ScaleResult, error) {
 					delay.Add(r.MeanDelay)
 				}
 			}
-			outcomes[pi][ni] = nil // release the point's results once folded
+			g.releaseCell(pi, ni) // release the point's results once folded
 			pt := ScalePoint{
 				Nodes:     n,
 				Delivery:  delivery.Mean(),
@@ -210,25 +166,6 @@ func RunScale(sw ScaleSweep) (*ScaleResult, error) {
 		res.Series = append(res.Series, series)
 	}
 	return res, nil
-}
-
-// firstScaleFailure returns the first non-skip error in grid order.
-func firstScaleFailure(outcomes [][][]runOutcome) error {
-	var skip error
-	for _, byNodes := range outcomes {
-		for _, byRun := range byNodes {
-			for _, out := range byRun {
-				if out.err == nil {
-					continue
-				}
-				if out.err != errSkipped {
-					return out.err
-				}
-				skip = out.err
-			}
-		}
-	}
-	return skip
 }
 
 // runScaleOne executes one (protocol, nodes, run) simulation through a

@@ -1,0 +1,312 @@
+// Shape statements: the machine-checkable form of each Figure's Expect
+// prose. An Expect string documents the qualitative curve shape the
+// paper reports; the Shape statements encode the load-bearing part of
+// that claim in a tiny grammar the shape-regression suite
+// (shape_test.go) evaluates against measured sweep results — so a code
+// change that silently flips a figure's shape fails a test instead of
+// drifting.
+//
+// Grammar (one statement per string, whitespace-tokenized):
+//
+//	up METRIC SERIES...      every matching series trends up with load:
+//	                         value at the highest load >= value at the
+//	                         lowest load (5% relative slack)
+//	down METRIC SERIES...    the mirror-image downward trend
+//	order METRIC@AGG A B C   aggregated values are ordered A >= B >= C
+//	order METRIC@AGG A B by M   ... with A >= B + M (absolute margin)
+//	ratio METRIC@AGG A B R   aggregated value(A) >= R x value(B)
+//
+// AGG is one of: max (value at the highest load), min (lowest load),
+// mean (mean over loads, NaN points skipped). SERIES operands are
+// compressed series tags (SeriesTag) or `*` for every series. NaN
+// endpoints (a delay at a load where no run completed) fall back to the
+// nearest non-NaN point; a series with no usable points fails the
+// statement explicitly rather than passing vacuously.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// upSlack is the relative slack allowed on up/down endpoint trends:
+// reduced-run sweeps are noisy at flat stretches of a curve, and the
+// paper's claims are qualitative.
+const upSlack = 0.05
+
+// SeriesTag compresses a series label into the token form the shape
+// grammar uses: lower-cased, with the paper's legend boilerplate
+// stripped ("Epidemic with TTL" -> "ttl", "P-Q epidemic
+// (anti-packets)" -> "pqanti", "Interval time = 400" -> "intervaltime400").
+func SeriesTag(label string) string {
+	r := strings.NewReplacer(
+		"P-Q epidemic (anti-packets)", "pqanti",
+		"P-Q epidemic", "pq",
+		"Epidemic with cumulative immunity", "cumimm",
+		"Epidemic with dynamic TTL", "dynttl",
+		"Epidemic with ", "",
+		"Pure epidemic", "pure",
+	)
+	out := strings.ToLower(r.Replace(label))
+	var b strings.Builder
+	for _, c := range out {
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// ShapeCheck is one parsed shape statement.
+type ShapeCheck struct {
+	// Kind is "up", "down", "order" or "ratio".
+	Kind   string
+	Metric Metric
+	// Agg is "max", "min" or "mean" (order/ratio only).
+	Agg string
+	// Tags are the series operands ("*" allowed for up/down).
+	Tags []string
+	// Margin is the order statement's absolute margin, or the ratio
+	// statement's floor.
+	Margin float64
+	// Source is the original statement, for error messages.
+	Source string
+}
+
+// ParseShape parses one statement.
+func ParseShape(stmt string) (ShapeCheck, error) {
+	fields := strings.Fields(stmt)
+	bad := func(format string, args ...any) (ShapeCheck, error) {
+		return ShapeCheck{}, fmt.Errorf("shape %q: "+format, append([]any{stmt}, args...)...)
+	}
+	if len(fields) < 3 {
+		return bad("want at least 3 tokens")
+	}
+	c := ShapeCheck{Kind: fields[0], Source: stmt}
+	switch c.Kind {
+	case "up", "down":
+		c.Metric = Metric(fields[1])
+		c.Tags = fields[2:]
+	case "order", "ratio":
+		metric, agg, ok := strings.Cut(fields[1], "@")
+		if !ok {
+			return bad("%s needs METRIC@AGG", c.Kind)
+		}
+		c.Metric, c.Agg = Metric(metric), agg
+		switch c.Agg {
+		case "max", "min", "mean":
+		default:
+			return bad("unknown aggregation %q", c.Agg)
+		}
+		rest := fields[2:]
+		if c.Kind == "ratio" {
+			if len(rest) != 3 {
+				return bad("ratio wants exactly A B FLOOR")
+			}
+			floor, err := strconv.ParseFloat(rest[2], 64)
+			if err != nil || !(floor > 0) {
+				return bad("bad ratio floor %q", rest[2])
+			}
+			c.Tags, c.Margin = rest[:2], floor
+			break
+		}
+		if n := len(rest); n >= 3 && rest[n-2] == "by" {
+			margin, err := strconv.ParseFloat(rest[n-1], 64)
+			if err != nil || margin < 0 {
+				return bad("bad margin %q", rest[n-1])
+			}
+			c.Margin, rest = margin, rest[:n-2]
+		}
+		if len(rest) < 2 {
+			return bad("order wants at least two series")
+		}
+		c.Tags = rest
+	default:
+		return bad("unknown kind %q", c.Kind)
+	}
+	switch c.Metric {
+	case MetricDelay, MetricDelivery, MetricOccupancy, MetricDuplication, MetricOverhead:
+	default:
+		return bad("unknown metric %q", c.Metric)
+	}
+	for _, tag := range c.Tags {
+		if tag == "*" && c.Kind != "up" && c.Kind != "down" {
+			return bad("wildcard series only valid for up/down")
+		}
+	}
+	return c, nil
+}
+
+// CheckShapes parses and evaluates every statement against a sweep
+// result, returning one error per violated (or unevaluable) statement.
+func CheckShapes(statements []string, res *Result) []error {
+	var errs []error
+	for _, stmt := range statements {
+		c, err := ParseShape(stmt)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if err := c.Eval(res); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
+}
+
+// seriesByTag resolves a tag against the result's series labels.
+func seriesByTag(res *Result, tag string) (Series, error) {
+	for _, s := range res.Series {
+		if SeriesTag(s.Label) == tag {
+			return s, nil
+		}
+	}
+	var have []string
+	for _, s := range res.Series {
+		have = append(have, SeriesTag(s.Label))
+	}
+	return Series{}, fmt.Errorf("no series tagged %q (have %s)", tag, strings.Join(have, ", "))
+}
+
+// value reads a point's metric, distinguishing "recorded but NaN"
+// from "never recorded" (a missing Values entry would otherwise read
+// as 0.0 and let statements over unrecorded metrics pass vacuously).
+func value(p Point, m Metric) (float64, bool) {
+	v, recorded := p.Values[m]
+	return v, recorded && !math.IsNaN(v)
+}
+
+// endpoints returns the first and last usable (recorded, non-NaN)
+// values of a series' metric in load order.
+func endpoints(s Series, m Metric) (first, last float64, err error) {
+	first, last = math.NaN(), math.NaN()
+	for _, p := range s.Points {
+		v, ok := value(p, m)
+		if !ok {
+			continue
+		}
+		if math.IsNaN(first) {
+			first = v
+		}
+		last = v
+	}
+	if math.IsNaN(first) {
+		return 0, 0, fmt.Errorf("series %q has no usable %s points (metric unrecorded or all NaN)", s.Label, m)
+	}
+	return first, last, nil
+}
+
+// aggregate reduces a series' metric per the aggregation mode. max/min
+// are positional (highest/lowest load), falling back toward the middle
+// over unusable points; mean skips them.
+func aggregate(s Series, m Metric, agg string) (float64, error) {
+	switch agg {
+	case "mean":
+		sum, n := 0.0, 0
+		for _, p := range s.Points {
+			if v, ok := value(p, m); ok {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, fmt.Errorf("series %q has no usable %s points (metric unrecorded or all NaN)", s.Label, m)
+		}
+		return sum / float64(n), nil
+	case "max":
+		for i := len(s.Points) - 1; i >= 0; i-- {
+			if v, ok := value(s.Points[i], m); ok {
+				return v, nil
+			}
+		}
+	case "min":
+		for _, p := range s.Points {
+			if v, ok := value(p, m); ok {
+				return v, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("series %q has no usable %s points for %s (metric unrecorded or all NaN)", s.Label, m, agg)
+}
+
+// Eval checks the statement against a result.
+func (c ShapeCheck) Eval(res *Result) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("shape %q violated: "+format, append([]any{c.Source}, args...)...)
+	}
+	switch c.Kind {
+	case "up", "down":
+		var series []Series
+		if len(c.Tags) == 1 && c.Tags[0] == "*" {
+			series = res.Series
+		} else {
+			for _, tag := range c.Tags {
+				s, err := seriesByTag(res, tag)
+				if err != nil {
+					return fail("%v", err)
+				}
+				series = append(series, s)
+			}
+		}
+		for _, s := range series {
+			first, last, err := endpoints(s, c.Metric)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if c.Kind == "up" && last < first*(1-upSlack) {
+				return fail("series %q falls with load: %s %g -> %g", s.Label, c.Metric, first, last)
+			}
+			if c.Kind == "down" && last > first*(1+upSlack) {
+				return fail("series %q rises with load: %s %g -> %g", s.Label, c.Metric, first, last)
+			}
+		}
+		return nil
+	case "order":
+		prev, prevTag := math.NaN(), ""
+		for i, tag := range c.Tags {
+			s, err := seriesByTag(res, tag)
+			if err != nil {
+				return fail("%v", err)
+			}
+			v, err := aggregate(s, c.Metric, c.Agg)
+			if err != nil {
+				return fail("%v", err)
+			}
+			if i > 0 && prev < v+c.Margin {
+				return fail("%s(%s) %g !>= %s(%s) %g + %g", prevTag, c.Metric, prev, tag, c.Metric, v, c.Margin)
+			}
+			prev, prevTag = v, tag
+		}
+		return nil
+	case "ratio":
+		a, err := seriesByTag(res, c.Tags[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		b, err := seriesByTag(res, c.Tags[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		va, err := aggregate(a, c.Metric, c.Agg)
+		if err != nil {
+			return fail("%v", err)
+		}
+		vb, err := aggregate(b, c.Metric, c.Agg)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if vb == 0 {
+			if va == 0 {
+				return fail("both sides zero")
+			}
+			return nil // any positive value beats a zero denominator
+		}
+		if va/vb < c.Margin {
+			return fail("%s/%s %s ratio %g below floor %g", c.Tags[0], c.Tags[1], c.Metric, va/vb, c.Margin)
+		}
+		return nil
+	}
+	return fail("unknown kind") // unreachable after ParseShape
+}

@@ -1,0 +1,258 @@
+package experiment
+
+// The shape-regression suite: every figure's Shape statements (the
+// machine-checkable form of its Expect prose) are evaluated against a
+// measured reduced-run sweep. A change that flips a figure's curve
+// shape — a protocol regression, an engine change that breaks a paper
+// property — fails here instead of silently drifting. `-short` runs
+// every figure at 1 run/point; the full mode uses 3. Both
+// configurations were used to tune the statement margins, and sweep
+// results are bit-identical for any worker count, so the suite is
+// deterministic.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesTag(t *testing.T) {
+	cases := map[string]string{
+		"Epidemic with TTL":                 "ttl",
+		"Epidemic with EC":                  "ec",
+		"Epidemic with EC+TTL":              "ecttl",
+		"Epidemic with dynamic TTL":         "dynttl",
+		"Epidemic with immunity":            "immunity",
+		"Epidemic with cumulative immunity": "cumimm",
+		"P-Q epidemic":                      "pq",
+		"P-Q epidemic (anti-packets)":       "pqanti",
+		"Pure epidemic":                     "pure",
+		"Interval time = 400":               "intervaltime400",
+	}
+	for label, want := range cases {
+		if got := SeriesTag(label); got != want {
+			t.Errorf("SeriesTag(%q) = %q, want %q", label, got, want)
+		}
+	}
+}
+
+func TestParseShapeRejectsBadStatements(t *testing.T) {
+	bad := []string{
+		"",
+		"up delay",                     // no series
+		"sideways delay ttl",           // unknown kind
+		"up warp ttl",                  // unknown metric
+		"order delay ttl ec",           // missing @AGG
+		"order delay@median ttl ec",    // unknown aggregation
+		"order delay@mean ttl",         // one series
+		"order delay@mean ttl ec by x", // bad margin
+		"ratio delay@mean ttl ec",      // missing floor
+		"ratio delay@mean ttl ec 0",    // non-positive floor
+		"order delay@mean * ec",        // wildcard outside up/down
+	}
+	for _, stmt := range bad {
+		if _, err := ParseShape(stmt); err == nil {
+			t.Errorf("ParseShape(%q) accepted a bad statement", stmt)
+		}
+	}
+}
+
+// synthetic builds a two-series result for evaluator unit tests.
+func synthetic() *Result {
+	mk := func(label string, vals []float64) Series {
+		s := Series{Label: label}
+		for i, v := range vals {
+			s.Points = append(s.Points, Point{
+				Load:   5 * (i + 1),
+				Values: map[Metric]float64{MetricDelivery: v},
+			})
+		}
+		return s
+	}
+	return &Result{
+		Loads: []int{5, 10, 15},
+		Series: []Series{
+			mk("Epidemic with TTL", []float64{0.9, 0.6, 0.3}),
+			mk("Epidemic with EC", []float64{1.0, 1.0, 0.95}),
+		},
+	}
+}
+
+func TestShapeEval(t *testing.T) {
+	res := synthetic()
+	pass := []string{
+		"down delivery ttl",
+		"down delivery *",
+		"up delivery ec", // 1.0 -> 0.95 is within the 5% slack
+		"order delivery@mean ec ttl by 0.3",
+		"order delivery@max ec ttl",
+		"order delivery@min ec ttl",
+		"ratio delivery@mean ec ttl 1.5",
+	}
+	for _, stmt := range pass {
+		if errs := CheckShapes([]string{stmt}, res); len(errs) != 0 {
+			t.Errorf("statement %q should pass: %v", stmt, errs)
+		}
+	}
+	fail := []string{
+		"up delivery ttl",
+		"down delivery nosuch",              // unresolvable tag fails loudly
+		"order delivery@mean ttl ec",        // wrong order
+		"order delivery@mean ec ttl by 0.9", // margin too big
+		"ratio delivery@mean ec ttl 2.5",    // floor too high
+	}
+	for _, stmt := range fail {
+		if errs := CheckShapes([]string{stmt}, res); len(errs) == 0 {
+			t.Errorf("statement %q should fail", stmt)
+		}
+	}
+}
+
+func TestShapeEvalNaNHandling(t *testing.T) {
+	// A delay series whose high-load points are NaN (no run completed)
+	// must evaluate against its non-NaN endpoints, and an all-NaN
+	// series must fail rather than pass vacuously.
+	s := Series{Label: "Epidemic with TTL"}
+	for i, v := range []float64{100, 300, math.NaN()} {
+		s.Points = append(s.Points, Point{Load: 5 * (i + 1), Values: map[Metric]float64{MetricDelay: v}})
+	}
+	res := &Result{Series: []Series{s}}
+	if errs := CheckShapes([]string{"up delay ttl"}, res); len(errs) != 0 {
+		t.Errorf("NaN tail should fall back to last non-NaN point: %v", errs)
+	}
+	allNaN := &Result{Series: []Series{{Label: "Epidemic with TTL", Points: []Point{
+		{Load: 5, Values: map[Metric]float64{MetricDelay: math.NaN()}},
+	}}}}
+	if errs := CheckShapes([]string{"up delay ttl"}, allNaN); len(errs) == 0 {
+		t.Error("an all-NaN series must fail the statement, not pass vacuously")
+	}
+	// A metric the sweep never recorded (missing Values entries, which
+	// read as 0.0 through a plain map lookup) must also fail loudly.
+	unrecorded := synthetic() // records delivery only
+	for _, stmt := range []string{"up delay ttl", "order delay@mean ec ttl", "ratio delay@max ec ttl 1"} {
+		if errs := CheckShapes([]string{stmt}, unrecorded); len(errs) == 0 {
+			t.Errorf("statement %q over an unrecorded metric passed vacuously", stmt)
+		}
+	}
+}
+
+// TestEveryFigureDeclaresShape: a figure without machine-checkable
+// shape statements would be exempt from the regression suite — new
+// figures must ship with them. Statements must parse and reference
+// only series the figure's sweep actually produces.
+func TestEveryFigureDeclaresShape(t *testing.T) {
+	for _, f := range Figures() {
+		if len(f.Shape) == 0 {
+			t.Errorf("%s: no Shape statements (Expect %q is unchecked)", f.ID, f.Expect)
+			continue
+		}
+		tags := map[string]bool{"*": true}
+		for _, pf := range f.Sweep.Protocols {
+			tags[SeriesTag(pf.Label)] = true
+		}
+		recorded := map[Metric]bool{}
+		for _, m := range f.Sweep.Metrics {
+			recorded[m] = true
+		}
+		for _, stmt := range f.Shape {
+			c, err := ParseShape(stmt)
+			if err != nil {
+				t.Errorf("%s: %v", f.ID, err)
+				continue
+			}
+			for _, tag := range c.Tags {
+				if !tags[tag] {
+					t.Errorf("%s: shape %q references unknown series %q", f.ID, stmt, tag)
+				}
+			}
+			if !recorded[c.Metric] {
+				t.Errorf("%s: shape %q references metric %q the sweep does not record", f.ID, stmt, c.Metric)
+			}
+		}
+	}
+}
+
+// shapeRuns returns the reduced run count the suite uses.
+func shapeRuns() int {
+	if testing.Short() {
+		return 1
+	}
+	return 3
+}
+
+// TestFigureShapes runs every figure at reduced runs and evaluates its
+// Shape statements against the measured curves.
+func TestFigureShapes(t *testing.T) {
+	for _, f := range Figures() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			f.Sweep.Runs = shapeRuns()
+			f.Sweep.BaseSeed = 2012
+			f.Sweep.Workers = 0
+			res, err := Run(f.Sweep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, err := range CheckShapes(f.Shape, res) {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestFig14PairShape checks the claim the fig14 figure alone cannot:
+// the 400 s-interval scenario must out-deliver the 2000 s one by the
+// paper's >=20% (mean delivery ratio floor 1.25; measured ~1.9-2.1 at
+// reduced runs).
+func TestFig14PairShape(t *testing.T) {
+	short, long := Fig14Pair()
+	short.Runs, long.Runs = shapeRuns(), shapeRuns()
+	short.BaseSeed, long.BaseSeed = 2012, 2012
+	rs, err := Run(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := &Result{
+		Scenario: "interval",
+		Loads:    rs.Loads,
+		Series: []Series{
+			{Label: "Interval time = 400", Points: rs.Series[0].Points},
+			{Label: "Interval time = 2000", Points: rl.Series[0].Points},
+		},
+	}
+	stmts := []string{
+		"ratio delivery@mean intervaltime400 intervaltime2000 1.25",
+		"order delivery@mean intervaltime400 intervaltime2000 by 0.1",
+	}
+	for _, err := range CheckShapes(stmts, merged) {
+		t.Error(err)
+	}
+}
+
+// TestShapeSuiteCatchesDrift: sanity-check that the suite would
+// actually fire — an inverted statement over real measured data fails.
+func TestShapeSuiteCatchesDrift(t *testing.T) {
+	f, err := FigureByID("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Sweep.Runs = 1
+	f.Sweep.BaseSeed = 2012
+	f.Sweep.Workers = 0
+	res, err := Run(f.Sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inverted := []string{"order delivery@mean ttl ec by 0.2"} // the true ordering is ec > ttl
+	errs := CheckShapes(inverted, res)
+	if len(errs) == 0 {
+		t.Fatal("inverted ordering passed; the suite cannot catch drift")
+	}
+	if !strings.Contains(errs[0].Error(), "violated") {
+		t.Errorf("unexpected error text: %v", errs[0])
+	}
+}

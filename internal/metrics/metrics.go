@@ -189,14 +189,20 @@ type Collector struct {
 	transmissions int64
 	delivered     int64
 	drops         int64
-	// Per-reason drop counts; their sum is drops. Kept so tests can
-	// cross-check the observer stream against the engine's node
-	// counters (Refused/Evicted/Expired) and catch bookkeeping drift.
-	dropRefused, dropEvicted, dropExpired, dropPurged int64
+	// byReason holds per-reason drop counts keyed by the node.DropReason
+	// enum; their sum plus invalidDrops is drops. Kept so tests can
+	// cross-check the observer stream against the engine's node counters
+	// (Refused/Evicted/Expired/ByteDropped) and catch bookkeeping drift.
+	byReason map[node.DropReason]int64
+	// invalidDrops counts drops whose reason is outside the enum — a
+	// reporting bug TestCollectorMatchesNodeCounters pins at zero.
+	invalidDrops int64
 }
 
 // NewCollector returns an empty collector.
-func NewCollector() *Collector { return &Collector{} }
+func NewCollector() *Collector {
+	return &Collector{byReason: make(map[node.DropReason]int64, len(node.DropReasons()))}
+}
 
 // OnGenerate implements core.Observer.
 func (c *Collector) OnGenerate(bundle.ID, contact.NodeID, sim.Time) { c.generated++ }
@@ -210,16 +216,11 @@ func (c *Collector) OnDeliver(_ bundle.ID, _ contact.NodeID, _ float64, _ sim.Ti
 // OnDrop implements core.Observer.
 func (c *Collector) OnDrop(_ contact.NodeID, _ bundle.ID, reason node.DropReason, _ sim.Time) {
 	c.drops++
-	switch reason {
-	case node.DropRefused:
-		c.dropRefused++
-	case node.DropEvicted:
-		c.dropEvicted++
-	case node.DropExpired:
-		c.dropExpired++
-	case node.DropPurged:
-		c.dropPurged++
+	if !reason.Valid() {
+		c.invalidDrops++
+		return
 	}
+	c.byReason[reason]++
 }
 
 // OnSample implements core.Observer: fold one periodic observation into
@@ -248,19 +249,11 @@ func (c *Collector) Drops() int64         { return c.drops }
 
 // DropsByReason returns the number of drops observed with the given
 // reason. Unknown reasons return zero.
-func (c *Collector) DropsByReason(reason node.DropReason) int64 {
-	switch reason {
-	case node.DropRefused:
-		return c.dropRefused
-	case node.DropEvicted:
-		return c.dropEvicted
-	case node.DropExpired:
-		return c.dropExpired
-	case node.DropPurged:
-		return c.dropPurged
-	}
-	return 0
-}
+func (c *Collector) DropsByReason(reason node.DropReason) int64 { return c.byReason[reason] }
+
+// InvalidDrops returns the number of drops whose reason fell outside
+// the node.DropReason enum; anything above zero is a reporting bug.
+func (c *Collector) InvalidDrops() int64 { return c.invalidDrops }
 
 // MeanOccupancy returns the time-averaged buffer occupancy level.
 func (c *Collector) MeanOccupancy() float64 { return c.occ.Mean() }

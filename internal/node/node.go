@@ -42,8 +42,12 @@ type Node struct {
 	Refused int64
 	// Expired counts copies this node dropped to TTL expiry.
 	Expired int64
-	// Evicted counts copies this node dropped to make room.
+	// Evicted counts copies this node dropped to make room (the
+	// protocols' slot-count policies).
 	Evicted int64
+	// ByteDropped counts copies this node shed to relieve byte pressure
+	// (the buffer's DropPolicy making room under a byte capacity).
+	ByteDropped int64
 
 	// Ext holds protocol-specific state, attached by Protocol.Init.
 	Ext any
@@ -75,15 +79,20 @@ type Scratch struct {
 	IDs []bundle.ID
 }
 
-// DropReason classifies one dropped copy for observers.
+// DropReason classifies one dropped copy for observers. The constants
+// below are the complete enum: every drop the engine reports carries
+// one of them (Valid), and metrics.Collector accounts drops strictly by
+// this taxonomy — a drop with an unlisted reason is a bookkeeping bug,
+// not a new category.
 type DropReason string
 
-// The four ways a node sheds a bundle copy.
+// The five ways a node sheds a bundle copy.
 const (
 	// DropRefused: an incoming copy was declined (buffer full, no
 	// evictable victim).
 	DropRefused DropReason = "refused"
-	// DropEvicted: a stored copy was removed to make room.
+	// DropEvicted: a stored copy was removed to make room (a protocol's
+	// slot-count buffer policy, e.g. EC's highest-count eviction).
 	DropEvicted DropReason = "evicted"
 	// DropExpired: a stored copy's TTL lapsed.
 	DropExpired DropReason = "expired"
@@ -91,7 +100,25 @@ const (
 	// anti-packet marked it delivered — protocol bookkeeping, not a
 	// buffer-policy failure, so it increments no failure counter.
 	DropPurged DropReason = "purged"
+	// DropBytePressure: a stored copy was shed by the buffer's
+	// DropPolicy to fit an incoming sized bundle under a byte capacity
+	// (DESIGN.md §9).
+	DropBytePressure DropReason = "bytepressure"
 )
+
+// DropReasons returns the complete reason enum in a fixed order.
+func DropReasons() []DropReason {
+	return []DropReason{DropRefused, DropEvicted, DropExpired, DropPurged, DropBytePressure}
+}
+
+// Valid reports whether r is one of the declared drop reasons.
+func (r DropReason) Valid() bool {
+	switch r {
+	case DropRefused, DropEvicted, DropExpired, DropPurged, DropBytePressure:
+		return true
+	}
+	return false
+}
 
 // New returns a node with an empty store of the given capacity.
 func New(id contact.NodeID, bufCap int) *Node {
@@ -140,6 +167,16 @@ func (n *Node) NoteEvicted(id bundle.ID, now sim.Time) {
 	n.Evicted++
 	if n.DropHook != nil {
 		n.DropHook(id, DropEvicted, now)
+	}
+}
+
+// NoteByteDropped accounts one copy the buffer's DropPolicy shed
+// (already removed from the store) to fit an incoming sized bundle
+// under the byte capacity.
+func (n *Node) NoteByteDropped(id bundle.ID, now sim.Time) {
+	n.ByteDropped++
+	if n.DropHook != nil {
+		n.DropHook(id, DropBytePressure, now)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strings"
 
+	"dtnsim/internal/buffer"
 	"dtnsim/internal/core"
 	"dtnsim/internal/experiment"
 	"dtnsim/internal/metrics"
@@ -60,6 +61,21 @@ type Scenario struct {
 	Horizon        Time    `json:"horizon,omitempty"`
 	Seed           uint64  `json:"seed,omitempty"`
 	RunToHorizon   bool    `json:"run_to_horizon,omitempty"`
+	// Resource-model knobs (DESIGN.md §9); zero disables each one, so
+	// legacy scenario files run bit-identically.
+	//
+	// Bandwidth ("bw") is the contact link capacity in bytes/sec for
+	// contacts without their own; BundleSize ("size") is the default
+	// payload size for flows that set none; BufferBytes ("bufbytes") is
+	// the per-node byte capacity; DropPolicy ("drop") names the
+	// byte-pressure policy (droptail, dropfront, droprandom);
+	// ControlBytes ("ctlbytes") charges each control record against a
+	// bandwidth-limited contact's byte budget.
+	Bandwidth    float64 `json:"bw,omitempty"`
+	BundleSize   int64   `json:"size,omitempty"`
+	BufferBytes  int64   `json:"bufbytes,omitempty"`
+	DropPolicy   string  `json:"drop,omitempty"`
+	ControlBytes float64 `json:"ctlbytes,omitempty"`
 }
 
 // decodeStrict decodes one JSON value into v, rejecting unknown fields
@@ -115,6 +131,9 @@ func (s Scenario) Check() error {
 	if len(s.Flows) == 0 {
 		return fmt.Errorf("%w: no flows", ErrScenario)
 	}
+	if err := buffer.CheckDropPolicy(s.DropPolicy); err != nil {
+		return fmt.Errorf("%w: %v", ErrScenario, err)
+	}
 	return nil
 }
 
@@ -152,10 +171,19 @@ func (s Scenario) Compile() (Config, error) {
 		return Config{}, fmt.Errorf("dtnsim: streaming %s mobility: %w", src.Kind, err)
 	}
 	fac, _ := protocol.Parse(string(s.Protocol))
+	flows := append([]Flow(nil), s.Flows...)
+	if s.BundleSize != 0 {
+		// The scenario-level default size fills flows that set none.
+		for i := range flows {
+			if flows[i].Size == 0 {
+				flows[i].Size = s.BundleSize
+			}
+		}
+	}
 	return Config{
 		Source:         stream,
 		Protocol:       fac.New(),
-		Flows:          s.Flows,
+		Flows:          flows,
 		BufferCap:      s.BufferCap,
 		TxTime:         s.TxTime,
 		RecordsPerSlot: s.RecordsPerSlot,
@@ -163,6 +191,10 @@ func (s Scenario) Compile() (Config, error) {
 		Horizon:        s.Horizon,
 		Seed:           s.Seed,
 		RunToHorizon:   s.RunToHorizon,
+		Bandwidth:      s.Bandwidth,
+		BufferBytes:    s.BufferBytes,
+		DropPolicy:     s.DropPolicy,
+		ControlBytes:   s.ControlBytes,
 	}, nil
 }
 
@@ -277,6 +309,17 @@ func (s SweepSpec) Compile() (Sweep, error) {
 	if s.Scenario.BufferCap != 0 {
 		sc.BufferCap = s.Scenario.BufferCap
 	}
+	// Resource-model template knobs apply to every run of the sweep;
+	// the sweep's generated single-flow workload takes the template's
+	// default bundle size.
+	if err := buffer.CheckDropPolicy(s.Scenario.DropPolicy); err != nil {
+		return Sweep{}, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	sc.Bandwidth = s.Scenario.Bandwidth
+	sc.BundleSize = s.Scenario.BundleSize
+	sc.BufferBytes = s.Scenario.BufferBytes
+	sc.DropPolicy = s.Scenario.DropPolicy
+	sc.ControlBytes = s.Scenario.ControlBytes
 	if len(s.Protocols) == 0 {
 		return Sweep{}, fmt.Errorf("%w: sweep has no protocol specs", ErrScenario)
 	}
@@ -330,9 +373,14 @@ func SweepSpecOf(name string, sw Sweep) (SweepSpec, error) {
 			Mobility: MobilitySpec(sw.Scenario.Spec),
 			// Compile's interval preset re-applies TxTime; recording the
 			// effective values keeps the file self-describing.
-			TxTime:    sw.Scenario.TxTime,
-			BufferCap: sw.Scenario.BufferCap,
-			Seed:      sw.BaseSeed,
+			TxTime:       sw.Scenario.TxTime,
+			BufferCap:    sw.Scenario.BufferCap,
+			Seed:         sw.BaseSeed,
+			Bandwidth:    sw.Scenario.Bandwidth,
+			BundleSize:   sw.Scenario.BundleSize,
+			BufferBytes:  sw.Scenario.BufferBytes,
+			DropPolicy:   sw.Scenario.DropPolicy,
+			ControlBytes: sw.Scenario.ControlBytes,
 		},
 		Loads:   append([]int(nil), sw.Loads...),
 		Runs:    sw.Runs,

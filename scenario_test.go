@@ -97,12 +97,17 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 		Name:         "rt",
 		Mobility:     "interval:max=2000",
 		Protocol:     "pq:p=0.8,q=0.5,anti",
-		Flows:        []dtnsim.Flow{{Src: 1, Dst: 3, Count: 7, StartAt: 50}},
+		Flows:        []dtnsim.Flow{{Src: 1, Dst: 3, Count: 7, StartAt: 50, Size: 1 << 20}},
 		BufferCap:    20,
 		TxTime:       25,
 		SampleEvery:  500,
 		Seed:         9,
 		RunToHorizon: true,
+		Bandwidth:    5e4,
+		BundleSize:   1 << 19,
+		BufferBytes:  5 << 20,
+		DropPolicy:   "dropfront",
+		ControlBytes: 64,
 	}
 	data, err := sc.JSON()
 	if err != nil {
@@ -126,6 +131,7 @@ func TestParseScenarioRejectsBadInput(t *testing.T) {
 		"bad mob spec":     `{"mobility":"warpdrive","protocol":"pure","flows":[{"src":0,"dst":1,"count":1}]}`,
 		"no flows":         `{"mobility":"cambridge","protocol":"pure"}`,
 		"not json":         `mobility=cambridge`,
+		"bad drop policy":  `{"mobility":"cambridge","protocol":"pure","flows":[{"src":0,"dst":1,"count":1}],"drop":"nosuch"}`,
 	}
 	for name, raw := range bad {
 		if _, err := dtnsim.ParseScenario([]byte(raw)); !errors.Is(err, dtnsim.ErrScenario) {
@@ -290,5 +296,82 @@ func TestSweepSpecRejectsUnsupportedTemplateKnobs(t *testing.T) {
 	ok := `{"scenario":{"mobility":"cambridge","run_to_horizon":true},"protocols":["pure"]}`
 	if _, err := dtnsim.ParseSweepSpec([]byte(ok)); err != nil {
 		t.Errorf("run_to_horizon=true rejected: %v", err)
+	}
+}
+
+// TestScenarioResourceKeysBind: the bw/size keys in a scenario file
+// reach the engine — a starved bandwidth delivers strictly less than
+// the same scenario unconstrained.
+func TestScenarioResourceKeysBind(t *testing.T) {
+	base := `{"mobility":"cambridge:seed=7","protocol":"pure",
+		"flows":[{"src":0,"dst":7,"count":30}],
+		"run_to_horizon":true,"seed":7%s}`
+	run := func(extra string) *dtnsim.Result {
+		sc, err := dtnsim.ParseScenario([]byte(fmt.Sprintf(base, extra)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dtnsim.RunScenario(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	free := run("")
+	starved := run(`,"bw":1000,"size":1048576`)
+	if !(starved.Delivered < free.Delivered) {
+		t.Errorf("starved scenario delivered %d, unconstrained %d; want strictly less",
+			starved.Delivered, free.Delivered)
+	}
+	// Byte capacity with a drop policy binds too and is accounted.
+	pressured := run(`,"size":1048576,"bufbytes":3145728,"drop":"dropfront"`)
+	if pressured.ByteDropped == 0 {
+		t.Error("bufbytes+drop keys did not produce byte-pressure drops")
+	}
+}
+
+// TestConstrainedSweepSpecRoundTrip: a sweep template carrying the
+// resource keys serializes and compiles back to the same runnable
+// sweep, results included.
+func TestConstrainedSweepSpecRoundTrip(t *testing.T) {
+	raw := `{"scenario":{"mobility":"cambridge","bw":3000,"size":1048576,
+		"bufbytes":5242880,"drop":"dropfront","ctlbytes":16,"seed":2012},
+		"protocols":["pure"],"loads":[10],"runs":1,"metrics":["delivery"]}`
+	spec, err := dtnsim.ParseSweepSpec([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Scenario.Bandwidth != 3000 || sweep.Scenario.BundleSize != 1048576 ||
+		sweep.Scenario.BufferBytes != 5242880 || sweep.Scenario.DropPolicy != "dropfront" ||
+		sweep.Scenario.ControlBytes != 16 {
+		t.Fatalf("resource knobs lost in Compile: %+v", sweep.Scenario)
+	}
+	want, err := dtnsim.RunSweep(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize back and re-run: bit-identical.
+	back, err := dtnsim.SweepSpecOf("rt", sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario.Bandwidth != 3000 || back.Scenario.DropPolicy != "dropfront" {
+		t.Fatalf("SweepSpecOf dropped resource knobs: %+v", back.Scenario)
+	}
+	got, err := dtnsim.RunSweepSpec(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("re-serialized constrained sweep diverged:\n got: %+v\nwant: %+v", got, want)
+	}
+	// The unknown-policy template is rejected at compile time.
+	badRaw := `{"scenario":{"mobility":"cambridge","drop":"nosuch"},"protocols":["pure"]}`
+	if _, err := dtnsim.ParseSweepSpec([]byte(badRaw)); !errors.Is(err, dtnsim.ErrScenario) {
+		t.Errorf("bad template policy: err = %v, want ErrScenario", err)
 	}
 }
