@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTreeIsClean is the smoke test CI leans on: the full module must
+// carry zero unsuppressed diagnostics and stay inside the committed
+// suppression budget. A new violation anywhere in internal/ or cmd/
+// turns this red before the lint job even runs.
+func TestTreeIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("dtnlint over the tree exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if out := stdout.String(); out != "" {
+		t.Errorf("expected no diagnostics on stdout, got:\n%s", out)
+	}
+}
+
+// TestSeededMapRangeFails pins the acceptance criterion from the issue:
+// a deliberate order-sensitive map range in a package under
+// dtnsim/internal/core must fail the lint gate. The fixture module in
+// testdata/badcore claims that import path.
+func TestSeededMapRangeFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/badcore", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "maporder") || !strings.Contains(out, "bad.go") {
+		t.Errorf("diagnostic should name maporder and bad.go, got:\n%s", out)
+	}
+}
+
+// TestSeededMapRangeFailsJSON checks the machine-readable output path
+// on the same fixture.
+func TestSeededMapRangeFailsJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/badcore", "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{`"diagnostics"`, `"analyzer": "maporder"`, `bad.go`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestListAnalyzers keeps the composed suite honest: all four passes
+// must be registered.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	out := stdout.String()
+	for _, name := range []string{"maporder", "rngdiscipline", "hotpathalloc", "errsentinel"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out)
+		}
+	}
+}

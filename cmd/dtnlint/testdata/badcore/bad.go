@@ -1,0 +1,14 @@
+// Package core is a deliberately broken fixture: its module path puts
+// it inside the simulation-package set maporder polices, and collect()
+// ranges over a map into an order-sensitive slice with no sort after
+// the loop. The dtnlint smoke test asserts this fails the gate —
+// proving a map-range seeded into internal/core cannot pass CI.
+package core
+
+func collect(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

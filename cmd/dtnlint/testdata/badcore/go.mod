@@ -1,0 +1,3 @@
+module dtnsim/internal/core
+
+go 1.22

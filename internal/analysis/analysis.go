@@ -1,0 +1,86 @@
+// Package analysis is a self-contained static-analysis framework
+// mirroring the API shape of golang.org/x/tools/go/analysis, built on
+// the standard library only (go/ast, go/types, and the go toolchain's
+// export data) so the repository carries no external dependency.
+//
+// The project's correctness story is bit-identical determinism: golden
+// grids and streamed-vs-materialized equivalence tests sample it
+// dynamically, but only at the cells they pin. The analyzers in the
+// subpackages (maporder, rngdiscipline, hotpathalloc, errsentinel)
+// prove the underlying invariants over the whole tree — every map
+// iteration order-insensitive, every random draw flowing through
+// sim.RNG seed streams, every annotated hot path free of
+// allocation-prone constructs, every spec/config error wrapping its
+// sentinel — which is the precondition for the sharded-engine refactor
+// (ROADMAP item 1) where per-shard RNG streams and order-independent
+// merges must hold globally, not just where a golden looks.
+//
+// cmd/dtnlint composes the analyzers into a multichecker; DESIGN.md
+// §10 documents what each one enforces and why.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer so the suite can migrate to
+// the upstream framework (and compose with upstream passes like
+// nilness and shadow) without rewriting any checker, once the
+// dependency is available. Upstream composition is gated on that: this
+// module deliberately has no requirements outside the standard
+// library.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow suppression comments. Lowercase, no spaces.
+	Name string
+	// Doc is a one-paragraph description: first line is a summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+	// Match restricts which package import paths the multichecker
+	// applies this analyzer to. Nil means every package. Test
+	// harnesses bypass Match and run the analyzer directly on their
+	// testdata packages.
+	Match func(pkgPath string) bool
+}
+
+// Pass carries one type-checked package through an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+}
+
+func (p *Pass) report(d Diagnostic) { p.diags = append(p.diags, d) }
+
+// Diagnostics returns what Run reported, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// Diagnostic is one finding, with its resolved source position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Pos is the resolved file:line:column of the finding.
+	Pos token.Position `json:"-"`
+	// File/Line mirror Pos for -json output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Suppressed marks diagnostics matched by a //lint:allow
+	// comment; the multichecker counts them against the budget file
+	// instead of failing on them.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}

@@ -1,0 +1,126 @@
+// Package analysistest runs one analyzer over a self-contained
+// testdata module and checks its diagnostics against // want
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest
+// so the suites translate directly if the upstream framework is ever
+// vendored.
+//
+// Conventions, mirroring upstream where possible:
+//
+//	x := ...       // want "substring of the expected message"
+//	y := ...       // want-suppressed "matched by a //lint:allow"
+//
+// Every want must be satisfied by a diagnostic on its line, and every
+// diagnostic must be claimed by a want — unexpected findings fail the
+// test, which is what makes the negative (clean-code) cases real
+// assertions rather than vacuous passes.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"dtnsim/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// (want(?:-suppressed)?) (.+)$`)
+var quoted = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file       string
+	line       int
+	substr     string
+	suppressed bool
+	met        bool
+}
+
+// Run loads the testdata module rooted at srcDir, applies a (Match is
+// bypassed: testdata module paths never match production package
+// paths), resolves //lint:allow suppressions, and checks // want
+// expectations. It returns the Result for extra assertions (allow
+// counts, totals).
+func Run(t *testing.T, srcDir string, a *analysis.Analyzer) *analysis.Result {
+	t.Helper()
+	pkgs, err := analysis.Load(srcDir, "./...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", srcDir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", srcDir)
+	}
+	unmatched := *a
+	unmatched.Match = nil
+	res, err := analysis.Run(pkgs, []*analysis.Analyzer{&unmatched})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quoted.FindAllStringSubmatch(m[2], -1) {
+						wants = append(wants, &expectation{
+							file:       pkg.Filenames[i],
+							line:       pos.Line,
+							substr:     q[1],
+							suppressed: m[1] == "want-suppressed",
+						})
+					}
+				}
+			}
+		}
+	}
+
+	claimed := make([]bool, len(res.Diagnostics))
+	for _, w := range wants {
+		for i, d := range res.Diagnostics {
+			if claimed[i] || d.File != w.file || d.Line != w.line {
+				continue
+			}
+			if d.Suppressed != w.suppressed || !strings.Contains(d.Message, w.substr) {
+				continue
+			}
+			w.met, claimed[i] = true, true
+			break
+		}
+		if !w.met {
+			t.Errorf("%s:%d: no %sdiagnostic matching %q (analyzer %s)",
+				w.file, w.line, suppressedLabel(w.suppressed), w.substr, a.Name)
+		}
+	}
+	for i, d := range res.Diagnostics {
+		if !claimed[i] {
+			t.Errorf("%s:%d: unexpected %sdiagnostic: %s",
+				d.File, d.Line, suppressedLabel(d.Suppressed), d.Message)
+		}
+	}
+	return res
+}
+
+func suppressedLabel(s bool) string {
+	if s {
+		return "suppressed "
+	}
+	return ""
+}
+
+// MustFindings asserts the result carries exactly n unsuppressed
+// findings — a guard for suites whose wants are all inline.
+func MustFindings(t *testing.T, res *analysis.Result, n int) {
+	t.Helper()
+	if got := len(res.Unsuppressed()); got != n {
+		var lines []string
+		for _, d := range res.Unsuppressed() {
+			lines = append(lines, fmt.Sprintf("  %s:%d: %s", d.File, d.Line, d.Message))
+		}
+		t.Errorf("got %d unsuppressed findings, want %d\n%s", got, n, strings.Join(lines, "\n"))
+	}
+}

@@ -1,0 +1,185 @@
+// Package errsentinel keeps the registry error contract
+// machine-checkable: spec/config resolution failures must wrap their
+// package's sentinel (protocol.ErrSpec, mobility.ErrSpec,
+// core.ErrConfig, buffer.ErrDropPolicy) with %w, so callers can
+// distinguish a malformed user spec from a simulation failure with
+// errors.Is. A boundary function that returns a bare fmt.Errorf or
+// errors.New breaks every errors.Is test downstream — silently,
+// because the message text still reads fine.
+//
+// Two kinds of function are bound to the contract:
+//   - by name: Parse, Validate/validate, and Check* functions with an
+//     error result, in a package that declares a qualifying sentinel;
+//   - by evidence: any function that wraps a qualifying sentinel with
+//     %w at least once — the rest of its error returns must be
+//     consistent.
+//
+// Unexported helper parsers (parsePQ, …) stay free to return plain
+// errors for the boundary to wrap.
+package errsentinel
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"dtnsim/internal/analysis"
+)
+
+// sentinelNames are the spec/config boundary sentinels the contract
+// covers. Operational sentinels (buffer.ErrFull, …) are not included:
+// they are returned directly, never wrapped.
+var sentinelNames = map[string]bool{
+	"ErrSpec":       true,
+	"ErrConfig":     true,
+	"ErrDropPolicy": true,
+}
+
+// Analyzer is the errsentinel pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc:  "require spec/config boundary errors to wrap their Err* sentinel with %w",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	local := localSentinels(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			bound := len(local) > 0 && boundByName(fn, pass)
+			if !bound && !wrapsSentinel(pass, fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// localSentinels finds qualifying package-level sentinel vars.
+func localSentinels(pass *analysis.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if sentinelNames[name] {
+			out[scope.Lookup(name)] = true
+		}
+	}
+	return out
+}
+
+// boundByName reports whether fn's name marks it as a spec/config
+// boundary with an error result.
+func boundByName(fn *ast.FuncDecl, pass *analysis.Pass) bool {
+	name := fn.Name.Name
+	if name != "Parse" && name != "Validate" && name != "validate" && !strings.HasPrefix(name, "Check") {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[fn.Name]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// wrapsSentinel reports whether fn already wraps a qualifying
+// sentinel with %w somewhere — evidence it participates in the
+// contract.
+func wrapsSentinel(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return true
+		}
+		if !isErrorf(pass, call) || !formatHasW(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if id, ok := unwrapSelector(arg); ok && sentinelNames[id] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		// Nested function literals (registry parser closures) are a
+		// different boundary; skip them.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isErrorf(pass, call) && !formatHasW(pass, call) {
+			pass.Reportf(call.Pos(), "%s returns a spec/config error without wrapping its sentinel: use fmt.Errorf(\"%%w: …\", Err…)", fn.Name.Name)
+		}
+		if isPkgFunc(pass, call, "errors", "New") {
+			pass.Reportf(call.Pos(), "%s builds a spec/config error with errors.New; wrap the package sentinel with fmt.Errorf(\"%%w: …\") instead", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+func isErrorf(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return isPkgFunc(pass, call, "fmt", "Errorf")
+}
+
+func isPkgFunc(pass *analysis.Pass, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkg
+}
+
+// formatHasW reports whether the call's constant format string
+// contains a %w verb. Non-constant formats pass: the analyzer cannot
+// see them, and dynamic formats are rare at spec boundaries.
+func formatHasW(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return true
+	}
+	return strings.Contains(constant.StringVal(tv.Value), "%w")
+}
+
+// unwrapSelector returns the terminal identifier name of expr when it
+// is an ident or pkg.Ident selector.
+func unwrapSelector(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		return x.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,19 @@
+package errsentinel_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dtnsim/internal/analysis/analysistest"
+	"dtnsim/internal/analysis/errsentinel"
+)
+
+func TestErrSentinel(t *testing.T) {
+	res := analysistest.Run(t, filepath.Join("testdata", "src", "a"), errsentinel.Analyzer)
+	// Parse (2), CheckName, wrapsByEvidence, validate; CheckAlias
+	// suppressed; helpers and plain functions stay clean.
+	analysistest.MustFindings(t, res, 5)
+	if got := res.AllowCounts["errsentinel"]; got != 1 {
+		t.Errorf("AllowCounts[errsentinel] = %d, want 1", got)
+	}
+}

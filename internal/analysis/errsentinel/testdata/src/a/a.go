@@ -1,0 +1,77 @@
+// Package a exercises the errsentinel analyzer: boundary functions
+// (Parse / validate / Check*, or any function that wraps a qualifying
+// sentinel) must wrap ErrSpec/ErrConfig with %w in every error they
+// build; unexported helpers stay free to return plain errors.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSpec is the package's spec-boundary sentinel.
+var ErrSpec = errors.New("a: invalid spec")
+
+// ErrConfig is the package's config-boundary sentinel.
+var ErrConfig = errors.New("a: invalid config")
+
+// Parse is bound by name: every error it builds must wrap ErrSpec.
+func Parse(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("%w: empty spec", ErrSpec)
+	}
+	if s == "bad" {
+		return 0, fmt.Errorf("malformed spec %q", s) // want "without wrapping its sentinel"
+	}
+	if s == "worse" {
+		return 0, errors.New("unparseable") // want "errors.New"
+	}
+	return len(s), nil
+}
+
+// CheckName is bound by the Check* prefix.
+func CheckName(s string) error {
+	if s == "" {
+		return fmt.Errorf("empty name") // want "without wrapping its sentinel"
+	}
+	return nil
+}
+
+// parseInner is an unexported helper: the boundary wraps for it.
+func parseInner(s string) error {
+	return fmt.Errorf("inner failure %q", s)
+}
+
+// wrapsByEvidence is bound because it wraps ErrSpec once; its other
+// error returns must stay consistent.
+func wrapsByEvidence(s string) error {
+	if s == "" {
+		return fmt.Errorf("%w: empty", ErrSpec)
+	}
+	return fmt.Errorf("trailing garbage in %q", s) // want "without wrapping its sentinel"
+}
+
+// Config.validate is bound by name.
+type Config struct{ N int }
+
+func (c Config) validate() error {
+	if c.N < 0 {
+		return fmt.Errorf("negative N %d", c.N) // want "without wrapping its sentinel"
+	}
+	if c.N > 100 {
+		return fmt.Errorf("%w: N %d out of range", ErrConfig, c.N)
+	}
+	return nil
+}
+
+// plainHelper is unbound: not a boundary name, wraps nothing.
+func plainHelper() error { return errors.New("not a spec error") }
+
+// CheckAlias demonstrates a counted, reasoned suppression.
+func CheckAlias(s string) error {
+	if s == "legacy" {
+		//lint:allow errsentinel legacy message format pinned by CLI tests
+		return fmt.Errorf("unknown alias %q", s) // want-suppressed "without wrapping"
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module errsentinel.example
+
+go 1.22

@@ -1,0 +1,19 @@
+package hotpathalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dtnsim/internal/analysis/analysistest"
+	"dtnsim/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	res := analysistest.Run(t, filepath.Join("testdata", "src", "a"), hotpathalloc.Analyzer)
+	// fmt, heap, three captures, make, new, growing append; fmt again
+	// suppressed. Unannotated and scratch-idiom functions stay clean.
+	analysistest.MustFindings(t, res, 8)
+	if got := res.AllowCounts["hotpathalloc"]; got != 1 {
+		t.Errorf("AllowCounts[hotpathalloc] = %d, want 1", got)
+	}
+}

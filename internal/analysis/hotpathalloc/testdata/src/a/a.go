@@ -1,0 +1,120 @@
+// Package a exercises the hotpathalloc analyzer: allocation-prone
+// constructs inside //dtn:hotpath functions are flagged, the same
+// constructs in unannotated code pass, and scratch-buffer idioms
+// (append into caller-owned storage) pass inside hot paths.
+package a
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+func walk(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}
+
+//dtn:hotpath
+func flagFmt(id int) string {
+	return fmt.Sprintf("bundle-%d", id) // want "fmt.Sprintf"
+}
+
+//dtn:hotpath
+func flagHeapBoxing(h *intHeap, v int) {
+	heap.Push(h, v) // want "heap.Push"
+}
+
+//dtn:hotpath
+func flagStoredClosure(xs []int, limit int) func() int {
+	n := 0
+	pred := func() int { // want "capturing xs" "capturing limit" "capturing n"
+		if len(xs) > limit {
+			return n
+		}
+		return 0
+	}
+	return pred
+}
+
+// okArgClosure passes its capturing literal directly as a call
+// argument — the stack-allocated scratch idiom.
+//
+//dtn:hotpath
+func okArgClosure(xs []int, limit int) int {
+	n := 0
+	walk(xs, func(x int) {
+		if x < limit {
+			n++
+		}
+	})
+	return n
+}
+
+//dtn:hotpath
+func flagMake(n int) map[int]bool {
+	return make(map[int]bool, n) // want "allocates with make"
+}
+
+//dtn:hotpath
+func flagNew() *int {
+	return new(int) // want "allocates with new"
+}
+
+//dtn:hotpath
+func flagGrowingReturn(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x) // want "grows returned slice out"
+		}
+	}
+	return out
+}
+
+// okUnannotated may format freely: the check is annotation-driven.
+func okUnannotated(id int) string {
+	return fmt.Sprintf("bundle-%d", id)
+}
+
+// okScratchAppend appends into a caller-owned buffer, the PR-3 scratch
+// idiom: no growth from zero capacity, nothing escapes that was not
+// already heap-resident.
+//
+//dtn:hotpath
+func okScratchAppend(dst, xs []int) []int {
+	dst = dst[:0]
+	for _, x := range xs {
+		dst = append(dst, x)
+	}
+	return dst
+}
+
+// okPanicFmt formats only on its crash path: a fmt call passed
+// directly to panic never allocates in steady state.
+//
+//dtn:hotpath
+func okPanicFmt(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative count %d", n))
+	}
+}
+
+//dtn:hotpath
+func suppressedFmt(id int) string {
+	//lint:allow hotpathalloc cold error path, benchguard pins 0 allocs steady-state
+	return fmt.Sprintf("bundle-%d", id) // want-suppressed "fmt.Sprintf"
+}

@@ -1,0 +1,3 @@
+module hotpathalloc.example
+
+go 1.22

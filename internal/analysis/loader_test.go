@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// TestLoadTypeChecks proves the export-data loader round-trips: a
+// module package is parsed from source, its imports (stdlib and
+// in-module) resolve from compiler export data, and the resulting
+// TypesInfo answers type queries — all offline, with no dependency
+// beyond the go toolchain.
+func TestLoadTypeChecks(t *testing.T) {
+	pkgs, err := Load("", "dtnsim/internal/spec", "dtnsim/internal/protocol")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("Load returned %d packages, want 2", len(pkgs))
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.PkgPath] = p
+	}
+	spec := byPath["dtnsim/internal/spec"]
+	if spec == nil {
+		t.Fatal("dtnsim/internal/spec not loaded")
+	}
+	// Types must be resolved, not just parsed: find the Params struct.
+	obj := spec.Types.Scope().Lookup("Params")
+	if obj == nil {
+		t.Fatal("spec.Params not found in type-checked scope")
+	}
+	// The protocol package imports spec from export data; its Parse
+	// must be present and the files must carry comments (analyzers
+	// read annotations from them).
+	prot := byPath["dtnsim/internal/protocol"]
+	if prot == nil || prot.Types.Scope().Lookup("Parse") == nil {
+		t.Fatal("protocol.Parse not found")
+	}
+	comments := 0
+	for _, f := range prot.Files {
+		comments += len(f.Comments)
+	}
+	if comments == 0 {
+		t.Fatal("no comments parsed; analyzers need ParseComments")
+	}
+	// TypesInfo must map identifiers to objects.
+	found := false
+	for _, f := range spec.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && spec.TypesInfo.Uses[id] != nil {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	if !found {
+		t.Fatal("TypesInfo.Uses empty")
+	}
+}

@@ -1,0 +1,33 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dtnsim/internal/analysis/analysistest"
+	"dtnsim/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	res := analysistest.Run(t, filepath.Join("testdata", "src", "a"), maporder.Analyzer)
+	// Five flagged loops, five sanctioned idioms, one suppression.
+	analysistest.MustFindings(t, res, 5)
+	if got := res.AllowCounts["maporder"]; got != 1 {
+		t.Errorf("AllowCounts[maporder] = %d, want 1", got)
+	}
+}
+
+func TestMatchScopesToSimPackages(t *testing.T) {
+	for pkg, want := range map[string]bool{
+		"dtnsim/internal/core":       true,
+		"dtnsim/internal/protocol":   true,
+		"dtnsim/internal/experiment": true,
+		"dtnsim/internal/sim":        false,
+		"dtnsim/internal/analysis":   false,
+		"dtnsim":                     false,
+	} {
+		if got := maporder.Analyzer.Match(pkg); got != want {
+			t.Errorf("Match(%q) = %v, want %v", pkg, got, want)
+		}
+	}
+}

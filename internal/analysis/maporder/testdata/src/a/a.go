@@ -1,0 +1,118 @@
+// Package a exercises the maporder analyzer: order-sensitive map
+// ranges are flagged, the sanctioned idioms (collect-then-sort, map
+// writes, integer accumulators, deletes) pass, and //lint:allow
+// suppresses with a reason.
+package a
+
+import "sort"
+
+type sink struct{ seen []string }
+
+func (s *sink) add(k string) { s.seen = append(s.seen, k) }
+
+// flagUnsortedCollect appends map keys to a slice that is never
+// sorted: the result order follows the runtime's randomized map order.
+func flagUnsortedCollect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "never sorted after the loop"
+		out = append(out, k)
+	}
+	return out
+}
+
+// okCollectThenSort is the sanctioned idiom.
+func okCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// okMapWrite builds another map: insertion order never matters.
+func okMapWrite(m map[int]bool) map[int]bool {
+	inv := make(map[int]bool, len(m))
+	for k, v := range m {
+		inv[k] = !v
+	}
+	return inv
+}
+
+// okIntCounter accumulates an integer, which commutes bitwise.
+func okIntCounter(m map[string]int, floor int) int {
+	n := 0
+	for _, v := range m {
+		if v > floor {
+			n++
+		}
+	}
+	return n
+}
+
+// flagFloatAccum sums floats: float addition is not bitwise
+// associative, so the total depends on iteration order.
+func flagFloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "non-integer accumulator"
+		sum += v
+	}
+	return sum
+}
+
+// flagEarlyReturn picks "any" key — which key wins is random.
+func flagEarlyReturn(m map[string]int) string {
+	for k := range m { // want "early return"
+		return k
+	}
+	return ""
+}
+
+// flagMethodCall feeds keys to a stateful consumer in map order.
+func flagMethodCall(m map[string]int, s *sink) {
+	for k := range m { // want "possible side effects"
+		s.add(k)
+	}
+}
+
+// okDelete prunes entries; deletion commutes.
+func okDelete(m map[string]int, drop map[string]bool) {
+	for k := range drop {
+		if drop[k] {
+			delete(m, k)
+		}
+	}
+}
+
+type schedule struct{ contacts []int }
+
+func (s *schedule) Sort() { sort.Ints(s.contacts) }
+
+// okFieldCollectThenMethodSort mirrors Schedule building: append into
+// a field the holder sorts after the loop; the float64 conversion in
+// the condition is pure.
+func okFieldCollectThenMethodSort(m map[int]int, s *schedule, span float64) {
+	for k, v := range m {
+		if float64(v) > span {
+			s.contacts = append(s.contacts, k)
+		}
+	}
+	s.Sort()
+}
+
+// flagFieldCollectUnsorted is the same collect without the sort.
+func flagFieldCollectUnsorted(m map[int]int, s *schedule) {
+	for k := range m { // want "may depend on iteration order"
+		s.contacts = append(s.contacts, k)
+	}
+}
+
+// suppressedCase carries a counted, reasoned escape hatch.
+func suppressedCase(m map[string]int) []string {
+	var out []string
+	//lint:allow maporder fixture output order is irrelevant here
+	for k := range m { // want-suppressed "never sorted"
+		out = append(out, k)
+	}
+	return out
+}

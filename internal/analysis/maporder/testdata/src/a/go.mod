@@ -1,0 +1,3 @@
+module maporder.example
+
+go 1.22

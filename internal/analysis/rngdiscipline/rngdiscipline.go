@@ -1,0 +1,80 @@
+// Package rngdiscipline forbids ambient nondeterminism in simulation
+// packages: math/rand (v1 and v2) outside internal/sim, time.Now, and
+// environment reads. Every random draw must flow through a sim.RNG
+// stream derived from an explicit seed, and every input must arrive
+// through configuration — the precondition for bit-identical replay
+// today and for per-shard RNG streams in the sharded engine (ROADMAP
+// item 1), where a single global generator would serialize shards and
+// a stray ambient draw would desynchronize them.
+package rngdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dtnsim/internal/analysis"
+)
+
+// Analyzer is the rngdiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "rngdiscipline",
+	Doc:  "forbid math/rand, time.Now, and os.Getenv in simulation packages; randomness flows through sim.RNG",
+	Run:  run,
+	Match: func(pkgPath string) bool {
+		// Every simulation package except internal/sim itself, whose
+		// RNG type is the sanctioned math/rand/v2 wrapper, and the
+		// analysis tree.
+		if !strings.HasPrefix(pkgPath, "dtnsim/internal/") {
+			return false
+		}
+		return pkgPath != "dtnsim/internal/sim" &&
+			!strings.HasPrefix(pkgPath, "dtnsim/internal/analysis")
+	},
+}
+
+// banned maps package path → function names that may not be called;
+// an empty list bans every use of the package.
+var banned = map[string][]string{
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+	"time":         {"Now", "Since", "Until", "Tick", "After", "AfterFunc"},
+	"os":           {"Getenv", "LookupEnv", "Environ", "ExpandEnv"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			names, bannedPkg := banned[path]
+			if !bannedPkg {
+				return true
+			}
+			if names == nil {
+				pass.Reportf(sel.Pos(), "%s.%s: %s is banned in simulation packages; draw through a seeded sim.RNG stream",
+					pkgID.Name, sel.Sel.Name, path)
+				return true
+			}
+			for _, bad := range names {
+				if sel.Sel.Name == bad {
+					pass.Reportf(sel.Pos(), "%s.%s is ambient nondeterminism; thread virtual time / configuration through the engine instead",
+						pkgID.Name, sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

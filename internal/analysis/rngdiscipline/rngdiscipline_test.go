@@ -1,0 +1,34 @@
+package rngdiscipline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dtnsim/internal/analysis/analysistest"
+	"dtnsim/internal/analysis/rngdiscipline"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	res := analysistest.Run(t, filepath.Join("testdata", "src", "a"), rngdiscipline.Analyzer)
+	// Seven banned uses across rand/rand-v2/time/os plus one
+	// suppression (the *rand.Rand type reference counts: any tie to
+	// math/rand in simulation code is a seam ambient state leaks in).
+	analysistest.MustFindings(t, res, 7)
+	if got := res.AllowCounts["rngdiscipline"]; got != 1 {
+		t.Errorf("AllowCounts[rngdiscipline] = %d, want 1", got)
+	}
+}
+
+func TestMatchExemptsSimAndAnalysis(t *testing.T) {
+	for pkg, want := range map[string]bool{
+		"dtnsim/internal/core":              true,
+		"dtnsim/internal/mobility":          true,
+		"dtnsim/internal/sim":               false,
+		"dtnsim/internal/analysis/maporder": false,
+		"dtnsim/cmd/dtnsim":                 false,
+	} {
+		if got := rngdiscipline.Analyzer.Match(pkg); got != want {
+			t.Errorf("Match(%q) = %v, want %v", pkg, got, want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package a exercises the rngdiscipline analyzer: ambient
+// nondeterminism (math/rand, time.Now, environment reads) is flagged;
+// deterministic uses of the same packages pass.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+func flagTopLevelRand() int {
+	return rand.Intn(10) // want "math/rand is banned"
+}
+
+func flagSeededRand(seed int64) *rand.Rand { // want "math/rand is banned"
+	return rand.New(rand.NewSource(seed)) // want "math/rand is banned" "math/rand is banned"
+}
+
+func flagRandV2() uint64 {
+	return randv2.Uint64() // want "math/rand/v2 is banned"
+}
+
+func flagWallClock() int64 {
+	return time.Now().Unix() // want "ambient nondeterminism"
+}
+
+func flagEnv() string {
+	return os.Getenv("DTN_SEED") // want "ambient nondeterminism"
+}
+
+// okDuration uses time's constants, which are pure values.
+func okDuration() time.Duration {
+	return 5 * time.Second
+}
+
+// okSentinel touches os without reading ambient state.
+func okSentinel() error {
+	return os.ErrNotExist
+}
+
+func suppressedEnv() string {
+	//lint:allow rngdiscipline documented debug escape hatch, never in sim runs
+	return os.Getenv("DTN_TRACE_DIR") // want-suppressed "ambient nondeterminism"
+}

@@ -1,0 +1,3 @@
+module rngdiscipline.example
+
+go 1.22

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// allow is one parsed //lint:allow annotation.
+type allow struct {
+	analyzer string
+	reason   string
+	line     int
+	file     string
+}
+
+// suppressions scans a package's comments for
+// //lint:allow <analyzer> <reason> annotations. An annotation
+// suppresses diagnostics from <analyzer> on its own line and on the
+// line immediately following (so it can sit on the statement or just
+// above it). The reason is mandatory: an unexplained suppression is a
+// diagnostic of its own.
+func suppressions(pkg *Package) ([]allow, []Diagnostic) {
+	var allows []allow
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+				if !ok {
+					if strings.HasPrefix(c.Text, "//lint:allow") {
+						pos := pkg.Fset.Position(c.Pos())
+						bad = append(bad, Diagnostic{
+							Analyzer: "suppress", Pos: pos, File: pos.Filename, Line: pos.Line,
+							Message: "malformed suppression: want //lint:allow <analyzer> <reason>",
+						})
+					}
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				pos := pkg.Fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(reason) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "suppress", Pos: pos, File: pos.Filename, Line: pos.Line,
+						Message: "suppression without a reason: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				allows = append(allows, allow{
+					analyzer: name, reason: strings.TrimSpace(reason),
+					line: pos.Line, file: pos.Filename,
+				})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// Result is the outcome of running a set of analyzers over packages.
+type Result struct {
+	// Diagnostics holds every finding, suppressed ones included,
+	// sorted by position. CI fails on any unsuppressed entry.
+	Diagnostics []Diagnostic
+	// AllowCounts is the number of //lint:allow annotations seen per
+	// analyzer name, whether or not they matched a diagnostic —
+	// the currency the budget file caps.
+	AllowCounts map[string]int
+}
+
+// Run applies every analyzer (subject to its Match) to every package
+// and resolves suppressions.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{AllowCounts: map[string]int{}}
+	for _, pkg := range pkgs {
+		allows, bad := suppressions(pkg)
+		res.Diagnostics = append(res.Diagnostics, bad...)
+		for _, a := range allows {
+			res.AllowCounts[a.analyzer]++
+		}
+		for _, an := range analyzers {
+			if an.Match != nil && !an.Match(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  an,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := an.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", an.Name, pkg.PkgPath, err)
+			}
+			for _, d := range pass.Diagnostics() {
+				d.File, d.Line = d.Pos.Filename, d.Pos.Line
+				for _, a := range allows {
+					if a.analyzer == d.Analyzer && a.file == d.File &&
+						(a.line == d.Line || a.line == d.Line-1) {
+						d.Suppressed, d.Reason = true, a.reason
+						break
+					}
+				}
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+		}
+	}
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}
+
+// Unsuppressed returns the findings CI must fail on.
+func (r *Result) Unsuppressed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Budget caps how many //lint:allow annotations the tree may carry, so
+// suppressions cannot silently accumulate: every new allow must either
+// fit the committed budget or raise it in the same reviewed change.
+type Budget struct {
+	// Total caps annotations across all analyzers.
+	Total int `json:"total"`
+	// Analyzers caps annotations per analyzer name. Analyzers absent
+	// from the map default to 0 allowed.
+	Analyzers map[string]int `json:"analyzers"`
+}
+
+// LoadBudget reads a committed budget file.
+func LoadBudget(path string) (*Budget, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Budget
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("analysis: budget %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// Check compares observed allow counts against the budget, returning
+// one error line per violation.
+func (b *Budget) Check(counts map[string]int) []string {
+	var errs []string
+	total := 0
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		total += counts[n]
+		if max := b.Analyzers[n]; counts[n] > max {
+			errs = append(errs, fmt.Sprintf("suppression budget exceeded for %s: %d //lint:allow annotations, budget %d", n, counts[n], max))
+		}
+	}
+	if total > b.Total {
+		errs = append(errs, fmt.Sprintf("total suppression budget exceeded: %d //lint:allow annotations, budget %d", total, b.Total))
+	}
+	return errs
+}

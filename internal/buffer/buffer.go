@@ -128,6 +128,8 @@ func (s *Store) UnpinnedBytes() int64 { return s.unpinnedBytes }
 
 // FitsBytes reports whether an unpinned copy of the given payload size
 // would pass the byte capacity check right now.
+//
+//dtn:hotpath
 func (s *Store) FitsBytes(size int64) bool {
 	return s.capBytes == 0 || size <= 0 || s.unpinnedBytes+size <= s.capBytes
 }
@@ -152,6 +154,8 @@ func (s *Store) ControlLoad() float64 { return s.controlLoad }
 
 // Free returns the number of unpinned slots still available after
 // accounting for whole slots consumed by control metadata.
+//
+//dtn:hotpath
 func (s *Store) Free() int {
 	free := s.cap - s.Unpinned() - int(s.controlLoad)
 	if free < 0 {
@@ -163,21 +167,29 @@ func (s *Store) Free() int {
 // Occupancy returns (copies + control load)/Cap(): the paper's "buffer
 // occupancy level". It may exceed 1.0 at a source holding pinned bundles
 // beyond capacity.
+//
+//dtn:hotpath
 func (s *Store) Occupancy() float64 {
 	return (float64(len(s.copies)) + s.controlLoad) / float64(s.cap)
 }
 
 // Has reports whether a copy of id is stored.
+//
+//dtn:hotpath
 func (s *Store) Has(id bundle.ID) bool {
 	_, ok := s.copies[id]
 	return ok
 }
 
 // Get returns the stored copy of id, or nil.
+//
+//dtn:hotpath
 func (s *Store) Get(id bundle.ID) *bundle.Copy { return s.copies[id] }
 
 // searchIdx returns the position of id in the order index, or the
 // position it would be inserted at.
+//
+//dtn:hotpath
 func (s *Store) searchIdx(id bundle.ID) int {
 	return sort.Search(len(s.order), func(i int) bool {
 		return !s.order[i].Bundle.ID.Less(id)
@@ -187,15 +199,21 @@ func (s *Store) searchIdx(id bundle.ID) int {
 // Put stores a copy. Unpinned copies are refused with ErrFull when no
 // unpinned slot is free; a second copy of the same bundle is refused with
 // ErrDuplicate.
+//
+//dtn:hotpath
 func (s *Store) Put(c *bundle.Copy) error {
+	// Refusals return the bare sentinels: under buffer pressure they
+	// are steady-state control flow on the contact hot path, and
+	// callers only ever branch with errors.Is — formatting a wrapped
+	// message here allocated on every refused transfer.
 	if _, ok := s.copies[c.Bundle.ID]; ok {
-		return fmt.Errorf("%w: %v", ErrDuplicate, c.Bundle.ID)
+		return ErrDuplicate
 	}
 	if !c.Pinned && s.Free() <= 0 {
-		return fmt.Errorf("%w: cap=%d", ErrFull, s.cap)
+		return ErrFull
 	}
 	if !c.Pinned && !s.FitsBytes(c.Bundle.Meta.Size) {
-		return fmt.Errorf("%w: cap=%dB", ErrFullBytes, s.capBytes)
+		return ErrFullBytes
 	}
 	s.copies[c.Bundle.ID] = c
 	i := s.searchIdx(c.Bundle.ID)
@@ -217,6 +235,8 @@ func (s *Store) Put(c *bundle.Copy) error {
 // Remove deletes the copy of id, reporting whether it was present.
 // Pinned copies can be removed — delivery and immunity purge both apply
 // to sources once a bundle is known delivered.
+//
+//dtn:hotpath
 func (s *Store) Remove(id bundle.ID) bool {
 	c, ok := s.copies[id]
 	if !ok {
@@ -245,6 +265,8 @@ func (s *Store) Remove(id bundle.ID) bool {
 // in place (TTL renewal, EC ageing). The store folds it into the
 // min-expiry bound; without the call PurgeExpired's fast path could skip
 // a lapsed copy.
+//
+//dtn:hotpath
 func (s *Store) NoteExpiry(c *bundle.Copy) {
 	if !c.Pinned && c.Expiry < s.minExpiry {
 		s.minExpiry = c.Expiry
@@ -254,6 +276,8 @@ func (s *Store) NoteExpiry(c *bundle.Copy) {
 // Range calls fn for every stored copy in ascending bundle-ID order,
 // stopping early if fn returns false. It allocates nothing. The store
 // must not be mutated during the iteration.
+//
+//dtn:hotpath
 func (s *Store) Range(fn func(*bundle.Copy) bool) {
 	for _, c := range s.order {
 		if !fn(c) {
@@ -264,6 +288,8 @@ func (s *Store) Range(fn func(*bundle.Copy) bool) {
 
 // AppendIDs appends the stored bundle IDs in ascending order to dst and
 // returns the extended slice, allocating only when dst lacks capacity.
+//
+//dtn:hotpath
 func (s *Store) AppendIDs(dst []bundle.ID) []bundle.ID {
 	for _, c := range s.order {
 		dst = append(dst, c.Bundle.ID)
@@ -297,6 +323,8 @@ func (s *Store) Vector() *bundle.SummaryVector {
 // copies never expire: a source holds its own bundles until delivery.
 // When no expiry can have lapsed (tracked via the min-expiry bound) it
 // returns nil without scanning or allocating.
+//
+//dtn:hotpath
 func (s *Store) PurgeExpired(now sim.Time) []*bundle.Copy {
 	if now < s.minExpiry {
 		return nil

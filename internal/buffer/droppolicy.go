@@ -79,12 +79,16 @@ func ValidDropPolicy(name string) bool {
 // (meaning "the default") and registered names pass; anything else
 // returns the registry's unknown-policy error for the caller to wrap
 // in its own sentinel. Config boundaries share this so the message has
-// one source of truth.
+// one source of truth. The error wraps ErrDropPolicy, keeping the
+// registry contract uniform: every policy-resolution failure answers
+// errors.Is(err, ErrDropPolicy) whichever boundary reported it
+// (dtnlint's errsentinel pass enforces this).
 func CheckDropPolicy(name string) error {
 	if name == "" || ValidDropPolicy(name) {
 		return nil
 	}
-	return fmt.Errorf("unknown drop policy %q (have %s)", name, strings.Join(DropPolicyNames(), ", "))
+	return fmt.Errorf("%w: unknown drop policy %q (have %s)",
+		ErrDropPolicy, name, strings.Join(DropPolicyNames(), ", "))
 }
 
 // DropPolicyNames returns the registered policy names, sorted.

@@ -125,6 +125,8 @@ func (t *HolderTracker) Track(id bundle.ID) {
 func (t *HolderTracker) Tracked() int { return len(t.counts) }
 
 // Inc records one more store holding a copy of id.
+//
+//dtn:hotpath
 func (t *HolderTracker) Inc(id bundle.ID) {
 	i, ok := t.idx[id]
 	if !ok {
@@ -134,6 +136,8 @@ func (t *HolderTracker) Inc(id bundle.ID) {
 }
 
 // Dec records one store shedding its copy of id.
+//
+//dtn:hotpath
 func (t *HolderTracker) Dec(id bundle.ID) {
 	i, ok := t.idx[id]
 	if !ok {
@@ -146,6 +150,8 @@ func (t *HolderTracker) Dec(id bundle.ID) {
 }
 
 // Holders returns the current holder count of id (zero if untracked).
+//
+//dtn:hotpath
 func (t *HolderTracker) Holders(id bundle.ID) int {
 	if i, ok := t.idx[id]; ok {
 		return t.counts[i]
@@ -156,6 +162,8 @@ func (t *HolderTracker) Holders(id bundle.ID) int {
 // Sample computes one periodic observation from the maintained counts:
 // bit-identical to Snapshot over the same population, without the
 // per-bundle store scans.
+//
+//dtn:hotpath
 func (t *HolderTracker) Sample(nodes []*node.Node, now sim.Time) Sample {
 	s := Sample{Now: now, Tracked: len(t.counts)}
 	var occSum float64

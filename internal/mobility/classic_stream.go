@@ -91,6 +91,8 @@ type classicSource struct {
 // advanceWalk moves a node's current leg forward until it covers time t,
 // drawing new legs on demand with exactly Generate's draw sequence
 // (destination, speed, pause — two legs per draw).
+//
+//dtn:hotpath
 func (s *classicSource) advanceWalk(w *classicWalk, t float64) {
 	for w.cur.t1 < t {
 		if w.hasPend {
@@ -116,6 +118,8 @@ func (s *classicSource) advanceWalk(w *classicWalk, t float64) {
 // runStep samples every node's position at the step time, updates the
 // occupancy grid and the open-pair set, and queues closed contacts.
 // It returns the time the step sampled.
+//
+//dtn:hotpath
 func (s *classicSource) runStep() float64 {
 	g := s.g
 	t := float64(s.step) * g.SampleDT
@@ -180,6 +184,11 @@ func (s *classicSource) runStep() float64 {
 	// them. The remaining opens set the lookahead release bound — no
 	// future close can start before the earliest open window.
 	minOpen := math.Inf(1)
+	// Order-insensitive despite the map range: float min commutes, and
+	// every closed contact drains through the Lookahead, whose
+	// canonical total order (contact.Less) erases insertion order
+	// before the engine sees it (stream goldens pin this).
+	//lint:allow maporder min commutes; closes reordered by total-order Lookahead
 	for key, st := range s.open {
 		if st.seen == s.step {
 			if st.start < minOpen {
@@ -202,6 +211,9 @@ func (s *classicSource) runStep() float64 {
 
 // finish closes every contact still open at the span.
 func (s *classicSource) finish() {
+	// Same argument as step's close loop: emission order is erased by
+	// the Lookahead's canonical total order, deletion commutes.
+	//lint:allow maporder closes reordered by total-order Lookahead
 	for key, st := range s.open {
 		if float64(s.g.Span) > st.start {
 			s.ahead.Add(contact.Contact{A: key.A, B: key.B, Start: sim.Time(st.start), End: s.g.Span})

@@ -151,6 +151,8 @@ type subscriberSource struct {
 
 // processArrival plays one node's arrival: contacts with every live
 // occupant of the point, occupancy update, and the node's next hop.
+//
+//dtn:hotpath
 func (s *subscriberSource) processArrival(a arrival) {
 	g := s.g
 	nd := &s.nodes[a.node]
@@ -162,6 +164,7 @@ func (s *subscriberSource) processArrival(a arrival) {
 	}
 	p := nd.cur
 	if s.occupants[p] == nil {
+		//lint:allow hotpathalloc lazy per-point init, amortized to once per subscriber point
 		s.occupants[p] = make(map[contact.NodeID]dwell)
 	}
 	// Drop this node's previous occupancy entry before scanning, so a
@@ -170,6 +173,11 @@ func (s *subscriberSource) processArrival(a arrival) {
 	if nd.prev >= 0 {
 		delete(s.occupants[nd.prev], a.node)
 	}
+	// Order-insensitive despite the map range: each occupant yields an
+	// independent contact (no cross-iteration state), expired-dwell
+	// deletion commutes, and emission order is erased by the
+	// Lookahead's canonical total order (stream goldens pin this).
+	//lint:allow maporder per-occupant contacts reordered by total-order Lookahead
 	for m, w := range s.occupants[p] {
 		if w.depart <= t {
 			delete(s.occupants[p], m) // dwell over before this arrival

@@ -97,6 +97,8 @@ type Protocol interface {
 // place. Store.Range walks the store's sorted index, so the direct
 // prefix is already in ascending ID order — no re-sort happens here
 // (TestMissingDirectPrefixOrder pins this).
+//
+//dtn:hotpath
 func missing(sender, receiver *node.Node, rng *sim.RNG) []bundle.ID {
 	sc := &sender.Scratch
 	direct, relay := sc.Direct[:0], sc.Relay[:0]

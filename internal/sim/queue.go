@@ -74,16 +74,22 @@ func (q *Queue) Len() int { return len(q.h) }
 
 // Push schedules an event. Events pushed with equal timestamps pop in
 // insertion order.
+//
+//dtn:hotpath
 func (q *Queue) Push(e *Event) {
 	e.seq = q.nextSeq
 	q.nextSeq++
+	//lint:allow hotpathalloc elements are *Event pointers; pointer-to-interface conversion is allocation-free
 	heap.Push(&q.h, e)
 }
 
 // Pop removes and returns the earliest pending event, skipping cancelled
 // events. It returns nil when the queue is empty.
+//
+//dtn:hotpath
 func (q *Queue) Pop() *Event {
 	for len(q.h) > 0 {
+		//lint:allow hotpathalloc elements are *Event pointers; pointer-to-interface conversion is allocation-free
 		e := heap.Pop(&q.h).(*Event)
 		if e.canceled {
 			continue
