@@ -8,6 +8,7 @@
 package dtnsim_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -192,6 +193,34 @@ func BenchmarkEngineTraceRun(b *testing.B) {
 			Flows:        []dtnsim.Flow{{Src: 0, Dst: 7, Count: 50}},
 			Seed:         uint64(i),
 			RunToHorizon: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTraceRunCancellable is BenchmarkEngineTraceRun with a
+// live (never-cancelled) Config.Context, so the benchguard pair
+// "cancel-overhead" proves the scheduler's interrupt poll costs nothing
+// measurable on the engine hot path.
+func BenchmarkEngineTraceRunCancellable(b *testing.B) {
+	schedule, err := dtnsim.CambridgeTrace(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := dtnsim.Run(dtnsim.Config{
+			Schedule:     schedule,
+			Protocol:     dtnsim.Immunity(),
+			Flows:        []dtnsim.Flow{{Src: 0, Dst: 7, Count: 50}},
+			Seed:         uint64(i),
+			RunToHorizon: true,
+			Context:      ctx,
 		})
 		if err != nil {
 			b.Fatal(err)

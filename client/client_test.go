@@ -1,0 +1,46 @@
+package client
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTerminal(t *testing.T) {
+	for state, want := range map[string]bool{
+		StatePending:   false,
+		StateRunning:   false,
+		StateDone:      true,
+		StateFailed:    true,
+		StateCancelled: true,
+	} {
+		if got := (JobStatus{State: state}).Terminal(); got != want {
+			t.Errorf("Terminal(%s) = %v, want %v", state, got, want)
+		}
+	}
+}
+
+func TestSubmitRequestOmitsEmptySpecs(t *testing.T) {
+	// The server distinguishes scenario from sweep submissions by which
+	// field is present, so an unset field must be absent, not null.
+	data, err := json.Marshal(SubmitRequest{Scenario: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"scenario":{}}` {
+		t.Errorf("marshalled request: %s", data)
+	}
+}
+
+func TestSweepPointNullValue(t *testing.T) {
+	// null metric values decode to nil pointers (the NaN encoding).
+	var p SweepPoint
+	if err := json.Unmarshal([]byte(`{"load":5,"values":{"delay":null,"delivery":0.8}}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Values["delay"] != nil {
+		t.Errorf("null delay decoded to %v", *p.Values["delay"])
+	}
+	if v := p.Values["delivery"]; v == nil || *v != 0.8 {
+		t.Errorf("delivery decoded to %v", v)
+	}
+}

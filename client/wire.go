@@ -1,0 +1,165 @@
+// Package client is the Go client for the dtnsimd simulation service:
+// the wire types of the /v1 REST API plus a small HTTP client that
+// submits jobs, polls them, and fetches cached artifacts. The server
+// (internal/server) marshals exactly these types, so the two sides
+// cannot drift; cmd/dtnsim's -remote mode is a thin layer over this
+// package.
+//
+// Every result body is deterministic: the server renders results into
+// a canonical JSON/CSV form (sorted delivery lists, NaN as null, fixed
+// field order) and caches the bytes, so resubmitting the same spec and
+// seed returns byte-identical responses — across daemon restarts too.
+package client
+
+import "encoding/json"
+
+// Job states reported by the service. A job moves pending → running →
+// one of the three terminal states; a cache hit is born StateDone.
+const (
+	StatePending   = "pending"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job kinds. The kind prefixes the job id ("sc-…", "sw-…"), so an id
+// alone is enough to locate a cached result after a restart.
+const (
+	KindScenario = "scenario"
+	KindSweep    = "sweep"
+)
+
+// SubmitRequest is the POST /v1/jobs body: exactly one of Scenario and
+// Sweep set to a spec document in the dtnsim JSON scenario/sweep
+// format. Specs are validated strictly server-side (unknown fields
+// rejected, registry specs resolved) before a job id is issued.
+type SubmitRequest struct {
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	Sweep    json.RawMessage `json:"sweep,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission. The job id is
+// deterministic — "<kind prefix>-<canonical key>" — so resubmitting an
+// equivalent spec (any JSON spelling, any worker count) yields the
+// same id and, once computed, the same cached result bytes.
+type SubmitResponse struct {
+	JobID string `json:"job_id"`
+	Kind  string `json:"kind"`
+	// Key is the spec's canonical content key (hex SHA-256 of the
+	// normalized spec JSON, seed included).
+	Key string `json:"key"`
+	// Cached reports that the result was already on disk: the job is
+	// born done and no simulation ran.
+	Cached bool   `json:"cached"`
+	State  string `json:"state"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	JobID string `json:"job_id"`
+	Kind  string `json:"kind"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// Error carries the failure (or cancellation) message for terminal
+	// non-done states.
+	Error string `json:"error,omitempty"`
+	// Cached reports the job was satisfied from the result cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Terminal reports whether the state is one a waiter can stop on.
+func (s JobStatus) Terminal() bool {
+	return s.State == StateDone || s.State == StateFailed || s.State == StateCancelled
+}
+
+// Delivery is one delivered bundle in a RunResult, identified by its
+// origin node and per-source sequence number. The list is sorted by
+// (src, seq) so result bodies are byte-stable.
+type Delivery struct {
+	Src int     `json:"src"`
+	Seq int     `json:"seq"`
+	At  float64 `json:"at"`
+}
+
+// RunResult is a single scenario run's result — core.Result in a
+// deterministic wire shape (the delivery map becomes a sorted list).
+type RunResult struct {
+	Protocol          string     `json:"protocol"`
+	Generated         int        `json:"generated"`
+	Delivered         int        `json:"delivered"`
+	DeliveryRatio     float64    `json:"delivery_ratio"`
+	Completed         bool       `json:"completed"`
+	Makespan          float64    `json:"makespan"`
+	MeanDelay         float64    `json:"mean_delay"`
+	DelayP50          float64    `json:"delay_p50"`
+	DelayP95          float64    `json:"delay_p95"`
+	MeanOccupancy     float64    `json:"mean_occupancy"`
+	MeanDuplication   float64    `json:"mean_duplication"`
+	ControlRecords    int64      `json:"control_records"`
+	DataTransmissions int64      `json:"data_transmissions"`
+	Refused           int64      `json:"refused"`
+	Evicted           int64      `json:"evicted"`
+	Expired           int64      `json:"expired"`
+	ByteDropped       int64      `json:"byte_dropped"`
+	FinishedAt        float64    `json:"finished_at"`
+	Deliveries        []Delivery `json:"deliveries,omitempty"`
+	FinalOccupancy    []float64  `json:"final_occupancy,omitempty"`
+	FinalBuffered     []int      `json:"final_buffered,omitempty"`
+}
+
+// SweepPoint is one averaged (load, protocol) measurement. Values maps
+// metric name → run-averaged value; a null value encodes NaN (the
+// delay metric when no run completed), which JSON cannot carry as a
+// number.
+type SweepPoint struct {
+	Load      int                 `json:"load"`
+	Values    map[string]*float64 `json:"values"`
+	Completed int                 `json:"completed"`
+	Runs      int                 `json:"runs"`
+}
+
+// SweepSeries is one protocol's curve across loads.
+type SweepSeries struct {
+	Label  string       `json:"label"`
+	Points []SweepPoint `json:"points"`
+}
+
+// SweepResult is a finished sweep — experiment.Result in wire shape.
+type SweepResult struct {
+	Scenario string        `json:"scenario"`
+	Loads    []int         `json:"loads"`
+	Series   []SweepSeries `json:"series"`
+}
+
+// Metrics is the GET /metrics body: the job manager's counters.
+// Executed counts simulations actually run; the cache-hit determinism
+// test pins it while resubmitting.
+type Metrics struct {
+	Submitted int64 `json:"submitted"`
+	CacheHits int64 `json:"cache_hits"`
+	Executed  int64 `json:"executed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	Pending   int64 `json:"pending"`
+	Running   int64 `json:"running"`
+}
+
+// SpecInfo documents one registered spec name.
+type SpecInfo struct {
+	Name  string `json:"name"`
+	Usage string `json:"usage"`
+}
+
+// Specs is the GET /v1/specs body: everything a client can put in a
+// scenario's mobility/protocol/drop fields.
+type Specs struct {
+	Protocols    []SpecInfo `json:"protocols"`
+	Mobility     []SpecInfo `json:"mobility"`
+	DropPolicies []string   `json:"drop_policies"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

@@ -16,7 +16,14 @@
 //	dtnsim -scenario run.json -events events.csv
 //	dtnsim -trace contacts.txt -protocol immunity -load 30
 //	dtnsim -sweep -mob subscriber -proto ecttl -runs 10 -workers 4
+//	dtnsim -remote http://localhost:8642 -scenario run.json
 //	dtnsim -list
+//
+// With -remote URL the run (or sweep) executes on a dtnsimd daemon
+// instead of locally: the scenario is submitted to POST /v1/jobs,
+// polled until done, and the cached result is printed in the local
+// format. Repeat invocations of the same spec and seed are answered
+// from the daemon's result cache without re-simulating.
 //
 // In sweep mode the (load, run) grid executes on a worker pool of
 // -workers goroutines (0, the default, uses all CPUs; 1 forces the
@@ -30,9 +37,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dtnsim"
 )
@@ -66,6 +75,8 @@ func main() {
 		ctlBytesFlag = flag.Float64("ctlbytes", 0, "bytes charged per control record against a bandwidth-limited contact")
 		horizonFlag  = flag.Bool("full", false, "run to the mobility horizon instead of stopping at delivery")
 		maxIFlag     = flag.Float64("maxinterval", 400, "interval mobility: max inter-encounter gap in seconds")
+		timeoutFlag  = flag.Duration("timeout", 0, "abort the run (or sweep) after this much wall time, e.g. 30s (0 = no limit)")
+		remoteFlag   = flag.String("remote", "", "run on a dtnsimd daemon at this base URL (e.g. http://localhost:8642) instead of locally")
 		sweepFlag    = flag.Bool("sweep", false, "run the paper's §IV load sweep (5..50) instead of a single simulation")
 		runsFlag     = flag.Int("runs", 10, "sweep mode: seeded runs per load point")
 		workersFlag  = flag.Int("workers", 0, "sweep mode: concurrent runs (0 = all CPUs, 1 = sequential; results are identical)")
@@ -136,7 +147,8 @@ func main() {
 			bufferCap: bufferCap, txTime: txTime,
 			bandwidth: *bwFlag, bundleSize: *sizeFlag, bufferBytes: *bufBytesFlag,
 			dropPolicy: *dropFlag, controlBytes: *ctlBytesFlag,
-			seed: *seedFlag, runs: *runsFlag, workers: *workersFlag, dump: *dumpFlag,
+			seed: *seedFlag, runs: *runsFlag, workers: *workersFlag,
+			timeout: *timeoutFlag, remote: *remoteFlag, dump: *dumpFlag,
 		})
 		return
 	}
@@ -194,9 +206,22 @@ func main() {
 		return
 	}
 
+	if *remoteFlag != "" {
+		runRemote(*remoteFlag, sc, *seriesFlag, *eventsFlag, *timeoutFlag)
+		return
+	}
+
 	cfg, err := sc.Compile()
 	if err != nil {
 		fatal(err)
+	}
+	if *timeoutFlag > 0 {
+		// The engine polls the context at event pops, so a 10k-node run
+		// that would otherwise grind for minutes aborts within
+		// microseconds of the deadline.
+		ctx, cancel := context.WithTimeout(context.Background(), *timeoutFlag)
+		defer cancel()
+		cfg.Context = ctx
 	}
 	closers, err := attachStreams(&cfg, *seriesFlag, *eventsFlag)
 	if err != nil {
@@ -323,6 +348,8 @@ type sweepParams struct {
 	controlBytes                   float64
 	seed                           uint64
 	runs, workers                  int
+	timeout                        time.Duration
+	remote                         string
 	dump                           bool
 }
 
@@ -365,8 +392,22 @@ func runSweep(p sweepParams) {
 		fmt.Println(string(data))
 		return
 	}
+	if p.remote != "" {
+		// Ship the canonical serializable form, as -dump prints it.
+		canon, err := dtnsim.SweepSpecOf(spec.Name, sweep)
+		if err != nil {
+			fatal(err)
+		}
+		runRemoteSweep(p.remote, canon, sweep.Scenario.Name, p.runs, p.timeout)
+		return
+	}
 	sweep.OnPoint = func(label string, load int) {
 		fmt.Fprintf(os.Stderr, "\r%-20s load %2d   ", label, load)
+	}
+	if p.timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+		defer cancel()
+		sweep.Context = ctx
 	}
 	res, err := dtnsim.RunSweep(sweep)
 	if err != nil {

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"dtnsim"
+	"dtnsim/client"
+)
+
+// Remote mode: -remote URL sends the run (or sweep) to a dtnsimd
+// daemon instead of simulating locally. The spec documents are exactly
+// the ones local mode consumes, so a run is bit-identical either way;
+// the daemon's cache means a repeated invocation returns instantly.
+
+// remoteContext bounds the whole remote exchange with -timeout.
+func remoteContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// submitAndWait submits one spec and polls until it settles.
+func submitAndWait(ctx context.Context, c *client.Client, req client.SubmitRequest) client.JobStatus {
+	sub, err := c.Submit(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	if sub.Cached {
+		fmt.Fprintf(os.Stderr, "dtnsim: cache hit, job %s\n", sub.JobID)
+	} else {
+		fmt.Fprintf(os.Stderr, "dtnsim: job %s %s\n", sub.JobID, sub.State)
+	}
+	st, err := c.Wait(ctx, sub.JobID, 0)
+	if err != nil {
+		// Best-effort cancel so an abandoned wait doesn't leave the
+		// daemon simulating for nobody.
+		cancelCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = c.Cancel(cancelCtx, sub.JobID)
+		fatal(err)
+	}
+	if st.State != client.StateDone {
+		fatal(fmt.Errorf("job %s %s: %s", st.JobID, st.State, st.Error))
+	}
+	return st
+}
+
+// runRemote executes a single scenario on the daemon and prints the
+// same summary local mode would; -series/-events download the cached
+// CSV artifacts.
+func runRemote(base string, sc dtnsim.Scenario, seriesPath, eventsPath string, timeout time.Duration) {
+	spec, err := sc.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := remoteContext(timeout)
+	defer cancel()
+	c := client.New(base)
+	st := submitAndWait(ctx, c, client.SubmitRequest{Scenario: spec})
+	res, err := c.RunResult(ctx, st.JobID)
+	if err != nil {
+		fatal(err)
+	}
+	for path, fetch := range map[string]func(context.Context, string) ([]byte, error){
+		seriesPath: c.SeriesCSV,
+		eventsPath: c.EventsCSV,
+	} {
+		if path == "" {
+			continue
+		}
+		data, err := fetch(ctx, st.JobID)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	printRemoteResult(res)
+}
+
+// printRemoteResult mirrors local mode's summary block.
+func printRemoteResult(r *client.RunResult) {
+	fmt.Printf("protocol: %s\n", r.Protocol)
+	fmt.Printf("delivered: %d/%d (ratio %.3f)\n", r.Delivered, r.Generated, r.DeliveryRatio)
+	if r.Completed {
+		fmt.Printf("delay (all bundles): %.0f s\n", r.Makespan)
+	} else {
+		fmt.Println("delay: transmission failed (not all bundles arrived before the horizon)")
+	}
+	if r.Delivered > 0 {
+		fmt.Printf("mean per-bundle delay: %.0f s\n", r.MeanDelay)
+	}
+	fmt.Printf("buffer occupancy level: %.3f\n", r.MeanOccupancy)
+	fmt.Printf("bundle duplication rate: %.3f\n", r.MeanDuplication)
+	fmt.Printf("signaling overhead: %d records\n", r.ControlRecords)
+	fmt.Printf("bundle transmissions: %d (refused %d, evicted %d, expired %d, bytepressure %d)\n",
+		r.DataTransmissions, r.Refused, r.Evicted, r.Expired, r.ByteDropped)
+	fmt.Printf("finished at: %v\n", dtnsim.Time(r.FinishedAt))
+}
+
+// runRemoteSweep executes a sweep on the daemon and renders the same
+// per-metric ASCII tables as local sweep mode.
+func runRemoteSweep(base string, spec dtnsim.SweepSpec, scenarioName string, runs int, timeout time.Duration) {
+	raw, err := spec.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := remoteContext(timeout)
+	defer cancel()
+	c := client.New(base)
+	st := submitAndWait(ctx, c, client.SubmitRequest{Sweep: raw})
+	wire, err := c.SweepResult(ctx, st.JobID)
+	if err != nil {
+		fatal(err)
+	}
+	res := decodeSweepResult(wire)
+	for _, m := range []dtnsim.Metric{dtnsim.MetricDelivery, dtnsim.MetricDelay,
+		dtnsim.MetricOccupancy, dtnsim.MetricDuplication} {
+		fmt.Println(dtnsim.TableOf(res, m, fmt.Sprintf("%s (%s, %d runs/point)", m, scenarioName, runs)).ASCII())
+	}
+}
+
+// decodeSweepResult converts the wire form back to the harness type so
+// remote results render through the same report code (null → NaN).
+func decodeSweepResult(w *client.SweepResult) *dtnsim.SweepResult {
+	res := &dtnsim.SweepResult{Scenario: w.Scenario, Loads: w.Loads}
+	for _, s := range w.Series {
+		series := dtnsim.Series{Label: s.Label}
+		for _, p := range s.Points {
+			pt := dtnsim.Point{
+				Load:      p.Load,
+				Values:    map[dtnsim.Metric]float64{},
+				Completed: p.Completed,
+				Runs:      p.Runs,
+			}
+			for m, v := range p.Values {
+				if v == nil {
+					pt.Values[dtnsim.Metric(m)] = math.NaN()
+					continue
+				}
+				pt.Values[dtnsim.Metric(m)] = *v
+			}
+			series.Points = append(series.Points, pt)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res
+}

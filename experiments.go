@@ -93,6 +93,9 @@ func TableOf(r *SweepResult, m Metric, title string) *ResultTable {
 // DefaultLoads is the paper's load axis: 5, 10, …, 50.
 func DefaultLoads() []int { return experiment.DefaultLoads() }
 
+// AllMetrics lists every metric in the harness's canonical order.
+func AllMetrics() []Metric { return experiment.AllMetrics() }
+
 // Scale sweeps: the population axis opened by streaming contact
 // sources (see DESIGN.md §8).
 type (

@@ -25,6 +25,7 @@ func TestMatchExemptsSimAndAnalysis(t *testing.T) {
 		"dtnsim/internal/mobility":          true,
 		"dtnsim/internal/sim":               false,
 		"dtnsim/internal/analysis/maporder": false,
+		"dtnsim/internal/server":            false,
 		"dtnsim/cmd/dtnsim":                 false,
 	} {
 		if got := rngdiscipline.Analyzer.Match(pkg); got != want {

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
+	"dtnsim/internal/mobility"
+	"dtnsim/internal/protocol"
+	"dtnsim/internal/sim"
+)
+
+// cancelConfig builds a deterministic trace-backed run for the
+// cancellation tests.
+func cancelConfig(t *testing.T) Config {
+	t.Helper()
+	sched, err := mobility.SyntheticCambridge{Seed: 42}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fac, err := protocol.Parse("pure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Schedule:     sched,
+		Protocol:     fac.New(),
+		Flows:        []Flow{{Src: 0, Dst: 7, Count: 25}},
+		Seed:         42,
+		RunToHorizon: true,
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := cancelConfig(t)
+	cfg.Context = ctx
+	res, err := Run(cfg)
+	if err == nil {
+		t.Fatalf("pre-cancelled run returned a result: %+v", res)
+	}
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("error should wrap ErrCancelled and context.Canceled: %v", err)
+	}
+}
+
+func TestRunCancelMidRun(t *testing.T) {
+	// Cancel from inside the event stream: the first transmission pulls
+	// the plug, so the run is provably past setup and mid-simulation
+	// when the scheduler's interrupt poll sees the cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := cancelConfig(t)
+	cfg.Context = ctx
+	transmits := 0
+	cfg.Observers = []Observer{&FuncObserver{
+		Transmit: func(from, to contact.NodeID, id bundle.ID, now sim.Time) {
+			transmits++
+			cancel()
+		},
+	}}
+	res, err := Run(cfg)
+	if err == nil {
+		t.Fatalf("cancelled run returned a result: %+v", res)
+	}
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("error should wrap ErrCancelled and context.Canceled: %v", err)
+	}
+	if transmits == 0 {
+		t.Fatal("observer never fired; the run was not cancelled mid-stream")
+	}
+	// The interrupt polls every interruptEvery pops, so after the cancel
+	// at the first transmission the run may process at most one poll
+	// window of further events — far short of draining the schedule.
+	full, err := Run(cancelConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(transmits) >= full.DataTransmissions {
+		t.Errorf("cancelled run transmitted %d of %d bundles; cancellation did not truncate it",
+			transmits, full.DataTransmissions)
+	}
+}
+
+func TestRunDeadlineExceeded(t *testing.T) {
+	// An already-expired deadline must abort with DeadlineExceeded; the
+	// zero-duration timeout keeps the test wall-clock independent.
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	cfg := cancelConfig(t)
+	cfg.Context = ctx
+	if _, err := Run(cfg); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline: got %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestRunLiveContextBitIdentical(t *testing.T) {
+	// A context that never cancels must not perturb the run: the
+	// interrupt only polls, the event stream is untouched.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plain, err := Run(cancelConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cancelConfig(t)
+	cfg.Context = ctx
+	withCtx, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Delivered != withCtx.Delivered ||
+		plain.FinishedAt != withCtx.FinishedAt ||
+		plain.ControlRecords != withCtx.ControlRecords ||
+		plain.DataTransmissions != withCtx.DataTransmissions ||
+		plain.MeanOccupancy != withCtx.MeanOccupancy ||
+		plain.MeanDuplication != withCtx.MeanDuplication {
+		t.Errorf("live context perturbed the run:\nplain   %+v\nwithCtx %+v", plain, withCtx)
+	}
+}

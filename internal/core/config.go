@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -106,6 +107,16 @@ type Config struct {
 	// RunToHorizon disables early termination when all flows complete,
 	// so buffer/duplication dynamics can be observed afterwards.
 	RunToHorizon bool
+	// Context, when non-nil, lets the caller abort the run: the engine
+	// polls it at scheduler event pops (every interruptEvery events, so
+	// a cancel or deadline lands within microseconds of virtual-event
+	// processing) and Run returns an error wrapping the context's error
+	// instead of a Result. Nil costs a single nil check per event pop —
+	// results are bit-identical with and without a never-cancelled
+	// context (benchguard pair "cancel-overhead" gates the overhead).
+	// Cancellation is a runtime knob, not part of the scenario: it never
+	// enters the canonical key.
+	Context context.Context
 	// Observers receive engine events (generation, transmission,
 	// delivery, drops, periodic samples) as the run progresses, after
 	// the built-in metrics collector. Hooks run on the simulation

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -59,6 +61,18 @@ type Result struct {
 	// FinalBuffered is the number of copies each node held at the end.
 	FinalBuffered []int
 }
+
+// ErrCancelled wraps run abortions triggered through Config.Context
+// (explicit cancel or per-run deadline). The context's own error is
+// wrapped alongside it, so errors.Is works against ErrCancelled,
+// context.Canceled and context.DeadlineExceeded alike.
+var ErrCancelled = errors.New("core: run cancelled")
+
+// interruptEvery is how many scheduler event pops separate consecutive
+// Context polls: small enough that a cancel lands within microseconds
+// of real work, large enough that ctx.Err()'s lock never shows up in
+// the contact hot path.
+const interruptEvery = 64
 
 // Event ordering classes: among events with equal timestamps, flows
 // run first, then contacts, then the sampling tick — the same order the
@@ -189,10 +203,31 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	e.scheduleSampling()
+	if ctx := cfg.Context; ctx != nil {
+		// Poll the context at event pops, amortized: ctx.Err() may take
+		// a lock, so one real check per interruptEvery pops keeps the
+		// cancellable engine within noise of the plain one while still
+		// reacting to a cancel within a sliver of wall time.
+		polls := 0
+		e.sched.SetInterrupt(func() bool {
+			polls++
+			if polls%interruptEvery != 0 {
+				return false
+			}
+			return ctx.Err() != nil
+		})
+	}
 
 	end := e.sched.Run()
 	if e.err != nil {
 		return nil, e.err
+	}
+	if ctx := cfg.Context; ctx != nil && ctx.Err() != nil {
+		// A run truncated by cancellation has no meaningful Result:
+		// report where it stopped and why, wrapping both ErrCancelled
+		// and the context's error so callers can errors.Is against
+		// either (context.Canceled, context.DeadlineExceeded).
+		return nil, fmt.Errorf("%w at t=%v: %w", ErrCancelled, e.sched.Now(), context.Cause(ctx))
 	}
 	if e.lastArrival > end {
 		// Deliveries inside the final contact complete after the

@@ -11,6 +11,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -106,6 +107,12 @@ type Sweep struct {
 	// run's seed depends only on (BaseSeed, load, run), and per-point
 	// averages are folded in run order after collection.
 	Workers int
+	// Context, when non-nil, cancels the sweep: it is threaded into
+	// every run's engine loop (core.Config.Context), so a cancel or
+	// deadline aborts in-flight simulations mid-event-stream and Run
+	// returns an error wrapping the context's. Like Workers it is an
+	// execution knob with no effect on results while it stays alive.
+	Context context.Context
 }
 
 // Point is one averaged (load, protocol) measurement.
@@ -368,6 +375,7 @@ func runOne(sw Sweep, shared *contact.Schedule, pf ProtocolFactory, load, run in
 		BufferBytes:  sw.Scenario.BufferBytes,
 		DropPolicy:   sw.Scenario.DropPolicy,
 		ControlBytes: sw.Scenario.ControlBytes,
+		Context:      sw.Context,
 	}
 	var nodes int
 	switch {

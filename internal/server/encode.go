@@ -1,0 +1,112 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"dtnsim"
+	"dtnsim/client"
+	"dtnsim/internal/report"
+)
+
+// This file renders engine results into the deterministic wire forms
+// the cache stores. Determinism is load-bearing: the service's
+// contract is that equal specs yield byte-identical bodies, so every
+// nondeterministic Go representation is normalized here — the delivery
+// map becomes a (src, seq)-sorted list, sweep metric maps become
+// string-keyed maps (encoding/json sorts those), and NaN (which JSON
+// cannot represent as a number) becomes null.
+
+// marshalCanonical is the one JSON encoder for cached bodies: indented
+// with a trailing newline, so artifacts are also pleasant to curl.
+func marshalCanonical(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding result: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// encodeRunResult converts one engine result to its wire form.
+func encodeRunResult(res *dtnsim.Result) ([]byte, error) {
+	out := client.RunResult{
+		Protocol:          res.Protocol,
+		Generated:         res.Generated,
+		Delivered:         res.Delivered,
+		DeliveryRatio:     res.DeliveryRatio,
+		Completed:         res.Completed,
+		Makespan:          res.Makespan,
+		MeanDelay:         res.MeanDelay,
+		DelayP50:          res.DelayP50,
+		DelayP95:          res.DelayP95,
+		MeanOccupancy:     res.MeanOccupancy,
+		MeanDuplication:   res.MeanDuplication,
+		ControlRecords:    res.ControlRecords,
+		DataTransmissions: res.DataTransmissions,
+		Refused:           res.Refused,
+		Evicted:           res.Evicted,
+		Expired:           res.Expired,
+		ByteDropped:       res.ByteDropped,
+		FinishedAt:        float64(res.FinishedAt),
+		FinalOccupancy:    res.FinalOccupancy,
+		FinalBuffered:     res.FinalBuffered,
+	}
+	for id, at := range res.DeliveryTimes {
+		out.Deliveries = append(out.Deliveries, client.Delivery{
+			Src: int(id.Src), Seq: id.Seq, At: float64(at),
+		})
+	}
+	sort.Slice(out.Deliveries, func(i, j int) bool {
+		a, b := out.Deliveries[i], out.Deliveries[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Seq < b.Seq
+	})
+	return marshalCanonical(out)
+}
+
+// encodeSweepResult converts a finished sweep to its wire form.
+func encodeSweepResult(res *dtnsim.SweepResult) ([]byte, error) {
+	out := client.SweepResult{Scenario: res.Scenario, Loads: res.Loads}
+	for _, s := range res.Series {
+		ws := client.SweepSeries{Label: s.Label}
+		for _, p := range s.Points {
+			wp := client.SweepPoint{
+				Load:      p.Load,
+				Values:    map[string]*float64{},
+				Completed: p.Completed,
+				Runs:      p.Runs,
+			}
+			for m, v := range p.Values {
+				if math.IsNaN(v) {
+					wp.Values[string(m)] = nil
+					continue
+				}
+				v := v
+				wp.Values[string(m)] = &v
+			}
+			ws.Points = append(ws.Points, wp)
+		}
+		out.Series = append(out.Series, ws)
+	}
+	return marshalCanonical(out)
+}
+
+// encodeSweepSeries renders the sweep's per-metric load tables as one
+// CSV document: each metric's table prefixed by a "# metric: name"
+// comment line, metrics in the sweep's declared order.
+func encodeSweepSeries(res *dtnsim.SweepResult, metrics []dtnsim.Metric) []byte {
+	var buf bytes.Buffer
+	for i, m := range metrics {
+		if i > 0 {
+			buf.WriteByte('\n')
+		}
+		fmt.Fprintf(&buf, "# metric: %s\n", m)
+		buf.WriteString(report.FromResult(res, m, string(m)).CSV())
+	}
+	return buf.Bytes()
+}

@@ -18,6 +18,10 @@ type Scheduler struct {
 	queue   Queue
 	horizon Time
 	stopped bool
+	// interrupt, when set, is polled before every event pop; returning
+	// true aborts Run as if Stop had been called. The single nil check
+	// is the entire cost when unset (benchguard pair "cancel-overhead").
+	interrupt func() bool
 }
 
 // NewScheduler returns a scheduler whose clock starts at zero and which
@@ -73,6 +77,15 @@ func (s *Scheduler) After(d Duration, fn func()) (*Event, error) {
 	return s.At(s.now+d, fn)
 }
 
+// SetInterrupt installs a poll called before every event pop: returning
+// true aborts Run exactly as Stop would, leaving the remaining events
+// queued. The engine uses it to thread context cancellation and
+// per-job timeouts into the event loop without the scheduler importing
+// context (virtual time stays wall-clock-free); the poll itself decides
+// how often to do real work (e.g. check a context every N calls).
+// A nil fn removes the poll.
+func (s *Scheduler) SetInterrupt(fn func() bool) { s.interrupt = fn }
+
 // Stop makes Run return after the currently executing event completes.
 func (s *Scheduler) Stop() { s.stopped = true }
 
@@ -90,6 +103,10 @@ func (s *Scheduler) Pending() int { return s.queue.Len() }
 func (s *Scheduler) Run() Time {
 	s.stopped = false
 	for !s.stopped {
+		if s.interrupt != nil && s.interrupt() {
+			s.stopped = true
+			break
+		}
 		next := s.queue.PeekTime()
 		if next > s.horizon {
 			break

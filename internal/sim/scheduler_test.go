@@ -197,3 +197,44 @@ func TestSchedulerSetHorizon(t *testing.T) {
 		t.Errorf("pre-now lowering accepted: horizon %v", s2.Horizon())
 	}
 }
+
+func TestSchedulerInterrupt(t *testing.T) {
+	// The interrupt is polled before every pop: once it reports true,
+	// no further event runs and the clock stays where it stopped.
+	s := NewScheduler(1000)
+	var ran []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		if _, err := s.At(at, func() { ran = append(ran, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	polls := 0
+	s.SetInterrupt(func() bool {
+		polls++
+		return len(ran) >= 2
+	})
+	end := s.Run()
+	if len(ran) != 2 || ran[0] != 10 || ran[1] != 20 {
+		t.Errorf("ran %v, want [10 20] before the interrupt fired", ran)
+	}
+	if !s.Stopped() {
+		t.Error("interrupted scheduler should report Stopped")
+	}
+	if end != 20 {
+		t.Errorf("end = %v, want 20 (no horizon advance after an interrupt)", end)
+	}
+	if polls < 3 {
+		t.Errorf("interrupt polled %d times, want one per pop attempt (>=3)", polls)
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want the 2 unrun events left queued", s.Pending())
+	}
+
+	// Removing the poll resumes normal draining.
+	s.SetInterrupt(nil)
+	s.Run()
+	if len(ran) != 4 {
+		t.Errorf("after clearing the interrupt ran %v, want all four events", ran)
+	}
+}
