@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -320,6 +321,61 @@ func BenchmarkSubscriberRWPGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- sharded executor benchmarks ---------------------------------------------
+//
+// The benchguard sharded pairs time the same 5k-node constant-density
+// RWP cell under different executors. Results are bit-identical for
+// every shard count (the DESIGN.md §12 contract, proven by the golden
+// equivalence suite), so the slow/fast ratios isolate executor cost:
+// "sharded-overhead" gates the K=1 sharded path's epoch/effect-buffer
+// bookkeeping against the sequential event loop, "sharded-speedup"
+// floors the parallel win at one shard per CPU.
+
+// runShardedBench times one 5k-node run per iteration through the
+// executor selected by shards (core.Config semantics: 0 = sequential
+// loop, K >= 1 = K worker shards). Scenario compilation — cheap next to
+// the run, but allocating — happens off the clock so the measured op is
+// the executor alone.
+func runShardedBench(b *testing.B, shards int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg, err := dtnsim.Scenario{
+			Mobility:     "rwp:nodes=5000,area=14142,span=2500,range=100,dt=25",
+			Protocol:     "pure",
+			Flows:        []dtnsim.Flow{{Src: 0, Dst: 4999, Count: 30}},
+			Seed:         benchSeed,
+			RunToHorizon: true,
+			Shards:       shards,
+		}.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := dtnsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedRun5kSequential(b *testing.B) { runShardedBench(b, 0) }
+
+// BenchmarkShardedRun5kOneShard runs the sharded executor with a single
+// worker: all of the epoch protocol (collection, chains, mailboxes,
+// effect replay) and none of the parallelism.
+func BenchmarkShardedRun5kOneShard(b *testing.B) { runShardedBench(b, 1) }
+
+// BenchmarkShardedRun5k runs one shard per CPU. It skips below four
+// cores — the machine-independent speedup gate is only meaningful when
+// there is parallel hardware to win on — and the benchguard pair is
+// marked optional so the skip does not fail the gate.
+func BenchmarkShardedRun5k(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		b.Skip("sharded speedup needs 4+ cores")
+	}
+	runShardedBench(b, runtime.GOMAXPROCS(0))
 }
 
 // --- parameter ablations (§IV swept values and enhancement knobs) ------------

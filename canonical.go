@@ -68,7 +68,10 @@ func (s SweepSpec) Normalize() (SweepSpec, error) {
 	if len(norm.Metrics) == 0 {
 		norm.Metrics = AllMetrics()
 	}
+	// Execution-only knobs: Workers schedules the grid, Shards selects
+	// the per-run executor; neither changes a byte of output.
 	norm.Workers = 0
+	norm.Scenario.Shards = 0
 	return norm, nil
 }
 

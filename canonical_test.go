@@ -107,6 +107,51 @@ func TestScenarioKeyDistinctUnderSemanticChange(t *testing.T) {
 	}
 }
 
+// TestShardsNeverEnterKey pins Shards as a pure execution knob: like
+// Workers, every shard count computes bit-identical results (the
+// DESIGN.md §12 contract), so shards=1 and shards=8 must collapse to
+// the same cache address — a sharded re-submission of a cached run is
+// answered without re-simulating.
+func TestShardsNeverEnterKey(t *testing.T) {
+	ref := mustKey(t, keyScenario())
+	for _, k := range []int{1, 8} {
+		s := keyScenario()
+		s.Shards = k
+		if got := mustKey(t, s); got != ref {
+			t.Errorf("Shards=%d changed the scenario key: %s vs %s", k, got, ref)
+		}
+	}
+	sweepRef := mustSweepKey(t, keySweep())
+	for _, k := range []int{1, 8} {
+		s := keySweep()
+		s.Scenario.Shards = k
+		if got := mustSweepKey(t, s); got != sweepRef {
+			t.Errorf("Scenario.Shards=%d changed the sweep key: %s vs %s", k, got, sweepRef)
+		}
+	}
+	// And the JSON spelling round-trips: a submitted scenario that asks
+	// for 8 shards parses, keys identically, and its normalized form
+	// drops the knob.
+	raw := `{"mobility":"cambridge:seed=7","protocol":"pq:p=0.8,q=0.5",
+	  "flows":[{"src":0,"dst":7,"count":25}],"buffer_cap":20,"tx_time":50,
+	  "seed":42,"bw":50000,"size":1048576,"bufbytes":5242880,
+	  "drop":"dropfront","ctlbytes":16,"name":"ref","shards":8}`
+	sc, err := dtnsim.ParseScenario([]byte(raw))
+	if err != nil {
+		t.Fatalf("sharded scenario does not parse: %v", err)
+	}
+	if got := mustKey(t, sc); got != ref {
+		t.Errorf("JSON shards spelling changed the key: %s vs %s", got, ref)
+	}
+	norm, err := sc.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Shards != 0 {
+		t.Errorf("Normalize kept Shards=%d, want 0", norm.Shards)
+	}
+}
+
 func TestScenarioKeyMatchesNormalizedForm(t *testing.T) {
 	s := keyScenario()
 	norm, err := s.Normalize()

@@ -83,6 +83,11 @@ type Pair struct {
 	// bookkeeping, baseline speedup ~1.0) want a tighter band than the
 	// conservative 10x-speedup floors.
 	Tolerance float64 `json:"tolerance,omitempty"`
+	// Optional pairs are skipped, not failed, when either benchmark is
+	// missing from the input. Hardware-conditional gates use this: the
+	// sharded-speedup benchmark skips itself below four cores, so on
+	// small machines the pair has nothing to measure.
+	Optional bool `json:"optional,omitempty"`
 }
 
 // Report is the BENCH_hotpath.json schema: measured numbers plus the
@@ -201,6 +206,10 @@ func main() {
 		fastM, okF := measured[p.Fast]
 		slowM, okS := measured[p.Slow]
 		if !okF || !okS {
+			if p.Optional {
+				fmt.Printf("benchguard: pair %-16s skipped (benchmark not run on this machine)\n", p.Name)
+				continue
+			}
 			fail("pair %q: benchmarks %s/%s missing from input", p.Name, p.Fast, p.Slow)
 			continue
 		}
@@ -214,7 +223,8 @@ func main() {
 			pairTol = p.Tolerance
 		}
 		report.Pairs = append(report.Pairs, Pair{
-			Name: p.Name, Fast: p.Fast, Slow: p.Slow, Speedup: speedup, Tolerance: p.Tolerance,
+			Name: p.Name, Fast: p.Fast, Slow: p.Slow, Speedup: speedup,
+			Tolerance: p.Tolerance, Optional: p.Optional,
 		})
 		if p.Speedup > 0 && speedup < p.Speedup*(1-pairTol) {
 			fail("pair %q: speedup %.2fx fell >%.0f%% below baseline %.2fx (fast path ns/op regressed)",

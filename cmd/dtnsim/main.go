@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dtnsim"
@@ -80,6 +81,7 @@ func main() {
 		sweepFlag    = flag.Bool("sweep", false, "run the paper's §IV load sweep (5..50) instead of a single simulation")
 		runsFlag     = flag.Int("runs", 10, "sweep mode: seeded runs per load point")
 		workersFlag  = flag.Int("workers", 0, "sweep mode: concurrent runs (0 = all CPUs, 1 = sequential; results are identical)")
+		shardsFlag   = flag.Int("shards", 1, "per-run executor shards (1 = classic sequential engine, 0 = one shard per CPU, K>=2 = K worker shards; results are bit-identical)")
 	)
 	flag.Parse()
 
@@ -148,6 +150,7 @@ func main() {
 			bandwidth: *bwFlag, bundleSize: *sizeFlag, bufferBytes: *bufBytesFlag,
 			dropPolicy: *dropFlag, controlBytes: *ctlBytesFlag,
 			seed: *seedFlag, runs: *runsFlag, workers: *workersFlag,
+			shards:  shardCount(*shardsFlag),
 			timeout: *timeoutFlag, remote: *remoteFlag, dump: *dumpFlag,
 		})
 		return
@@ -176,6 +179,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Shards is an execution-only knob (never part of what the file
+		// describes), so unlike the simulation flags above an explicit
+		// -shards overrides the file's setting.
+		if explicit["shards"] {
+			sc.Shards = shardCount(*shardsFlag)
+		}
 	} else {
 		sc = dtnsim.Scenario{
 			Mobility:     dtnsim.MobilitySpec(mobSpec),
@@ -190,6 +199,7 @@ func main() {
 			BufferBytes:  *bufBytesFlag,
 			DropPolicy:   *dropFlag,
 			ControlBytes: *ctlBytesFlag,
+			Shards:       shardCount(*shardsFlag),
 		}
 	}
 
@@ -347,10 +357,26 @@ type sweepParams struct {
 	dropPolicy                     string
 	controlBytes                   float64
 	seed                           uint64
-	runs, workers                  int
+	runs, workers, shards          int
 	timeout                        time.Duration
 	remote                         string
 	dump                           bool
+}
+
+// shardCount maps the -shards flag onto Scenario.Shards: the flag
+// speaks in worker counts (1 = today's sequential engine, 0 = one shard
+// per CPU), the scenario field in executors (0 = sequential event loop,
+// K >= 1 = sharded with K workers). Either way the results are
+// bit-identical — the knob only chooses how they are computed.
+func shardCount(flagVal int) int {
+	switch {
+	case flagVal == 1:
+		return 0
+	case flagVal == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return flagVal
+	}
 }
 
 // runSweep executes the paper's load sweep for one protocol on the
@@ -374,6 +400,7 @@ func runSweep(p sweepParams) {
 		Runs:      p.runs,
 		Workers:   p.workers,
 	}
+	spec.Scenario.Shards = p.shards
 	sweep, err := spec.Compile()
 	if err != nil {
 		fatal(err)

@@ -36,8 +36,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"dtnsim"
 )
@@ -52,8 +54,11 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress progress output")
 		workers    = flag.Int("workers", 0, "concurrent simulation runs per sweep (0 = all CPUs, 1 = sequential; results are identical)")
 		specs      = flag.Bool("specs", false, "also write each experiment's serializable SweepSpec as <id>.sweep.json")
+		shards     = flag.Int("shards", 1, "per-run executor shards (1 = classic sequential engine, 0 = one shard per CPU, K>=2 = K worker shards; results are bit-identical)")
 		scaleNodes = flag.String("scale-nodes", "1000,5000,10000", "node counts for -only scale")
 		scaleRuns  = flag.Int("scale-runs", 3, "runs per (protocol, nodes) scale point")
+		scaleSpan  = flag.Float64("scale-span", 50000, "simulated seconds per scale run (shorter spans keep 100k-node cells inside a time budget)")
+		scaleCores = flag.Int("scale-speedup-nodes", 5000, "population for the speedup-vs-cores rows appended to scale.csv (0 disables)")
 	)
 	flag.Parse()
 
@@ -78,6 +83,7 @@ func main() {
 		f.Sweep.Runs = *runs
 		f.Sweep.BaseSeed = *seed
 		f.Sweep.Workers = *workers
+		f.Sweep.Shards = shardCount(*shards)
 		if *specs {
 			emitSpec(*outDir, f.ID, f.Sweep)
 		}
@@ -99,14 +105,15 @@ func main() {
 	}
 
 	if want("fig14") {
-		runFig14(*outDir, *runs, *seed, *workers, *plots, *specs)
+		runFig14(*outDir, *runs, *seed, *workers, shardCount(*shards), *plots, *specs)
 	}
 	if want("table2") {
 		runTableII(*outDir, *runs, *seed, *workers)
 	}
 	// The scale and constrained sweeps run only when explicitly selected.
 	if selected["scale"] {
-		runScale(*outDir, *scaleNodes, *scaleRuns, *seed, *workers, *quiet)
+		runScale(*outDir, *scaleNodes, *scaleRuns, *seed, *workers,
+			shardCount(*shards), *scaleSpan, *scaleCores, *quiet)
 	}
 	if selected["constrained"] {
 		runConstrained(*outDir, *runs, *seed, *workers, *quiet)
@@ -151,14 +158,44 @@ func runConstrained(outDir string, runs int, seed uint64, workers int, quiet boo
 	fmt.Println("expected shape: delivery rises with bandwidth; once byte pressure binds, dropfront/droprandom out-deliver droptail for TTL-less flooding (fresh copies displace stale ones)")
 }
 
-// runScale executes the population sweep and writes scale.csv:
-// delivery ratio, per-bundle delay and buffer occupancy versus node
-// count for each protocol, each run streaming its mobility source.
-func runScale(outDir, nodesCSV string, runs int, seed uint64, workers int, quiet bool) {
+// shardCount maps the -shards flag onto core.Config.Shards: the flag
+// speaks in worker counts (1 = today's sequential engine, 0 = one shard
+// per CPU), the config in executors (0 = sequential loop, K >= 1 =
+// sharded with K workers).
+func shardCount(flagVal int) int {
+	switch {
+	case flagVal == 1:
+		return 0
+	case flagVal == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return flagVal
+	}
+}
+
+// monotonicSeconds is the wall-clock hook injected into scale sweeps.
+// Timing lives here, in cmd, on purpose: the deterministic harness under
+// internal/ never reads a real clock (the rngdiscipline lint enforces
+// it), so measurement enters only through this hook.
+func monotonicSeconds() float64 { return time.Since(processStart).Seconds() }
+
+var processStart = time.Now()
+
+// runScale executes the population sweep and writes scale.csv: delivery
+// ratio, per-bundle delay, buffer occupancy and wall-clock versus node
+// count for each protocol, each run streaming its mobility source. When
+// speedupNodes > 0 it appends speedup-vs-cores rows: the same cell run
+// sequentially and at 2, 4, ... worker shards, whose identical delivery
+// and delay columns are the determinism contract made visible and whose
+// speedup column is sequential wall-clock over sharded.
+func runScale(outDir, nodesCSV string, runs int, seed uint64, workers, shards int, span float64, speedupNodes int, quiet bool) {
 	sw := dtnsim.DefaultScaleSweep()
 	sw.Runs = runs
 	sw.BaseSeed = seed
 	sw.Workers = workers
+	sw.Shards = shards
+	sw.Span = span
+	sw.Clock = monotonicSeconds
 	sw.Nodes = sw.Nodes[:0]
 	for _, f := range strings.Split(nodesCSV, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -180,26 +217,79 @@ func runScale(outDir, nodesCSV string, runs int, seed uint64, workers int, quiet
 		fmt.Fprintln(os.Stderr)
 	}
 	var csv strings.Builder
-	csv.WriteString("nodes,protocol,delivery_ratio,mean_delay_s,occupancy,completed,runs\n")
-	fmt.Println("scale: delivery / delay / occupancy vs population (streaming mobility)")
+	csv.WriteString("nodes,protocol,shards,delivery_ratio,mean_delay_s,occupancy,completed,runs,wall_clock_s,speedup\n")
+	fmt.Println("scale: delivery / delay / occupancy / wall-clock vs population (streaming mobility)")
+	cores := shards
+	if cores == 0 {
+		cores = 1
+	}
 	for _, s := range res.Series {
 		for _, p := range s.Points {
-			fmt.Fprintf(&csv, "%d,%q,%.4f,%.1f,%.4f,%d,%d\n",
-				p.Nodes, s.Label, p.Delivery, p.Delay, p.Occupancy, p.Completed, p.Runs)
-			fmt.Printf("  %-24s %6d nodes: delivery %.3f, delay %8.0f s, occupancy %.3f\n",
-				s.Label, p.Nodes, p.Delivery, p.Delay, p.Occupancy)
+			fmt.Fprintf(&csv, "%d,%q,%d,%.4f,%.1f,%.4f,%d,%d,%.3f,\n",
+				p.Nodes, s.Label, cores, p.Delivery, p.Delay, p.Occupancy, p.Completed, p.Runs, p.WallClock)
+			fmt.Printf("  %-24s %6d nodes: delivery %.3f, delay %8.0f s, occupancy %.3f, %7.2f s/run\n",
+				s.Label, p.Nodes, p.Delivery, p.Delay, p.Occupancy, p.WallClock)
 		}
+	}
+	if speedupNodes > 0 {
+		runScaleSpeedup(&csv, sw, speedupNodes, quiet)
 	}
 	if err := os.WriteFile(filepath.Join(outDir, "scale.csv"), []byte(csv.String()), 0o644); err != nil {
 		fatal(err)
 	}
 }
 
-func runFig14(outDir string, runs int, seed uint64, workers int, plots, specs bool) {
+// runScaleSpeedup appends the speedup-vs-cores rows: one (protocol,
+// nodes) cell timed sequentially, then at doubling shard counts up to
+// the CPU count, one run each with the grid serialized (Workers=1) so
+// every shard has the machine to itself.
+func runScaleSpeedup(csv *strings.Builder, base dtnsim.ScaleSweep, nodes int, quiet bool) {
+	shardCounts := []int{0} // the sequential reference
+	for k := 2; k < runtime.GOMAXPROCS(0); k *= 2 {
+		shardCounts = append(shardCounts, k)
+	}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		shardCounts = append(shardCounts, max)
+	}
+	fmt.Printf("scale: speedup vs cores at %d nodes (1 timed run per shard count)\n", nodes)
+	seqWall := 0.0
+	for _, k := range shardCounts {
+		sw := base
+		sw.Nodes = []int{nodes}
+		sw.Protocols = sw.Protocols[:1]
+		sw.Runs = 1
+		sw.Workers = 1
+		sw.Shards = k
+		sw.OnPoint = nil
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "\rscale: speedup %6d nodes, %d shard(s)   ", nodes, k)
+		}
+		res, err := dtnsim.RunScale(sw)
+		if err != nil {
+			fatal(err)
+		}
+		p := res.Series[0].Points[0]
+		cores := k
+		if cores == 0 {
+			cores = 1
+			seqWall = p.WallClock
+		}
+		speedup := seqWall / p.WallClock
+		fmt.Fprintf(csv, "%d,%q,%d,%.4f,%.1f,%.4f,%d,%d,%.3f,%.2f\n",
+			p.Nodes, res.Series[0].Label, cores, p.Delivery, p.Delay, p.Occupancy, p.Completed, p.Runs, p.WallClock, speedup)
+		fmt.Printf("  %2d core(s): %7.2f s, speedup %.2fx\n", cores, p.WallClock, speedup)
+	}
+	if !quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+}
+
+func runFig14(outDir string, runs int, seed uint64, workers, shards int, plots, specs bool) {
 	short, long := dtnsim.Fig14Pair()
 	short.Runs, long.Runs = runs, runs
 	short.BaseSeed, long.BaseSeed = seed, seed
 	short.Workers, long.Workers = workers, workers
+	short.Shards, long.Shards = shards, shards
 	if specs {
 		emitSpec(outDir, "fig14_400", short)
 		emitSpec(outDir, "fig14_2000", long)

@@ -2,10 +2,17 @@
 // packages: math/rand (v1 and v2) outside internal/sim, time.Now, and
 // environment reads. Every random draw must flow through a sim.RNG
 // stream derived from an explicit seed, and every input must arrive
-// through configuration — the precondition for bit-identical replay
-// today and for per-shard RNG streams in the sharded engine (ROADMAP
-// item 1), where a single global generator would serialize shards and
-// a stray ambient draw would desynchronize them.
+// through configuration — the precondition for bit-identical replay.
+//
+// Inside the engine (internal/core) the discipline is one notch
+// stricter: sim.NewRNG itself is banned there. The sharded executor
+// (DESIGN.md §12) owes its bit-identical-for-every-shard-count
+// contract to per-encounter reseeding — every draw's stream position
+// derives from sim.EncounterSeed on a sim.NewReseedable generator, so
+// any worker replays any encounter identically. A sequentially-drawn
+// sim.NewRNG stream in engine code would order draws by execution
+// history and desynchronize the executors. Harness code outside the
+// engine (e.g. experiment.pickPair) may still draw sequential streams.
 package rngdiscipline
 
 import (
@@ -47,6 +54,9 @@ var banned = map[string][]string{
 }
 
 func run(pass *analysis.Pass) error {
+	// The engine package gets the per-shard rule; suffix matching keeps
+	// the rule testable from a self-contained testdata module.
+	inEngine := strings.HasSuffix(pass.Pkg.Path(), "/core")
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -62,6 +72,9 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			path := pn.Imported().Path()
+			if inEngine && strings.HasSuffix(path, "/sim") && sel.Sel.Name == "NewRNG" {
+				pass.Reportf(sel.Pos(), "sim.NewRNG is banned in the engine: sequential streams order draws by execution history; derive per-encounter streams with sim.NewReseedable + sim.EncounterSeed so any shard replays any encounter identically")
+			}
 			names, bannedPkg := banned[path]
 			if !bannedPkg {
 				return true

@@ -12,8 +12,10 @@ func TestRNGDiscipline(t *testing.T) {
 	res := analysistest.Run(t, filepath.Join("testdata", "src", "a"), rngdiscipline.Analyzer)
 	// Seven banned uses across rand/rand-v2/time/os plus one
 	// suppression (the *rand.Rand type reference counts: any tie to
-	// math/rand in simulation code is a seam ambient state leaks in).
-	analysistest.MustFindings(t, res, 7)
+	// math/rand in simulation code is a seam ambient state leaks in),
+	// plus the engine-only sim.NewRNG ban exercised by the core/sim/exp
+	// stand-in packages.
+	analysistest.MustFindings(t, res, 8)
 	if got := res.AllowCounts["rngdiscipline"]; got != 1 {
 		t.Errorf("AllowCounts[rngdiscipline] = %d, want 1", got)
 	}

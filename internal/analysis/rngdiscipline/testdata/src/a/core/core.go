@@ -1,0 +1,18 @@
+// Package core exercises the engine-only rule: its import path ends in
+// "/core", so sequential sim.NewRNG streams are banned while the
+// reseedable per-encounter constructors pass.
+package core
+
+import "rngdiscipline.example/sim"
+
+func flagSequentialStream(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed) // want "sim.NewRNG is banned in the engine"
+}
+
+// okReseedable is the sanctioned pattern: a retained reseedable
+// generator repositioned per encounter.
+func okReseedable(run, a, b uint64) *sim.RNG {
+	r := sim.NewReseedable()
+	_ = sim.EncounterSeed(run, a, b)
+	return r
+}

@@ -1,0 +1,10 @@
+// Package exp stands in for harness code outside the engine
+// (e.g. experiment.pickPair): sequential sim.NewRNG streams stay legal
+// there — only the "/core" package gets the per-shard rule.
+package exp
+
+import "rngdiscipline.example/sim"
+
+func okHarnessStream(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed)
+}

@@ -1,0 +1,15 @@
+// Package sim stands in for dtnsim/internal/sim: the sanctioned RNG
+// seam. The analyzer matches it by the "/sim" import-path suffix.
+package sim
+
+// RNG stands in for the seeded stream type.
+type RNG struct{ s uint64 }
+
+// NewRNG is the sequential-stream constructor the engine rule bans.
+func NewRNG(seed uint64) *RNG { return &RNG{s: seed} }
+
+// NewReseedable is the sanctioned engine constructor.
+func NewReseedable() *RNG { return &RNG{} }
+
+// EncounterSeed stands in for the per-encounter seed derivation.
+func EncounterSeed(run, a, b uint64) uint64 { return run ^ a ^ b }

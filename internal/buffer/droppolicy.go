@@ -35,6 +35,16 @@ type DropPolicy interface {
 // randomized policies (droprandom) so victim choices are reproducible.
 type DropPolicyFactory func(seed uint64) DropPolicy
 
+// StreamPolicy is implemented by randomized drop policies that can draw
+// from an externally owned stream instead of their seeded fallback. The
+// engine injects its per-encounter stream (reseeded from
+// sim.EncounterSeed at every contact), making victim choices a function
+// of the encounter alone — the property that lets any shard worker
+// replay a contact's drops bit-identically (DESIGN.md §12).
+type StreamPolicy interface {
+	SetStream(*sim.RNG)
+}
+
 type dropPolicyEntry struct {
 	usage   string
 	factory DropPolicyFactory
@@ -150,12 +160,18 @@ func (dropFront) Victim(s *Store) *bundle.Copy {
 	return victim
 }
 
-// dropRandom evicts a uniformly random evictable copy using its own
-// seeded RNG (reservoir sampling over the store's deterministic
-// iteration order, so choices replay exactly for a given seed).
+// dropRandom evicts a uniformly random evictable copy (reservoir
+// sampling over the store's deterministic iteration order). Draws come
+// from the injected stream when the engine set one (SetStream), else
+// from the policy's own seeded RNG, so choices replay exactly either
+// way.
 type dropRandom struct{ rng *sim.RNG }
 
 func (*dropRandom) Name() string { return "droprandom" }
+
+// SetStream implements StreamPolicy: subsequent Victim draws pull from
+// the engine's per-encounter stream.
+func (p *dropRandom) SetStream(rng *sim.RNG) { p.rng = rng }
 
 func (p *dropRandom) Victim(s *Store) *bundle.Copy {
 	var victim *bundle.Copy

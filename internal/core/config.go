@@ -107,6 +107,12 @@ type Config struct {
 	// RunToHorizon disables early termination when all flows complete,
 	// so buffer/duplication dynamics can be observed afterwards.
 	RunToHorizon bool
+	// Shards selects the execution engine: 0 runs the classic sequential
+	// event loop; K >= 1 runs the sharded executor with K worker
+	// goroutines (DESIGN.md §12). Purely an execution knob — results are
+	// bit-identical for every value, which is why it never enters a
+	// scenario's canonical key.
+	Shards int
 	// Context, when non-nil, lets the caller abort the run: the engine
 	// polls it at scheduler event pops (every interruptEvery events, so
 	// a cancel or deadline lands within microseconds of virtual-event
@@ -219,6 +225,9 @@ func (cfg Config) validate() error {
 	}
 	if cfg.RecordsPerSlot < 0 {
 		return fmt.Errorf("%w: records per slot %d", ErrConfig, cfg.RecordsPerSlot)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("%w: shards %d", ErrConfig, cfg.Shards)
 	}
 	// Resource-model knobs: zero disables each one, so only negative and
 	// non-finite values (and unknown policy names) can be invalid.

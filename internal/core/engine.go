@@ -89,6 +89,13 @@ const (
 type engine struct {
 	cfg   Config
 	sched *sim.Scheduler
+	// rng is the encounter stream: one reseedable generator repointed at
+	// every contact from sim.EncounterSeed(seed, a, b, start). All random
+	// draws inside a contact — the protocol's Wants shuffles and P-Q
+	// coin flips, droprandom's victim reservoir — pull from it in
+	// program order, so the draw sequence is a pure function of the
+	// encounter and replays identically on any executor (the sharded
+	// engine's workers reseed their own streams the same way).
 	rng   *sim.RNG
 	nodes []*node.Node
 	coll  *metrics.Collector
@@ -122,8 +129,12 @@ type engine struct {
 	// scheduler and is returned from Run.
 	err error
 
-	remaining   int
-	deliveredAt map[bundle.ID]sim.Time
+	remaining int
+	// completedStop records that the run terminated early because a
+	// sampling tick observed every flow complete (!RunToHorizon);
+	// the run then ends at the final arrival time, not the tick.
+	completedStop bool
+	deliveredAt   map[bundle.ID]sim.Time
 	// delays accumulates per-bundle delivery delays, measured from each
 	// bundle's own CreatedAt (bundles from late-starting flows must not
 	// inherit another flow's start time).
@@ -151,7 +162,7 @@ func Run(cfg Config) (*Result, error) {
 	e := &engine{
 		cfg:         cfg,
 		sched:       sim.NewScheduler(cap),
-		rng:         sim.NewRNG(cfg.Seed),
+		rng:         sim.NewReseedable(),
 		holders:     metrics.NewHolderTracker(),
 		src:         src,
 		cap:         cap,
@@ -166,12 +177,16 @@ func Run(cfg Config) (*Result, error) {
 		if name == "" {
 			name = buffer.DefaultDropPolicy
 		}
-		// The policy seed is decorrelated from the protocol RNG so
-		// droprandom's victim draws cannot perturb P-Q's forwarding
-		// draws (and vice versa).
 		pol, err := buffer.NewDropPolicy(name, cfg.Seed^0xb17ed70b5eed)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+		}
+		// Randomized policies draw from the encounter stream: victim
+		// choices then depend only on the contact being processed, never
+		// on drops in unrelated contacts — required for executor-
+		// independent replay (DESIGN.md §12).
+		if sp, ok := pol.(buffer.StreamPolicy); ok {
+			sp.SetStream(e.rng)
 		}
 		e.dropPolicy = pol
 	}
@@ -194,6 +209,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		cfg.Protocol.Init(n)
 		e.nodes[i] = n
+	}
+
+	if cfg.Shards > 0 {
+		// Sharded execution replaces the scheduler-driven event loop
+		// (including the drop hooks installed above) but produces
+		// bit-identical Results and observer streams — see shard.go.
+		return e.runSharded(cfg.Shards)
 	}
 
 	if err := e.scheduleWorkload(); err != nil {
@@ -229,7 +251,12 @@ func Run(cfg Config) (*Result, error) {
 		// either (context.Canceled, context.DeadlineExceeded).
 		return nil, fmt.Errorf("%w at t=%v: %w", ErrCancelled, e.sched.Now(), context.Cause(ctx))
 	}
-	if e.lastArrival > end {
+	if e.completedStop {
+		// Early termination: the run ends at the final arrival, exactly
+		// where a stop issued mid-delivery would have landed (the stop
+		// tick's own timestamp is a detection artifact, not an event).
+		end = e.lastArrival
+	} else if e.lastArrival > end {
 		// Deliveries inside the final contact complete after the
 		// contact-start event's timestamp.
 		end = e.lastArrival
@@ -245,19 +272,21 @@ func (e *engine) fail(err error) {
 	e.sched.Stop()
 }
 
-// scheduleWorkload creates flow bundles at their start times. Sequence
-// numbers are 1-based per source, matching the paper's "bundles 1 to k";
-// when several flows share a source, each flow takes the next contiguous
-// block in flow-declaration order so IDs never collide. FirstSeq is the
-// lowest block base among the flows sharing a bundle's (Src, Dst) pair:
-// cumulative immunity keys its tables by that pair, so an acknowledgement
-// anchored any higher could falsely cover another block of the same pair.
-func (e *engine) scheduleWorkload() error {
+// flowPlan assigns each flow its per-source sequence block and the
+// first-sequence anchor of its (src, dst) pair. Sequence numbers are
+// 1-based per source, matching the paper's "bundles 1 to k"; when
+// several flows share a source, each flow takes the next contiguous
+// block in flow-declaration order so IDs never collide. The anchor is
+// the lowest block base among the flows sharing a bundle's (Src, Dst)
+// pair: cumulative immunity keys its tables by that pair, so an
+// acknowledgement anchored any higher could falsely cover another block
+// of the same pair. Both executors derive the workload from this plan.
+func flowPlan(flows []Flow) (bases, firsts []int) {
 	type pair struct{ src, dst contact.NodeID }
 	nextSeq := make(map[contact.NodeID]int)
 	firstSeq := make(map[pair]int)
-	bases := make([]int, len(e.cfg.Flows))
-	for i, f := range e.cfg.Flows {
+	bases = make([]int, len(flows))
+	for i, f := range flows {
 		bases[i] = nextSeq[f.Src] + 1
 		nextSeq[f.Src] += f.Count
 		key := pair{f.Src, f.Dst}
@@ -265,9 +294,20 @@ func (e *engine) scheduleWorkload() error {
 			firstSeq[key] = bases[i]
 		}
 	}
+	firsts = make([]int, len(flows))
+	for i, f := range flows {
+		firsts[i] = firstSeq[pair{f.Src, f.Dst}]
+	}
+	return bases, firsts
+}
+
+// scheduleWorkload creates flow bundles at their start times per
+// flowPlan's block assignment.
+func (e *engine) scheduleWorkload() error {
+	bases, firsts := flowPlan(e.cfg.Flows)
 	for i, f := range e.cfg.Flows {
 		f := f
-		base, first := bases[i], firstSeq[pair{f.Src, f.Dst}]
+		base, first := bases[i], firsts[i]
 		if f.StartAt < e.firstStart {
 			e.firstStart = f.StartAt
 		}
@@ -405,6 +445,17 @@ func (e *engine) scheduleSampling() {
 		for _, o := range e.obs {
 			o.OnSample(s)
 		}
+		// Completion is detected here, not mid-contact: quantizing the
+		// early stop to sampling ticks makes the set of processed events
+		// a pure function of (config, seed) rather than of processing
+		// order, which is what lets the sharded executor run a whole
+		// inter-tick epoch in parallel and still stop at the same tick
+		// (DESIGN.md §12).
+		if e.remaining == 0 && !e.cfg.RunToHorizon {
+			e.completedStop = true
+			e.sched.Stop()
+			return
+		}
 		next := e.sched.Now() + sim.Time(e.cfg.SampleEvery)
 		if _, err := e.sched.AtClass(next, classSampler, tick); err != nil {
 			panic(fmt.Sprintf("core: rescheduling sampler: %v", err)) // future time: unreachable
@@ -427,9 +478,7 @@ func (e *engine) scheduleSampling() {
 // bytes across both directions, with the control exchange optionally
 // charged ControlBytes per record first (DESIGN.md §9).
 func (e *engine) contact(c contact.Contact) {
-	if e.remaining == 0 && !e.cfg.RunToHorizon {
-		return
-	}
+	e.rng.Reseed(sim.EncounterSeed(e.cfg.Seed, uint64(c.A), uint64(c.B), c.Start))
 	now := e.sched.Now()
 	a, b := e.nodes[c.A], e.nodes[c.B]
 	a.PurgeExpired(now)
@@ -495,9 +544,6 @@ func (e *engine) transmitBatch(sender, receiver *node.Node, start sim.Time, slot
 	wants := e.cfg.Protocol.Wants(sender, receiver, start, e.rng)
 	for _, id := range wants {
 		if used >= slots {
-			break
-		}
-		if e.remaining == 0 && !e.cfg.RunToHorizon {
 			break
 		}
 		cp := sender.Store.Get(id)
@@ -595,9 +641,6 @@ func (e *engine) deliver(sender, dst *node.Node, b *bundle.Bundle, at sim.Time) 
 	}
 	e.remaining--
 	e.cfg.Protocol.OnDelivered(dst, sender, b.ID, at)
-	if e.remaining == 0 && !e.cfg.RunToHorizon {
-		e.sched.Stop()
-	}
 }
 
 func (e *engine) result(end sim.Time) *Result {

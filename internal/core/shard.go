@@ -1,0 +1,701 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dtnsim/internal/buffer"
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
+	"dtnsim/internal/node"
+	"dtnsim/internal/sim"
+)
+
+// This file is the sharded executor (DESIGN.md §12): Config.Shards >= 1
+// runs the simulation with K worker goroutines instead of the
+// sequential event loop, producing bit-identical Results and observer
+// event streams for every K.
+//
+// The design in one paragraph: virtual time is cut into epochs at the
+// sampling ticks (the only events that read global state). Within an
+// epoch, the canonical (time, class, seq) event order is materialized
+// into an item list — flow generations and contacts — and each item is
+// ready to execute as soon as the previous item touching either of its
+// nodes has finished (per-node dependency chains). Items execute on K
+// workers, mutating only the states of their own two nodes and
+// recording their global side effects (observer events, holder-count
+// and delivery bookkeeping) into a per-item effect buffer. After a
+// barrier, a single merger replays the buffers in canonical item order,
+// so everything order-sensitive — observer CSV streams, delay
+// accumulation, duplication metrics — is byte-identical to the
+// sequential engine. Random draws inside a contact come from a
+// per-worker stream reseeded from sim.EncounterSeed, so the draw
+// sequence is a function of the encounter, not of the executor.
+//
+// The per-contact logic below deliberately duplicates engine.contact
+// and friends rather than abstracting them behind an executor
+// interface: the contact path is the hot path, and the golden
+// equivalence suite (shard_test.go) pins the two copies together
+// bit-for-bit, which is a stronger drift guard than shared indirection.
+
+// fxKind tags one recorded side effect.
+type fxKind uint8
+
+const (
+	fxGenerate fxKind = iota // a workload bundle was created at its source
+	fxTransmit               // a bundle went on the air
+	fxDeliver                // a bundle reached its destination
+	fxDrop                   // a node shed (or refused) a copy
+	fxStored                 // a relay stored a copy
+)
+
+// effect is one deferred global side effect of an item, replayed by the
+// merger in canonical order. Field use varies by kind; see merge.
+type effect struct {
+	kind   fxKind
+	from   contact.NodeID // transmit: sender; drop: the shedding node
+	to     contact.NodeID // transmit: receiver; generate/deliver: destination
+	id     bundle.ID
+	reason node.DropReason // drop only
+	at     sim.Time
+	delay  float64 // deliver only
+}
+
+// fxBuf accumulates one item's effects in program order.
+type fxBuf struct{ fx []effect }
+
+//dtn:hotpath
+func (b *fxBuf) add(e effect) { b.fx = append(b.fx, e) }
+
+// shardItem is one unit of epoch work: a flow generation (gen=true,
+// endpoint a only) or a contact (endpoints a < b). deps counts
+// unfinished predecessor items on its nodes' chains; next holds the
+// successor on a's chain (slot 0) and b's chain (slot 1).
+type shardItem struct {
+	t   sim.Time
+	gen bool
+	a,
+	b contact.NodeID
+	c              contact.Contact
+	flow           Flow
+	base, firstSeq int
+	deps           int32
+	next           [2]*shardItem
+	fx             fxBuf
+}
+
+// shardWorker is one executor goroutine's private state: its own
+// reseedable encounter stream and drop-policy instance, so no random
+// draw ever crosses a goroutine boundary.
+type shardWorker struct {
+	r    *shardRun
+	rng  *sim.RNG
+	pol  buffer.DropPolicy
+	mbox chan *shardItem
+}
+
+// shardRun drives the epoch loop over an engine's state.
+type shardRun struct {
+	e *engine
+	k int
+	// horizon is the effective run bound, lowered by settle exactly as
+	// the sequential scheduler's horizon would be.
+	horizon sim.Time
+	// hookTarget[n] is the effect buffer of the item currently executing
+	// on node n; the node's DropHook writes through it. Only the worker
+	// holding n's chain position touches entry n, so writes are ordered
+	// by the chain's happens-before edges.
+	hookTarget []*fxBuf
+	// flows is the workload sorted by (StartAt, declaration order) — the
+	// order the scheduler's (time, class, seq) tiers would pop the
+	// generation events in.
+	flows    []shardFlow
+	nextFlow int
+	// pending buffers the one contact pulled past the current epoch
+	// boundary (the stream is start-sorted, so one suffices).
+	pending    contact.Contact
+	hasPending bool
+	// items is the current epoch's canonical-order item list, reused
+	// across epochs (grown once, effect buffers keep their capacity).
+	items []shardItem
+	// tails/touched index the per-node chain heads during item linking.
+	tails   []*shardItem
+	touched []contact.NodeID
+	workers []*shardWorker
+}
+
+type shardFlow struct {
+	f              Flow
+	base, firstSeq int
+}
+
+// runSharded executes the run with k worker shards. It is called from
+// Run after common setup (validation, node creation, drop policy) and
+// replaces the scheduler-driven event loop.
+func (e *engine) runSharded(k int) (*Result, error) {
+	r := &shardRun{
+		e:          e,
+		k:          k,
+		horizon:    e.cap,
+		hookTarget: make([]*fxBuf, len(e.nodes)),
+		tails:      make([]*shardItem, len(e.nodes)),
+	}
+	// Re-point the drop hooks at the shard effect buffers: a drop lands
+	// in the buffer of whichever item is executing on the node, and the
+	// merger replays it exactly where the sequential observers saw it.
+	for _, n := range e.nodes {
+		at := n.ID
+		n.DropHook = func(id bundle.ID, reason node.DropReason, now sim.Time) {
+			r.hookTarget[at].add(effect{kind: fxDrop, from: at, id: id, reason: reason, at: now})
+		}
+	}
+	bases, firsts := flowPlan(e.cfg.Flows)
+	r.flows = make([]shardFlow, len(e.cfg.Flows))
+	for i, f := range e.cfg.Flows {
+		r.flows[i] = shardFlow{f: f, base: bases[i], firstSeq: firsts[i]}
+		if f.StartAt < e.firstStart {
+			e.firstStart = f.StartAt
+		}
+		e.remaining += f.Count
+	}
+	sort.SliceStable(r.flows, func(i, j int) bool { return r.flows[i].f.StartAt < r.flows[j].f.StartAt })
+	r.workers = make([]*shardWorker, k)
+	for i := range r.workers {
+		w := &shardWorker{r: r, rng: sim.NewReseedable()}
+		if e.dropPolicy != nil {
+			// Same policy name and seed as the engine's instance; the
+			// per-worker copy exists so randomized policies can draw from
+			// this worker's encounter stream.
+			pol, err := buffer.NewDropPolicy(e.dropPolicy.Name(), e.cfg.Seed^0xb17ed70b5eed)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+			}
+			if sp, ok := pol.(buffer.StreamPolicy); ok {
+				sp.SetStream(w.rng)
+			}
+			w.pol = pol
+		}
+		r.workers[i] = w
+	}
+	// Prime the stream, mirroring scheduleContacts' empty-source check.
+	r.pull()
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.pulled == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, contact.ErrEmptySchedule)
+	}
+	end, err := r.loop()
+	if err != nil {
+		return nil, err
+	}
+	if ctx := e.cfg.Context; ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("%w at t=%v: %w", ErrCancelled, end, context.Cause(ctx))
+	}
+	return e.result(end), nil
+}
+
+// loop runs epochs delimited by sampling ticks until the run completes
+// (every flow delivered, observed at a tick) or the horizon is reached.
+// The tick runs after the epoch's merge, exactly where the sequential
+// classSampler tier places it among equal-time events.
+func (r *shardRun) loop() (sim.Time, error) {
+	e := r.e
+	tickAt := e.firstStart
+	last := sim.Time(math.Inf(-1)) // last completed epoch boundary
+	for {
+		if ctx := e.cfg.Context; ctx != nil && ctx.Err() != nil {
+			return 0, fmt.Errorf("%w at t=%v: %w", ErrCancelled, last, context.Cause(ctx))
+		}
+		withTick := tickAt <= r.horizon
+		boundary := tickAt
+		if !withTick {
+			boundary = r.horizon
+		}
+		r.collect(boundary)
+		if e.err != nil {
+			return 0, e.err
+		}
+		if r.horizon < boundary {
+			// The stream settled mid-collection below the target
+			// boundary: the tick at the old boundary never fires (it is
+			// past the true horizon), and neither do generations beyond
+			// it. Contacts cannot be affected — every pulled in-range
+			// contact starts before the settled horizon.
+			r.filterBeyond(r.horizon)
+			boundary = r.horizon
+			withTick = false
+		}
+		r.runEpoch()
+		r.merge()
+		if !withTick {
+			// Final partial epoch (lastTick, horizon]: the run ends at
+			// the horizon, raised to the last arrival exactly like the
+			// sequential path.
+			end := r.horizon
+			if e.lastArrival > end {
+				end = e.lastArrival
+			}
+			return end, nil
+		}
+		s := e.holders.Sample(e.nodes, tickAt)
+		for _, o := range e.obs {
+			o.OnSample(s)
+		}
+		if e.remaining == 0 && !e.cfg.RunToHorizon {
+			e.completedStop = true
+			return e.lastArrival, nil
+		}
+		tickAt += sim.Time(e.cfg.SampleEvery)
+		last = boundary
+	}
+}
+
+// pull advances the contact stream by one, mirroring pushNextContact's
+// incremental validation, horizon bookkeeping and settle-on-exhaustion
+// — minus the scheduling.
+func (r *shardRun) pull() {
+	e := r.e
+	if e.srcDone || r.hasPending {
+		return
+	}
+	c, ok := e.src.Next()
+	if !ok {
+		e.srcDone = true
+		if err := e.src.Err(); err != nil {
+			e.err = fmt.Errorf("core: contact source failed after %d contacts: %w", e.pulled, err)
+			return
+		}
+		r.settle()
+		return
+	}
+	if err := e.checkStreamed(c); err != nil {
+		e.srcDone = true
+		e.err = err
+		return
+	}
+	e.pulled++
+	e.prevStart = c.Start
+	if c.End > e.maxEnd {
+		e.maxEnd = c.End
+	}
+	if c.Start > e.cap {
+		e.srcDone = true
+		r.settle()
+		return
+	}
+	r.pending, r.hasPending = c, true
+}
+
+// settle tightens an adaptive horizon to the true latest contact end,
+// the shard-loop counterpart of engine.settleHorizon.
+func (r *shardRun) settle() {
+	if !r.e.adaptiveCap {
+		return
+	}
+	h := r.e.maxEnd
+	if h > r.e.cap {
+		h = r.e.cap
+	}
+	if h < r.horizon {
+		r.horizon = h
+	}
+}
+
+// collect materializes the epoch's items in canonical (time, class,
+// seq) order: flow generations (class 0, declaration order) merged with
+// contacts (class 1, stream order), up to and including the boundary.
+func (r *shardRun) collect(boundary sim.Time) {
+	e := r.e
+	r.items = r.items[:0]
+	for {
+		ft := sim.Infinity
+		if r.nextFlow < len(r.flows) {
+			ft = r.flows[r.nextFlow].f.StartAt
+		}
+		r.pull()
+		if e.err != nil {
+			return
+		}
+		ct := sim.Infinity
+		if r.hasPending {
+			ct = r.pending.Start
+		}
+		if ft > boundary && ct > boundary {
+			return
+		}
+		// Equal-time tie: workload class runs before contact class.
+		if ft <= ct {
+			fl := r.flows[r.nextFlow]
+			r.nextFlow++
+			it := r.nextItem()
+			it.t, it.gen = ft, true
+			it.a, it.b = fl.f.Src, fl.f.Src
+			it.flow, it.base, it.firstSeq = fl.f, fl.base, fl.firstSeq
+		} else {
+			c := r.pending
+			r.hasPending = false
+			it := r.nextItem()
+			it.t, it.gen = ct, false
+			it.a, it.b = c.A, c.B
+			it.c = c
+		}
+	}
+}
+
+// nextItem extends the epoch item list by one reused slot. Pointers
+// into r.items are only taken after collection finishes, so append
+// reallocation during growth is safe.
+func (r *shardRun) nextItem() *shardItem {
+	if len(r.items) < cap(r.items) {
+		r.items = r.items[:len(r.items)+1]
+	} else {
+		r.items = append(r.items, shardItem{})
+	}
+	it := &r.items[len(r.items)-1]
+	it.fx.fx = it.fx.fx[:0]
+	it.next[0], it.next[1] = nil, nil
+	it.deps = 0
+	return it
+}
+
+// filterBeyond drops items past the settled horizon. Only generation
+// items can be affected (see loop); a contact beyond the horizon would
+// violate the settle invariant.
+func (r *shardRun) filterBeyond(h sim.Time) {
+	kept := r.items[:0]
+	for i := range r.items {
+		if r.items[i].t <= h {
+			kept = append(kept, r.items[i])
+		} else if !r.items[i].gen {
+			panic(fmt.Sprintf("core: sharded contact at %v beyond settled horizon %v", r.items[i].t, h))
+		}
+	}
+	r.items = kept
+}
+
+// runEpoch executes the collected items on K workers. Dependency
+// chains: an item is ready once every earlier item sharing one of its
+// nodes has finished; readiness is tracked with an atomic countdown and
+// ready items travel to their owner shard (lower endpoint mod K) over
+// buffered channels, so sends never block and every channel receive
+// gives the race detector the happens-before edge matching the chain.
+func (r *shardRun) runEpoch() {
+	n := len(r.items)
+	if n == 0 {
+		return
+	}
+	for i := range r.items {
+		it := &r.items[i]
+		r.chain(it, it.a)
+		if it.b != it.a {
+			r.chain(it, it.b)
+		}
+	}
+	var items sync.WaitGroup
+	items.Add(n)
+	for _, w := range r.workers {
+		w.mbox = make(chan *shardItem, n)
+	}
+	// Seed the roots before any worker starts: deps still holds the
+	// chain builder's single-threaded value here, so "deps == 0" is
+	// exactly the root set, and the buffered sends cannot block. Seeding
+	// after spawn would race — a running worker's fanout can decrement a
+	// successor to zero and enqueue it while the scan is still walking,
+	// and the scan would then send that item a second time.
+	for i := range r.items {
+		it := &r.items[i]
+		if it.deps == 0 {
+			r.workers[int(it.a)%r.k].mbox <- it
+		}
+	}
+	var done sync.WaitGroup
+	for _, w := range r.workers {
+		done.Add(1)
+		go func(w *shardWorker) {
+			defer done.Done()
+			for it := range w.mbox {
+				w.exec(it)
+				r.fanout(it)
+				items.Done()
+			}
+		}(w)
+	}
+	items.Wait()
+	for _, w := range r.workers {
+		close(w.mbox)
+	}
+	done.Wait()
+	for _, nd := range r.touched {
+		r.tails[nd] = nil
+	}
+	r.touched = r.touched[:0]
+}
+
+// chain links it onto node nd's dependency chain.
+func (r *shardRun) chain(it *shardItem, nd contact.NodeID) {
+	prev := r.tails[nd]
+	if prev == nil {
+		r.touched = append(r.touched, nd)
+	} else {
+		slot := 0
+		if prev.a != nd {
+			slot = 1
+		}
+		prev.next[slot] = it
+		it.deps++
+	}
+	r.tails[nd] = it
+}
+
+// fanout releases it's chain successors, dispatching any that became
+// ready to their owner shard's mailbox.
+//
+//dtn:hotpath
+func (r *shardRun) fanout(it *shardItem) {
+	for s := 0; s < 2; s++ {
+		nxt := it.next[s]
+		if nxt != nil && atomic.AddInt32(&nxt.deps, -1) == 0 {
+			r.workers[int(nxt.a)%r.k].mbox <- nxt
+		}
+	}
+}
+
+// exec runs one item on this worker, first aiming the item's nodes'
+// drop hooks at its effect buffer.
+//
+//dtn:hotpath
+func (w *shardWorker) exec(it *shardItem) {
+	w.r.hookTarget[it.a] = &it.fx
+	if it.gen {
+		w.generate(it)
+		return
+	}
+	w.r.hookTarget[it.b] = &it.fx
+	w.contact(it)
+}
+
+// generate mirrors engine.generate, recording effects instead of
+// touching global state.
+func (w *shardWorker) generate(it *shardItem) {
+	e := w.r.e
+	src := e.nodes[it.flow.Src]
+	now := it.t
+	for i := 0; i < it.flow.Count; i++ {
+		b := &bundle.Bundle{
+			ID:        bundle.ID{Src: it.flow.Src, Seq: it.base + i},
+			Dst:       it.flow.Dst,
+			CreatedAt: now,
+			Meta:      bundle.Meta{Size: it.flow.Size},
+			FirstSeq:  it.firstSeq,
+		}
+		cp := &bundle.Copy{Bundle: b, StoredAt: now, Pinned: true, Expiry: sim.Infinity}
+		e.cfg.Protocol.OnGenerate(src, cp, now)
+		if err := src.Store.Put(cp); err != nil {
+			panic(fmt.Sprintf("core: generating %v: %v", b.ID, err))
+		}
+		it.fx.add(effect{kind: fxGenerate, to: b.Dst, id: b.ID, at: now})
+	}
+}
+
+// contact mirrors engine.contact: purge, control exchange, budgeted
+// half-duplex transmissions, lower ID first — drawing from this
+// worker's stream reseeded for the encounter.
+//
+//dtn:hotpath
+func (w *shardWorker) contact(it *shardItem) {
+	e := w.r.e
+	c := it.c
+	w.rng.Reseed(sim.EncounterSeed(e.cfg.Seed, uint64(c.A), uint64(c.B), c.Start))
+	now := c.Start
+	a, b := e.nodes[c.A], e.nodes[c.B]
+	a.PurgeExpired(now)
+	b.PurgeExpired(now)
+	a.ObserveEncounter(now)
+	b.ObserveEncounter(now)
+
+	dur := float64(c.Duration())
+	recordBudget := int(dur / e.cfg.TxTime * float64(e.cfg.RecordsPerSlot))
+	bw := c.Bandwidth
+	if bw == 0 {
+		bw = e.cfg.Bandwidth
+	}
+	limited := bw > 0
+	var bytesLeft int64
+	var ctlBefore int64
+	if limited {
+		if budget := math.Floor(dur * bw); budget >= math.MaxInt64 {
+			bytesLeft = math.MaxInt64
+		} else {
+			bytesLeft = int64(budget)
+		}
+		ctlBefore = a.ControlSent + b.ControlSent
+	}
+	e.cfg.Protocol.Exchange(a, b, now, recordBudget)
+	if limited && e.cfg.ControlBytes > 0 {
+		bytesLeft -= int64(float64(a.ControlSent+b.ControlSent-ctlBefore) * e.cfg.ControlBytes)
+		if bytesLeft < 0 {
+			bytesLeft = 0
+		}
+	}
+
+	slots := int(dur / e.cfg.TxTime)
+	if slots <= 0 {
+		return
+	}
+	used, bytesLeft := w.transmitBatch(it, a, b, now, slots, 0, limited, bytesLeft)
+	w.transmitBatch(it, b, a, now, slots, used, limited, bytesLeft)
+}
+
+// transmitBatch mirrors engine.transmitBatch (see its doc for the
+// partial-transfer semantics).
+//
+//dtn:hotpath
+func (w *shardWorker) transmitBatch(it *shardItem, sender, receiver *node.Node, start sim.Time, slots, used int, limited bool, bytesLeft int64) (int, int64) {
+	if used >= slots {
+		return used, bytesLeft
+	}
+	e := w.r.e
+	wants := e.cfg.Protocol.Wants(sender, receiver, start, w.rng)
+	for _, id := range wants {
+		if used >= slots {
+			break
+		}
+		cp := sender.Store.Get(id)
+		if cp == nil {
+			continue
+		}
+		if receiver.Store.Has(id) || receiver.Received.Has(id) {
+			continue
+		}
+		if limited {
+			if cp.Bundle.Meta.Size > bytesLeft {
+				break
+			}
+			bytesLeft -= cp.Bundle.Meta.Size
+		}
+		used++
+		at := start + sim.Time(float64(used)*e.cfg.TxTime)
+		w.transmit(it, sender, receiver, cp, at)
+	}
+	return used, bytesLeft
+}
+
+// transmit mirrors engine.transmit, recording the global bookkeeping as
+// effects.
+//
+//dtn:hotpath
+func (w *shardWorker) transmit(it *shardItem, sender, receiver *node.Node, cp *bundle.Copy, at sim.Time) {
+	e := w.r.e
+	sender.DataSent++
+	it.fx.add(effect{kind: fxTransmit, from: sender.ID, to: receiver.ID, id: cp.Bundle.ID, at: at})
+	rcpt := cp.Clone(at)
+	if cp.Bundle.Dst == receiver.ID {
+		e.cfg.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
+		w.deliver(it, sender, receiver, cp.Bundle, at)
+		return
+	}
+	if !w.admitBytes(receiver, rcpt, at) {
+		return
+	}
+	if e.cfg.Protocol.Admit(receiver, rcpt, at) {
+		e.cfg.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
+		if err := receiver.Store.Put(rcpt); err != nil {
+			panic(fmt.Sprintf("core: admit promised room for %v at node %d: %v",
+				cp.Bundle.ID, receiver.ID, err))
+		}
+		it.fx.add(effect{kind: fxStored, id: rcpt.Bundle.ID, at: at})
+	}
+}
+
+// admitBytes mirrors engine.admitBytes with this worker's policy
+// instance; evictions and refusals reach the effect buffer through the
+// node's drop hook.
+//
+//dtn:hotpath
+func (w *shardWorker) admitBytes(receiver *node.Node, rcpt *bundle.Copy, at sim.Time) bool {
+	if w.pol == nil || rcpt.Bundle.Meta.Size == 0 {
+		return true
+	}
+	evicted, ok := receiver.Store.MakeByteRoom(rcpt.Bundle.Meta.Size, w.pol)
+	for _, cp := range evicted {
+		receiver.NoteByteDropped(cp.Bundle.ID, at)
+	}
+	if !ok {
+		receiver.NoteRefused(rcpt.Bundle.ID, at)
+		return false
+	}
+	return true
+}
+
+// deliver mirrors engine.deliver: destination state mutates here (the
+// destination is one of the item's chained nodes); run-global delivery
+// bookkeeping is deferred to the merger.
+//
+//dtn:hotpath
+func (w *shardWorker) deliver(it *shardItem, sender, dst *node.Node, b *bundle.Bundle, at sim.Time) {
+	if dst.Received.Has(b.ID) {
+		return // duplicate delivery; Wants filtering should prevent this
+	}
+	dst.Received.Add(b.ID)
+	it.fx.add(effect{
+		kind:  fxDeliver,
+		from:  sender.ID,
+		to:    dst.ID,
+		id:    b.ID,
+		at:    at,
+		delay: float64(at - b.CreatedAt),
+	})
+	e := w.r.e
+	e.cfg.Protocol.OnDelivered(dst, sender, b.ID, at)
+}
+
+// merge replays the epoch's effect buffers in canonical item order on
+// the single merger goroutine, reproducing the exact observer call
+// sequence and holder/delivery bookkeeping of the sequential engine.
+//
+//dtn:hotpath
+func (r *shardRun) merge() {
+	e := r.e
+	for i := range r.items {
+		it := &r.items[i]
+		for j := range it.fx.fx {
+			fx := &it.fx.fx[j]
+			switch fx.kind {
+			case fxGenerate:
+				e.holders.Track(fx.id)
+				e.holders.Inc(fx.id)
+				for _, o := range e.obs {
+					o.OnGenerate(fx.id, fx.to, fx.at)
+				}
+			case fxTransmit:
+				for _, o := range e.obs {
+					o.OnTransmit(fx.from, fx.to, fx.id, fx.at)
+				}
+			case fxDeliver:
+				e.deliveredAt[fx.id] = fx.at
+				e.delays = append(e.delays, fx.delay)
+				for _, o := range e.obs {
+					o.OnDeliver(fx.id, fx.to, fx.delay, fx.at)
+				}
+				if fx.at > e.lastArrival {
+					e.lastArrival = fx.at
+				}
+				e.remaining--
+			case fxDrop:
+				if fx.reason != node.DropRefused {
+					e.holders.Dec(fx.id)
+				}
+				for _, o := range e.obs {
+					o.OnDrop(fx.from, fx.id, fx.reason, fx.at)
+				}
+			case fxStored:
+				e.holders.Inc(fx.id)
+			}
+		}
+	}
+}

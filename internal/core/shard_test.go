@@ -1,0 +1,172 @@
+package core_test
+
+// Sharded-executor equivalence suite: the proof obligation of DESIGN.md
+// §12. Every golden cell is re-run through the sharded executor (K=4)
+// and its Result compared field-for-field — floats bit-exact — against
+// the sequential engine; the four event-CSV cells are additionally
+// compared byte-for-byte, pinning the order and timing of every
+// observable engine action. TestShardedDeterminismRace repeats sharded
+// runs concurrently under `go test -race` (CI's default), which fails
+// on any cross-worker data race in the epoch executor.
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dtnsim/internal/core"
+	"dtnsim/internal/protocol"
+	"dtnsim/internal/report"
+)
+
+// shardedConfig builds a golden-cell config routed through the sharded
+// executor with k workers, pulling from a streaming source (the sharded
+// loop's native contact-plan form).
+func shardedConfig(t testing.TB, protoSpec string, m goldenMobility, k int) core.Config {
+	t.Helper()
+	cfg := goldenConfig(t, protoSpec, m, true)
+	cfg.Shards = k
+	return cfg
+}
+
+// TestShardedGoldenEquivalence runs the full protocol × mobility golden
+// grid on the sharded executor (K=4) and demands Results bit-identical
+// to the sequential engine's.
+func TestShardedGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded golden grid is slow")
+	}
+	for _, protoSpec := range protocol.BuiltinSpecs() {
+		for _, m := range goldenMobilities {
+			seq, err := core.Run(goldenConfig(t, protoSpec, m, false))
+			if err != nil {
+				t.Fatalf("%s|%s sequential: %v", protoSpec, m.name, err)
+			}
+			sh, err := core.Run(shardedConfig(t, protoSpec, m, 4))
+			if err != nil {
+				t.Fatalf("%s|%s sharded: %v", protoSpec, m.name, err)
+			}
+			if !reflect.DeepEqual(toGolden(seq), toGolden(sh)) {
+				t.Errorf("%s|%s: sharded (K=4) Result diverged from sequential\n got: %+v\nwant: %+v",
+					protoSpec, m.name, toGolden(sh), toGolden(seq))
+			}
+		}
+	}
+}
+
+// TestShardedShardCountInvariance pins the stronger form of the
+// invariant on two eventful cells: every shard count — including K=1,
+// the sharded path the overhead benchmark compares against the
+// sequential engine — produces the byte-identical event CSV.
+func TestShardedShardCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded event streams are slow")
+	}
+	for _, cell := range []struct {
+		proto string
+		mob   goldenMobility
+	}{
+		{"immunity", goldenMobilities[0]},
+		{"ecttl", goldenMobilities[2]},
+	} {
+		want := runStream(t, cell.proto, cell.mob, false)
+		for _, k := range []int{1, 2, 3, 8} {
+			got := runStreamSharded(t, cell.proto, cell.mob, k)
+			if !bytes.Equal(want, got) {
+				t.Errorf("%s|%s: K=%d event CSV diverged from sequential (first diff at byte %d)",
+					cell.proto, cell.mob.name, k, firstDiff(want, got))
+			}
+		}
+	}
+}
+
+// runStreamSharded is runStream through the sharded executor.
+func runStreamSharded(t testing.TB, proto string, mob goldenMobility, k int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := shardedConfig(t, proto, mob, k)
+	st := report.NewStream(&buf, true)
+	cfg.Observers = []core.Observer{st}
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatalf("%s|%s (K=%d): %v", proto, mob.name, k, err)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("%s|%s (K=%d): stream write: %v", proto, mob.name, k, err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedStreamCSV diffs every event-CSV golden cell sharded (K=4)
+// against both the sequential run and the committed golden file.
+func TestShardedStreamCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded event streams are slow")
+	}
+	for _, cell := range streamGoldenCells {
+		cell := cell
+		t.Run(cell.file, func(t *testing.T) {
+			t.Parallel()
+			want := runStream(t, cell.proto, cell.mob, false)
+			got := runStreamSharded(t, cell.proto, cell.mob, 4)
+			if !bytes.Equal(want, got) {
+				t.Errorf("sharded (K=4) event CSV diverged from sequential (first diff at byte %d)",
+					firstDiff(want, got))
+			}
+		})
+	}
+}
+
+// TestShardedDeterminismRace runs each event-CSV cell three times
+// concurrently on the sharded executor — same seed, different worker
+// interleavings — and demands byte-identical CSVs. Under -race this
+// doubles as the data-race proof for the epoch executor's chains,
+// mailboxes and effect buffers.
+func TestShardedDeterminismRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent sharded streams are slow")
+	}
+	for _, cell := range streamGoldenCells {
+		cell := cell
+		t.Run(cell.file, func(t *testing.T) {
+			t.Parallel()
+			var wg sync.WaitGroup
+			out := make([][]byte, 3)
+			errs := make([]error, 3)
+			for i := range out {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					var buf bytes.Buffer
+					cfg := shardedConfig(t, cell.proto, cell.mob, 4)
+					cfg.Observers = []core.Observer{report.NewStream(&buf, true)}
+					_, errs[i] = core.Run(cfg)
+					out[i] = buf.Bytes()
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					t.Fatalf("run %d: %v", i, err)
+				}
+			}
+			for i := 1; i < len(out); i++ {
+				if !bytes.Equal(out[0], out[i]) {
+					t.Errorf("concurrent sharded runs 0 and %d diverge (first diff at byte %d)",
+						i, firstDiff(out[0], out[i]))
+				}
+			}
+		})
+	}
+}
+
+// TestShardsValidation pins the config boundary: negative shard counts
+// are rejected, and the zero value keeps the sequential path.
+func TestShardsValidation(t *testing.T) {
+	cfg := goldenConfig(t, "pure", goldenMobilities[2], false)
+	cfg.Shards = -1
+	if _, err := core.Run(cfg); !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("Shards=-1: got %v, want ErrConfig", err)
+	}
+}

@@ -107,6 +107,12 @@ type Sweep struct {
 	// run's seed depends only on (BaseSeed, load, run), and per-point
 	// averages are folded in run order after collection.
 	Workers int
+	// Shards selects each run's engine executor (core.Config.Shards):
+	// 0 the sequential event loop, K >= 1 the sharded executor with K
+	// workers. Orthogonal to Workers — Workers parallelizes across the
+	// grid, Shards inside each run — and, like it, bit-identical for
+	// every value.
+	Shards int
 	// Context, when non-nil, cancels the sweep: it is threaded into
 	// every run's engine loop (core.Config.Context), so a cancel or
 	// deadline aborts in-flight simulations mid-event-stream and Run
@@ -242,6 +248,10 @@ type job struct{ pi, li, run int }
 type runOutcome struct {
 	res *core.Result
 	err error
+	// secs is the run's wall-clock duration when the sweep measures it
+	// (ScaleSweep.Clock); zero otherwise. Never folded into results —
+	// timing is reporting-only, results stay bit-identical.
+	secs float64
 }
 
 // errSkipped marks jobs short-circuited after another job failed; the
@@ -376,6 +386,7 @@ func runOne(sw Sweep, shared *contact.Schedule, pf ProtocolFactory, load, run in
 		DropPolicy:   sw.Scenario.DropPolicy,
 		ControlBytes: sw.Scenario.ControlBytes,
 		Context:      sw.Context,
+		Shards:       sw.Shards,
 	}
 	var nodes int
 	switch {

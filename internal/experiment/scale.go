@@ -34,12 +34,30 @@ type ScaleSweep struct {
 	Load int
 	// Runs per point; defaults to 3.
 	Runs int
+	// Span overrides the simulated window (seconds) of the default
+	// ScaleMobility mapping; 0 keeps the standard 50,000 s. A reduced
+	// span is how the CI smoke and the 100k-node cell stay inside a
+	// time budget without changing the constant-density geometry.
+	// Ignored when Mobility is set explicitly.
+	Span float64
 	// BaseSeed anchors all derived randomness.
 	BaseSeed uint64
 	// Workers bounds concurrent runs (0 = GOMAXPROCS). Results are
 	// bit-identical for every value: seeds derive from (BaseSeed,
 	// nodes, run) and points fold in run order.
 	Workers int
+	// Shards selects the per-run executor, mapped straight onto
+	// core.Config.Shards: 0 runs the sequential engine, K >= 1 the
+	// sharded executor with K workers. Orthogonal to Workers (grid
+	// concurrency) and erased from results: every value produces
+	// bit-identical simulations.
+	Shards int
+	// Clock, if set, returns monotonic seconds and turns on per-run
+	// wall-clock measurement (ScalePoint.WallClock). The hook keeps
+	// time.Now out of the deterministic harness — callers in cmd/*
+	// inject it. For clean timing pair it with Workers=1 so runs are
+	// not contending for cores.
+	Clock func() float64
 	// OnPoint, if set, reports progress after each (protocol, nodes)
 	// point, from the calling goroutine in sweep order.
 	OnPoint func(label string, nodes int)
@@ -55,6 +73,11 @@ type ScalePoint struct {
 	// Completed counts runs that delivered every bundle.
 	Completed int
 	Runs      int
+	// WallClock is the mean wall-clock seconds per run, measured only
+	// when the sweep's Clock hook is set; 0 otherwise (not NaN, so
+	// results stay reflect.DeepEqual-comparable). Reporting
+	// only — it never feeds back into the simulation.
+	WallClock float64
 }
 
 // ScaleSeries is one protocol's curve across populations.
@@ -77,8 +100,16 @@ type ScaleResult struct {
 // source→destination distance grows with the area — the regime where
 // delivery ratio and delay degrade with N.
 func ScaleMobility(nodes int) string {
+	return ScaleMobilitySpan(nodes, 50000)
+}
+
+// ScaleMobilitySpan is ScaleMobility with an explicit simulated window:
+// the same constant-density geometry over span seconds. Shorter spans
+// keep huge populations (the 100k-node cell) and CI smoke runs inside a
+// wall-clock budget.
+func ScaleMobilitySpan(nodes int, span float64) string {
 	side := 1000 * math.Sqrt(float64(nodes)/25)
-	return fmt.Sprintf("rwp:nodes=%d,area=%.0f,span=50000,range=100,dt=25", nodes, side)
+	return fmt.Sprintf("rwp:nodes=%d,area=%.0f,span=%.0f,range=100,dt=25", nodes, side, span)
 }
 
 // DefaultScaleSweep is the scale experiment the figures CLI runs: pure
@@ -102,7 +133,11 @@ func RunScale(sw ScaleSweep) (*ScaleResult, error) {
 		return nil, fmt.Errorf("experiment: scale sweep has no protocols")
 	}
 	if sw.Mobility == nil {
-		sw.Mobility = ScaleMobility
+		span := sw.Span
+		if span <= 0 {
+			span = 50000
+		}
+		sw.Mobility = func(nodes int) string { return ScaleMobilitySpan(nodes, span) }
 	}
 	if sw.Load <= 0 {
 		sw.Load = 30
@@ -130,7 +165,7 @@ func RunScale(sw ScaleSweep) (*ScaleResult, error) {
 	for pi, pf := range sw.Protocols {
 		series := ScaleSeries{Label: pf.Label}
 		for ni, n := range sw.Nodes {
-			var delivery, delay, occupancy stats.Welford
+			var delivery, delay, occupancy, wall stats.Welford
 			completed := 0
 			for _, out := range g.waitCell(pi, ni) {
 				if out.err != nil {
@@ -145,6 +180,9 @@ func RunScale(sw ScaleSweep) (*ScaleResult, error) {
 				if r.Delivered > 0 {
 					delay.Add(r.MeanDelay)
 				}
+				if sw.Clock != nil {
+					wall.Add(out.secs)
+				}
 			}
 			g.releaseCell(pi, ni) // release the point's results once folded
 			pt := ScalePoint{
@@ -157,6 +195,9 @@ func RunScale(sw ScaleSweep) (*ScaleResult, error) {
 			}
 			if delay.N() > 0 {
 				pt.Delay = delay.Mean()
+			}
+			if wall.N() > 0 {
+				pt.WallClock = wall.Mean()
 			}
 			series.Points = append(series.Points, pt)
 			if sw.OnPoint != nil {
@@ -187,6 +228,10 @@ func runScaleOne(sw ScaleSweep, pf ProtocolFactory, nodes, run int) runOutcome {
 		return runOutcome{err: fmt.Errorf("experiment: scale source reports %d node(s)", src.Nodes())}
 	}
 	from, to := pickPair(src.Nodes(), seedFor(sw.BaseSeed, 0, run))
+	var start float64
+	if sw.Clock != nil {
+		start = sw.Clock()
+	}
 	r, err := core.Run(core.Config{
 		Source:       src,
 		Protocol:     pf.New(),
@@ -195,9 +240,14 @@ func runScaleOne(sw ScaleSweep, pf ProtocolFactory, nodes, run int) runOutcome {
 		BufferCap:    sc.BufferCap,
 		Seed:         seed,
 		RunToHorizon: true,
+		Shards:       sw.Shards,
 	})
 	if err != nil {
 		return runOutcome{err: fmt.Errorf("experiment: scale %s at %d nodes: %w", pf.Label, nodes, err)}
 	}
-	return runOutcome{res: r}
+	out := runOutcome{res: r}
+	if sw.Clock != nil {
+		out.secs = sw.Clock() - start
+	}
+	return out
 }

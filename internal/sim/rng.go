@@ -11,11 +11,58 @@ import (
 // sequence, which is the backbone of run reproducibility.
 type RNG struct {
 	r *rand.Rand
+	// pcg is retained only by reseedable streams (NewReseedable) so
+	// Reseed can repoint the generator without allocating.
+	pcg *rand.PCG
 }
 
 // NewRNG returns a stream seeded with seed.
 func NewRNG(seed uint64) *RNG {
 	return &RNG{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// NewReseedable returns a stream whose state can be repointed with
+// Reseed. The engine keeps one per executor and reseeds it at each
+// encounter from EncounterSeed, so per-encounter draw sequences cost
+// zero allocations and are independent of which executor (sequential
+// engine, any shard worker) runs the encounter.
+func NewReseedable() *RNG {
+	pcg := rand.NewPCG(0, 0)
+	return &RNG{r: rand.New(pcg), pcg: pcg}
+}
+
+// Reseed repoints a reseedable stream at the state (s1, s2). It panics
+// on streams not built with NewReseedable — silently reseeding a shared
+// model stream would corrupt unrelated consumers.
+func (g *RNG) Reseed(s1, s2 uint64) {
+	if g.pcg == nil {
+		panic("sim: Reseed on a non-reseedable RNG")
+	}
+	g.pcg.Seed(s1, s2)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective 64-bit mix with
+// full avalanche, the standard way to expand one seed into decorrelated
+// streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// EncounterSeed derives the canonical PCG state for the random draws of
+// one encounter: the contact between nodes a and b starting at start,
+// under the run seed. The state is a pure function of those four values
+// — no draw order, no executor identity — which is what lets a sharded
+// engine replay any encounter on any worker and still produce the draw
+// sequence the sequential engine produces (DESIGN.md §12).
+func EncounterSeed(runSeed, a, b uint64, start Time) (uint64, uint64) {
+	h := splitmix64(runSeed ^ 0xd1b54a32d192ed03)
+	h = splitmix64(h ^ a)
+	h = splitmix64(h ^ b)
+	h = splitmix64(h ^ math.Float64bits(float64(start)))
+	return h, splitmix64(h)
 }
 
 // Derive returns an independent stream keyed by (parent seed stream, tag).

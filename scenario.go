@@ -76,6 +76,12 @@ type Scenario struct {
 	BufferBytes  int64   `json:"bufbytes,omitempty"`
 	DropPolicy   string  `json:"drop,omitempty"`
 	ControlBytes float64 `json:"ctlbytes,omitempty"`
+	// Shards selects the engine executor (DESIGN.md §12): 0 is the
+	// sequential event loop, K >= 1 the sharded executor with K worker
+	// goroutines. Purely an execution knob — results are bit-identical
+	// for every value — so, like SweepSpec.Workers, it never enters the
+	// canonical key.
+	Shards int `json:"shards,omitempty"`
 }
 
 // decodeStrict decodes one JSON value into v, rejecting unknown fields
@@ -139,7 +145,9 @@ func (s Scenario) Check() error {
 
 // Normalize returns the scenario with both specs replaced by their
 // canonical forms, so two scenarios meaning the same run compare equal
-// as data.
+// as data. Shards is cleared: it selects an executor, never a result
+// (every shard count is bit-identical), so two scenarios differing only
+// in Shards are the same run.
 func (s Scenario) Normalize() (Scenario, error) {
 	src, err := mobility.Parse(string(s.Mobility))
 	if err != nil {
@@ -150,6 +158,7 @@ func (s Scenario) Normalize() (Scenario, error) {
 		return Scenario{}, fmt.Errorf("%w: %v", ErrScenario, err)
 	}
 	s.Mobility, s.Protocol = MobilitySpec(src.Spec), ProtocolSpec(fac.Spec)
+	s.Shards = 0
 	return s, nil
 }
 
@@ -195,6 +204,7 @@ func (s Scenario) Compile() (Config, error) {
 		BufferBytes:    s.BufferBytes,
 		DropPolicy:     s.DropPolicy,
 		ControlBytes:   s.ControlBytes,
+		Shards:         s.Shards,
 	}, nil
 }
 
@@ -266,7 +276,9 @@ type SweepSpec struct {
 	// Metrics to collect; empty means all five.
 	Metrics []Metric `json:"metrics,omitempty"`
 	// Workers bounds concurrent runs (0 = all CPUs, 1 = sequential);
-	// results are bit-identical for every value.
+	// results are bit-identical for every value. The template scenario's
+	// Shards knob composes with it: Workers parallelizes across the
+	// sweep grid, Shards parallelizes inside each run.
 	Workers int `json:"workers,omitempty"`
 }
 
@@ -345,6 +357,7 @@ func (s SweepSpec) Compile() (Sweep, error) {
 		BaseSeed:  s.Scenario.Seed,
 		Metrics:   append([]Metric(nil), s.Metrics...),
 		Workers:   s.Workers,
+		Shards:    s.Scenario.Shards,
 	}, nil
 }
 
@@ -381,6 +394,7 @@ func SweepSpecOf(name string, sw Sweep) (SweepSpec, error) {
 			BufferBytes:  sw.Scenario.BufferBytes,
 			DropPolicy:   sw.Scenario.DropPolicy,
 			ControlBytes: sw.Scenario.ControlBytes,
+			Shards:       sw.Shards,
 		},
 		Loads:   append([]int(nil), sw.Loads...),
 		Runs:    sw.Runs,
