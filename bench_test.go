@@ -11,11 +11,16 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"dtnsim"
+	"dtnsim/internal/dist"
 )
 
 // benchRuns trades precision for speed in benchmarks; cmd/figures uses
@@ -376,6 +381,99 @@ func BenchmarkShardedRun5k(b *testing.B) {
 		b.Skip("sharded speedup needs 4+ cores")
 	}
 	runShardedBench(b, runtime.GOMAXPROCS(0))
+}
+
+// --- distributed executor benchmarks -----------------------------------------
+//
+// The benchguard dist pairs put numbers on the process boundary using
+// the same 5k-node cell as the sharded pairs (results stay
+// bit-identical, so the ratios isolate executor cost): "dist-overhead"
+// gates one worker process against the in-process one-shard executor —
+// the full serialization/IPC cost with no parallelism to pay for it —
+// and "dist-speedup" floors the N-worker win over the sequential loop
+// on machines with the cores to show one.
+
+// distWorker builds cmd/dtnsim-worker once per benchmark binary; the
+// benchmarks need a real worker executable, which `go test` does not
+// provide, so they build it with the go toolchain and skip without one.
+var distWorker struct {
+	once sync.Once
+	bin  string
+	err  error
+}
+
+func distWorkerBin(b *testing.B) string {
+	b.Helper()
+	distWorker.once.Do(func() {
+		goTool, err := exec.LookPath("go")
+		if err != nil {
+			distWorker.err = fmt.Errorf("no go toolchain to build dtnsim-worker: %w", err)
+			return
+		}
+		dir, err := os.MkdirTemp("", "dtnsim-bench-worker-")
+		if err != nil {
+			distWorker.err = err
+			return
+		}
+		bin := filepath.Join(dir, "dtnsim-worker")
+		if out, err := exec.Command(goTool, "build", "-o", bin, "dtnsim/cmd/dtnsim-worker").CombinedOutput(); err != nil {
+			distWorker.err = fmt.Errorf("building dtnsim-worker: %v\n%s", err, out)
+			return
+		}
+		distWorker.bin = bin
+	})
+	if distWorker.err != nil {
+		b.Skip(distWorker.err)
+	}
+	return distWorker.bin
+}
+
+// runDistBench times the 5k-node cell on worker processes. The workers
+// are spawned once, off the clock — process startup is session setup,
+// not per-run executor cost; Init/round framing is on the clock because
+// Run drives it.
+func runDistBench(b *testing.B, workers int) {
+	b.Helper()
+	be, err := dist.New(dist.Options{Workers: workers, Protocol: "pure", WorkerBin: distWorkerBin(b)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer be.Close()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg, err := dtnsim.Scenario{
+			Mobility:     "rwp:nodes=5000,area=14142,span=2500,range=100,dt=25",
+			Protocol:     "pure",
+			Flows:        []dtnsim.Flow{{Src: 0, Dst: 4999, Count: 30}},
+			Seed:         benchSeed,
+			RunToHorizon: true,
+		}.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Backend = be
+		b.StartTimer()
+		if _, err := dtnsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistRun5kOneWorker runs one worker process: every item
+// crosses the process boundary and nothing runs in parallel, so the
+// ratio against BenchmarkShardedRun5kOneShard is the pure
+// serialization/IPC overhead.
+func BenchmarkDistRun5kOneWorker(b *testing.B) { runDistBench(b, 1) }
+
+// BenchmarkDistRun5k runs one worker process per CPU. Like
+// BenchmarkShardedRun5k it skips below four cores and its benchguard
+// pair is optional, so the speedup floor gates only on machines with
+// parallel hardware.
+func BenchmarkDistRun5k(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		b.Skip("distributed speedup needs 4+ cores")
+	}
+	runDistBench(b, runtime.GOMAXPROCS(0))
 }
 
 // --- parameter ablations (§IV swept values and enhancement knobs) ------------

@@ -1,0 +1,25 @@
+// Command dtnsim-worker is the worker half of the distributed executor
+// (DESIGN.md §13). It is not run by hand: a coordinator — dtnsim
+// -dist-workers or dtnsimd -workers-exec — spawns N of these, speaks
+// the internal/dist/frame protocol over stdin/stdout (one Init, then
+// epoch rounds), and closes stdin to shut the worker down.
+//
+// All simulation state lives in the coordinator; the worker only
+// executes the epoch items it is sent over the node snapshots shipped
+// with them, so it has no flags and no files — stderr is its only
+// other channel, inherited by the coordinator for crash diagnostics.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dtnsim/internal/dist"
+)
+
+func main() {
+	if err := dist.Serve(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dtnsim-worker:", err)
+		os.Exit(1)
+	}
+}

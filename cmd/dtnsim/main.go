@@ -16,8 +16,13 @@
 //	dtnsim -scenario run.json -events events.csv
 //	dtnsim -trace contacts.txt -protocol immunity -load 30
 //	dtnsim -sweep -mob subscriber -proto ecttl -runs 10 -workers 4
+//	dtnsim -scenario run.json -dist-workers 4
 //	dtnsim -remote http://localhost:8642 -scenario run.json
 //	dtnsim -list
+//
+// With -dist-workers N a single run executes its epochs on N spawned
+// dtnsim-worker processes (see DESIGN.md §13); results and -events/
+// -series CSVs are byte-identical to the in-process engines.
 //
 // With -remote URL the run (or sweep) executes on a dtnsimd daemon
 // instead of locally: the scenario is submitted to POST /v1/jobs,
@@ -45,6 +50,7 @@ import (
 	"time"
 
 	"dtnsim"
+	"dtnsim/internal/dist"
 )
 
 func main() {
@@ -82,6 +88,8 @@ func main() {
 		runsFlag     = flag.Int("runs", 10, "sweep mode: seeded runs per load point")
 		workersFlag  = flag.Int("workers", 0, "sweep mode: concurrent runs (0 = all CPUs, 1 = sequential; results are identical)")
 		shardsFlag   = flag.Int("shards", 1, "per-run executor shards (1 = classic sequential engine, 0 = one shard per CPU, K>=2 = K worker shards; results are bit-identical)")
+		distFlag     = flag.Int("dist-workers", 0, "execute the run's epochs on N dtnsim-worker processes (0 = in-process; results are bit-identical)")
+		workerBin    = flag.String("worker-bin", "", "dtnsim-worker binary for -dist-workers (default: sibling of this executable, then $PATH)")
 	)
 	flag.Parse()
 
@@ -126,7 +134,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dtnsim: -%s is ignored in sweep mode (pairs re-randomize per run; the full load axis runs to the horizon)\n", name)
 			}
 		}
-		for _, name := range []string{"scenario", "series", "events"} {
+		for _, name := range []string{"scenario", "series", "events", "dist-workers", "worker-bin"} {
 			if set[name] {
 				fmt.Fprintf(os.Stderr, "dtnsim: -%s is ignored in sweep mode (it applies to single runs only)\n", name)
 			}
@@ -217,6 +225,11 @@ func main() {
 	}
 
 	if *remoteFlag != "" {
+		for _, name := range []string{"dist-workers", "worker-bin"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "dtnsim: -%s is ignored with -remote (the daemon chooses its executor; see dtnsimd -workers-exec)\n", name)
+			}
+		}
 		runRemote(*remoteFlag, sc, *seriesFlag, *eventsFlag, *timeoutFlag)
 		return
 	}
@@ -224,6 +237,21 @@ func main() {
 	cfg, err := sc.Compile()
 	if err != nil {
 		fatal(err)
+	}
+	if *distFlag > 0 {
+		// Distributed execution is, like -shards, an execution-only knob:
+		// the backend rides the sharded epoch loop with the items executed
+		// by worker processes, and the results stay bit-identical.
+		be, err := dist.New(dist.Options{
+			Workers:   *distFlag,
+			Protocol:  string(sc.Protocol),
+			WorkerBin: *workerBin,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer be.Close()
+		cfg.Backend = be
 	}
 	if *timeoutFlag > 0 {
 		// The engine polls the context at event pops, so a 10k-node run

@@ -25,6 +25,12 @@
 // Usage:
 //
 //	dtnsimd -addr :8642 -cache /var/cache/dtnsimd -workers 4 -job-timeout 10m
+//	dtnsimd -workers-exec 4                 # scenario jobs on worker processes
+//
+// With -workers-exec N each scenario job's epochs execute on N spawned
+// dtnsim-worker processes (DESIGN.md §13). Distributed results are
+// byte-identical to in-process ones, so the cache is oblivious to the
+// executor: entries computed either way hit for both.
 //
 // See EXPERIMENTS.md ("Running the service") for curl examples and
 // DESIGN.md §11 for the architecture.
@@ -41,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"dtnsim/internal/dist"
 	"dtnsim/internal/server"
 )
 
@@ -51,6 +58,8 @@ func main() {
 		workersFlag = flag.Int("workers", 0, "max concurrently executing jobs (0 = all CPUs)")
 		timeoutFlag = flag.Duration("job-timeout", 0, "per-job wall-time cap from submission, e.g. 10m (0 = none)")
 		drainFlag   = flag.Duration("drain", 30*time.Second, "how long running jobs may finish after SIGTERM before being cancelled")
+		execFlag    = flag.Int("workers-exec", 0, "execute each scenario job's epochs on N dtnsim-worker processes (0 = in-process; cached bytes are identical either way)")
+		binFlag     = flag.String("worker-bin", "", "dtnsim-worker binary for -workers-exec (default: sibling of this executable, then $PATH)")
 	)
 	flag.Parse()
 
@@ -58,6 +67,10 @@ func main() {
 		CacheDir:   *cacheFlag,
 		Workers:    *workersFlag,
 		JobTimeout: *timeoutFlag,
+		Dist: dist.Options{
+			Workers:   *execFlag,
+			WorkerBin: *binFlag,
+		},
 	})
 	if err != nil {
 		fatal(err)

@@ -4,14 +4,18 @@
 // stream derived from an explicit seed, and every input must arrive
 // through configuration — the precondition for bit-identical replay.
 //
-// Inside the engine (internal/core) the discipline is one notch
-// stricter: sim.NewRNG itself is banned there. The sharded executor
-// (DESIGN.md §12) owes its bit-identical-for-every-shard-count
-// contract to per-encounter reseeding — every draw's stream position
-// derives from sim.EncounterSeed on a sim.NewReseedable generator, so
-// any worker replays any encounter identically. A sequentially-drawn
-// sim.NewRNG stream in engine code would order draws by execution
-// history and desynchronize the executors. Harness code outside the
+// Inside the engine (internal/core) and the distributed coordinator
+// (internal/dist) the discipline is one notch stricter: sim.NewRNG
+// itself is banned there. The sharded executor (DESIGN.md §12) owes
+// its bit-identical-for-every-shard-count contract to per-encounter
+// reseeding — every draw's stream position derives from
+// sim.EncounterSeed on a sim.NewReseedable generator, so any worker
+// replays any encounter identically. A sequentially-drawn sim.NewRNG
+// stream in engine code would order draws by execution history and
+// desynchronize the executors; internal/dist ships that exact engine
+// code into worker processes (DESIGN.md §13), so it is held to the
+// same rule — its one legitimate wall-clock use, the process-shutdown
+// watchdog, rides a budgeted //lint:allow. Harness code outside the
 // engine (e.g. experiment.pickPair) may still draw sequential streams.
 package rngdiscipline
 
@@ -54,9 +58,11 @@ var banned = map[string][]string{
 }
 
 func run(pass *analysis.Pass) error {
-	// The engine package gets the per-shard rule; suffix matching keeps
-	// the rule testable from a self-contained testdata module.
-	inEngine := strings.HasSuffix(pass.Pkg.Path(), "/core")
+	// The engine and the distributed coordinator get the per-shard rule;
+	// suffix matching keeps the rule testable from a self-contained
+	// testdata module.
+	inEngine := strings.HasSuffix(pass.Pkg.Path(), "/core") ||
+		strings.HasSuffix(pass.Pkg.Path(), "/dist")
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)

@@ -1,0 +1,35 @@
+// Package dist stands in for the distributed coordinator: its import
+// path ends in "/dist", so the engine-only sequential-stream rule
+// applies — the coordinator ships engine execution into worker
+// processes, and a sequential stream on either side would
+// desynchronize them. Its one sanctioned wall-clock use, the
+// process-shutdown watchdog, carries a budgeted suppression.
+package dist
+
+import (
+	"time"
+
+	"rngdiscipline.example/sim"
+)
+
+func flagSequentialStream(seed uint64) *sim.RNG {
+	return sim.NewRNG(seed) // want "sim.NewRNG is banned in the engine"
+}
+
+func flagWallClock() int64 {
+	return time.Now().Unix() // want "ambient nondeterminism"
+}
+
+// okReseedable is the sanctioned pattern, same as in the engine.
+func okReseedable(run, a, b uint64) *sim.RNG {
+	r := sim.NewReseedable()
+	_ = sim.EncounterSeed(run, a, b)
+	return r
+}
+
+// suppressedWatchdog mirrors the coordinator's process-reaping grace
+// timer: wall clock, but only after the simulation has finished.
+func suppressedWatchdog(stop func()) *time.Timer {
+	//lint:allow rngdiscipline shutdown watchdog: runs after the simulation finished, cannot affect results
+	return time.AfterFunc(5*time.Second, stop) // want-suppressed "ambient nondeterminism"
+}

@@ -261,6 +261,37 @@ func (s *Store) Remove(id bundle.ID) bool {
 	return true
 }
 
+// Restore stores a copy while rebuilding a store from a snapshot
+// (internal/dist workers reconstruct node state between epochs): it
+// performs Put's indexing and accounting but skips the capacity checks,
+// which legal live contents can fail — control load can push Free()
+// to zero with copies still stored, and pinned source bundles exceed
+// capacity by design. The duplicate check stays: a snapshot with two
+// copies of one bundle is corrupt. Restoring into an empty store leaves
+// minExpiry at the exact minimum over the unpinned copies, which is
+// observationally equivalent to the live store's conservative bound
+// (a stale-low bound only ever costs a no-op purge scan).
+func (s *Store) Restore(c *bundle.Copy) error {
+	if _, ok := s.copies[c.Bundle.ID]; ok {
+		return ErrDuplicate
+	}
+	s.copies[c.Bundle.ID] = c
+	i := s.searchIdx(c.Bundle.ID)
+	s.order = append(s.order, nil)
+	copy(s.order[i+1:], s.order[i:])
+	s.order[i] = c
+	s.totalBytes += c.Bundle.Meta.Size
+	if c.Pinned {
+		s.pinned++
+	} else {
+		s.unpinnedBytes += c.Bundle.Meta.Size
+		if c.Expiry < s.minExpiry {
+			s.minExpiry = c.Expiry
+		}
+	}
+	return nil
+}
+
 // NoteExpiry tells the store that the stored copy c's Expiry was lowered
 // in place (TTL renewal, EC ageing). The store folds it into the
 // min-expiry bound; without the call PurgeExpired's fast path could skip

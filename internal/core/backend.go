@@ -1,0 +1,63 @@
+package core
+
+import (
+	"dtnsim/internal/node"
+)
+
+// This file is the executor seam (DESIGN.md §13): the narrow interface
+// through which the sharded loop (shard.go) hands epochs to an
+// execution backend that owns node state elsewhere — worker processes
+// today, remote hosts tomorrow. Everything order-sensitive stays on
+// this side of the seam: item collection, the canonical-order merge,
+// sampling, and the Result assembly all run on the coordinating
+// process, so a backend only has to execute items faithfully (via
+// Kernel) to inherit the executor-independence proofs wholesale.
+
+// RunEnv is the run context handed to a backend at Start: the defaulted
+// Config (protocol instance included) and the coordinator's node slice.
+// The backend owns the authoritative node state for the whole run; the
+// coordinator's nodes stay pristine until Finish writes the final
+// states back into them (Result reads per-node counters and stores).
+type RunEnv struct {
+	Cfg   Config
+	Nodes []*node.Node
+}
+
+// Epoch is one collected epoch: the canonical (time, class, seq)
+// ordered item list between two sampling ticks. Items expose their
+// endpoints and payloads for shipping; the backend must leave each
+// item's Fx holding exactly the effects Kernel.Exec would have
+// recorded, in the same program order — merge replays them assuming so.
+type Epoch struct {
+	r *shardRun
+}
+
+// Len returns the number of items in the epoch.
+func (ep *Epoch) Len() int { return len(ep.r.items) }
+
+// Item returns the i-th item in canonical order. The pointer is valid
+// until the next epoch's collection.
+func (ep *Epoch) Item(i int) *EpochItem { return &ep.r.items[i] }
+
+// EpochBackend executes epochs on behalf of the sharded loop.
+// Implementations must respect the per-node dependency order: two items
+// sharing an endpoint execute in item-index order, with the later one
+// observing all node mutations of the earlier. Items not sharing a node
+// may run concurrently, anywhere.
+type EpochBackend interface {
+	// Start begins a run. The backend captures what it needs from the
+	// environment (config scalars, protocol spec, population) and
+	// prepares its executors.
+	Start(env RunEnv) error
+	// RunEpoch executes every item and fills the items' effect buffers.
+	// It is never called with an empty epoch.
+	RunEpoch(ep *Epoch) error
+	// NodeOccupancy returns node i's current buffer occupancy — the
+	// value nodes[i].Store.Occupancy() would return on the
+	// authoritative state — read at sampling ticks between epochs.
+	NodeOccupancy(i int) float64
+	// Finish ends the run, restoring the authoritative final node
+	// states into the Start environment's Nodes so Result assembly
+	// reads them locally. Called once, only on successful runs.
+	Finish() error
+}

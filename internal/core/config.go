@@ -113,6 +113,14 @@ type Config struct {
 	// bit-identical for every value, which is why it never enters a
 	// scenario's canonical key.
 	Shards int
+	// Backend, when non-nil, delegates epoch execution to an external
+	// executor (worker processes — internal/dist) through the seam in
+	// backend.go: the engine still collects items, merges effects and
+	// samples metrics, but items execute on the backend's authoritative
+	// node state. Like Shards this is purely an execution knob —
+	// results are bit-identical with and without one, and it never
+	// enters a scenario's canonical key.
+	Backend EpochBackend
 	// Context, when non-nil, lets the caller abort the run: the engine
 	// polls it at scheduler event pops (every interruptEvery events, so
 	// a cancel or deadline lands within microseconds of virtual-event

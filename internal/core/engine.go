@@ -211,11 +211,18 @@ func Run(cfg Config) (*Result, error) {
 		e.nodes[i] = n
 	}
 
-	if cfg.Shards > 0 {
+	if cfg.Shards > 0 || cfg.Backend != nil {
 		// Sharded execution replaces the scheduler-driven event loop
 		// (including the drop hooks installed above) but produces
-		// bit-identical Results and observer streams — see shard.go.
-		return e.runSharded(cfg.Shards)
+		// bit-identical Results and observer streams — see shard.go. A
+		// Backend rides the same epoch loop with execution delegated,
+		// so the shard count only sizes the (unused) local worker set;
+		// clamp it to a valid value.
+		k := cfg.Shards
+		if k == 0 {
+			k = 1
+		}
+		return e.runSharded(k)
 	}
 
 	if err := e.scheduleWorkload(); err != nil {

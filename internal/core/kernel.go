@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dtnsim/internal/buffer"
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/node"
+	"dtnsim/internal/protocol"
+	"dtnsim/internal/sim"
+)
+
+// Kernel is the per-item execution state machine of the sharded
+// executor, factored out of the worker goroutine so a worker *process*
+// (internal/dist) can run the identical code over restored node state.
+// Exec mutates only the item's two endpoint nodes and records every
+// global side effect into the item's EffectBuf; nothing here reads or
+// writes run-global state, which is exactly what makes an item's
+// execution location — goroutine or process — unobservable.
+//
+// A Kernel belongs to one executor thread: RNG and Policy are private
+// streams (reseeded per encounter from sim.EncounterSeed, so the draw
+// sequence is a function of the encounter, not of the executor), and
+// Hooks is the shared hook-target table every kernel of a run aims
+// drop hooks through.
+type Kernel struct {
+	// Nodes is the node population Exec indexes into. In-process
+	// kernels share the engine's slice; a worker process holds its own
+	// restored instances.
+	Nodes []*node.Node
+	// Hooks[n] is the effect buffer of the item currently executing on
+	// node n; BindHook points a node's DropHook through it.
+	Hooks []*EffectBuf
+	// Protocol, Seed, TxTime, RecordsPerSlot, Bandwidth and
+	// ControlBytes mirror the run Config fields of the same names
+	// (after defaulting).
+	Protocol       protocol.Protocol
+	Seed           uint64
+	TxTime         float64
+	RecordsPerSlot int
+	Bandwidth      float64
+	ControlBytes   float64
+	// RNG is this kernel's private reseedable encounter stream.
+	RNG *sim.RNG
+	// Policy is this kernel's private byte-pressure drop policy; nil
+	// when the run has no byte capacity.
+	Policy buffer.DropPolicy
+}
+
+// BindHook aims n's drop hook at whichever item is executing on n, so
+// evictions and refusals land in that item's effect buffer. The
+// in-process executor installs an equivalent closure in runSharded; a
+// worker process calls this on every node it materializes.
+func (k *Kernel) BindHook(n *node.Node) {
+	at := n.ID
+	n.DropHook = func(id bundle.ID, reason node.DropReason, now sim.Time) {
+		k.Hooks[at].add(Effect{Kind: EffectDrop, From: at, ID: id, Reason: reason, At: now})
+	}
+}
+
+// Exec runs one item, first aiming the item's nodes' drop hooks at its
+// effect buffer.
+//
+//dtn:hotpath
+func (k *Kernel) Exec(it *EpochItem) {
+	k.Hooks[it.A] = &it.Fx
+	if it.Gen {
+		k.generate(it)
+		return
+	}
+	k.Hooks[it.B] = &it.Fx
+	k.contact(it)
+}
+
+// generate mirrors engine.generate, recording effects instead of
+// touching global state.
+func (k *Kernel) generate(it *EpochItem) {
+	src := k.Nodes[it.Flow.Src]
+	now := it.T
+	for i := 0; i < it.Flow.Count; i++ {
+		b := &bundle.Bundle{
+			ID:        bundle.ID{Src: it.Flow.Src, Seq: it.Base + i},
+			Dst:       it.Flow.Dst,
+			CreatedAt: now,
+			Meta:      bundle.Meta{Size: it.Flow.Size},
+			FirstSeq:  it.FirstSeq,
+		}
+		cp := &bundle.Copy{Bundle: b, StoredAt: now, Pinned: true, Expiry: sim.Infinity}
+		k.Protocol.OnGenerate(src, cp, now)
+		if err := src.Store.Put(cp); err != nil {
+			panic(fmt.Sprintf("core: generating %v: %v", b.ID, err))
+		}
+		it.Fx.add(Effect{Kind: EffectGenerate, To: b.Dst, ID: b.ID, At: now})
+	}
+}
+
+// contact mirrors engine.contact: purge, control exchange, budgeted
+// half-duplex transmissions, lower ID first — drawing from this
+// kernel's stream reseeded for the encounter.
+//
+//dtn:hotpath
+func (k *Kernel) contact(it *EpochItem) {
+	c := it.C
+	k.RNG.Reseed(sim.EncounterSeed(k.Seed, uint64(c.A), uint64(c.B), c.Start))
+	now := c.Start
+	a, b := k.Nodes[c.A], k.Nodes[c.B]
+	a.PurgeExpired(now)
+	b.PurgeExpired(now)
+	a.ObserveEncounter(now)
+	b.ObserveEncounter(now)
+
+	dur := float64(c.Duration())
+	recordBudget := int(dur / k.TxTime * float64(k.RecordsPerSlot))
+	bw := c.Bandwidth
+	if bw == 0 {
+		bw = k.Bandwidth
+	}
+	limited := bw > 0
+	var bytesLeft int64
+	var ctlBefore int64
+	if limited {
+		if budget := math.Floor(dur * bw); budget >= math.MaxInt64 {
+			bytesLeft = math.MaxInt64
+		} else {
+			bytesLeft = int64(budget)
+		}
+		ctlBefore = a.ControlSent + b.ControlSent
+	}
+	k.Protocol.Exchange(a, b, now, recordBudget)
+	if limited && k.ControlBytes > 0 {
+		bytesLeft -= int64(float64(a.ControlSent+b.ControlSent-ctlBefore) * k.ControlBytes)
+		if bytesLeft < 0 {
+			bytesLeft = 0
+		}
+	}
+
+	slots := int(dur / k.TxTime)
+	if slots <= 0 {
+		return
+	}
+	used, bytesLeft := k.transmitBatch(it, a, b, now, slots, 0, limited, bytesLeft)
+	k.transmitBatch(it, b, a, now, slots, used, limited, bytesLeft)
+}
+
+// transmitBatch mirrors engine.transmitBatch (see its doc for the
+// partial-transfer semantics).
+//
+//dtn:hotpath
+func (k *Kernel) transmitBatch(it *EpochItem, sender, receiver *node.Node, start sim.Time, slots, used int, limited bool, bytesLeft int64) (int, int64) {
+	if used >= slots {
+		return used, bytesLeft
+	}
+	wants := k.Protocol.Wants(sender, receiver, start, k.RNG)
+	for _, id := range wants {
+		if used >= slots {
+			break
+		}
+		cp := sender.Store.Get(id)
+		if cp == nil {
+			continue
+		}
+		if receiver.Store.Has(id) || receiver.Received.Has(id) {
+			continue
+		}
+		if limited {
+			if cp.Bundle.Meta.Size > bytesLeft {
+				break
+			}
+			bytesLeft -= cp.Bundle.Meta.Size
+		}
+		used++
+		at := start + sim.Time(float64(used)*k.TxTime)
+		k.transmit(it, sender, receiver, cp, at)
+	}
+	return used, bytesLeft
+}
+
+// transmit mirrors engine.transmit, recording the global bookkeeping as
+// effects.
+//
+//dtn:hotpath
+func (k *Kernel) transmit(it *EpochItem, sender, receiver *node.Node, cp *bundle.Copy, at sim.Time) {
+	sender.DataSent++
+	it.Fx.add(Effect{Kind: EffectTransmit, From: sender.ID, To: receiver.ID, ID: cp.Bundle.ID, At: at})
+	rcpt := cp.Clone(at)
+	if cp.Bundle.Dst == receiver.ID {
+		k.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
+		k.deliver(it, sender, receiver, cp.Bundle, at)
+		return
+	}
+	if !k.admitBytes(receiver, rcpt, at) {
+		return
+	}
+	if k.Protocol.Admit(receiver, rcpt, at) {
+		k.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
+		if err := receiver.Store.Put(rcpt); err != nil {
+			panic(fmt.Sprintf("core: admit promised room for %v at node %d: %v",
+				cp.Bundle.ID, receiver.ID, err))
+		}
+		it.Fx.add(Effect{Kind: EffectStored, ID: rcpt.Bundle.ID, At: at})
+	}
+}
+
+// admitBytes mirrors engine.admitBytes with this kernel's policy
+// instance; evictions and refusals reach the effect buffer through the
+// node's drop hook.
+//
+//dtn:hotpath
+func (k *Kernel) admitBytes(receiver *node.Node, rcpt *bundle.Copy, at sim.Time) bool {
+	if k.Policy == nil || rcpt.Bundle.Meta.Size == 0 {
+		return true
+	}
+	evicted, ok := receiver.Store.MakeByteRoom(rcpt.Bundle.Meta.Size, k.Policy)
+	for _, cp := range evicted {
+		receiver.NoteByteDropped(cp.Bundle.ID, at)
+	}
+	if !ok {
+		receiver.NoteRefused(rcpt.Bundle.ID, at)
+		return false
+	}
+	return true
+}
+
+// deliver mirrors engine.deliver: destination state mutates here (the
+// destination is one of the item's chained nodes); run-global delivery
+// bookkeeping is deferred to the merger.
+//
+//dtn:hotpath
+func (k *Kernel) deliver(it *EpochItem, sender, dst *node.Node, b *bundle.Bundle, at sim.Time) {
+	if dst.Received.Has(b.ID) {
+		return // duplicate delivery; Wants filtering should prevent this
+	}
+	dst.Received.Add(b.ID)
+	it.Fx.add(Effect{
+		Kind:  EffectDeliver,
+		From:  sender.ID,
+		To:    dst.ID,
+		ID:    b.ID,
+		At:    at,
+		Delay: float64(at - b.CreatedAt),
+	})
+	k.Protocol.OnDelivered(dst, sender, b.ID, at)
+}

@@ -11,6 +11,7 @@ import (
 	"dtnsim/internal/buffer"
 	"dtnsim/internal/bundle"
 	"dtnsim/internal/contact"
+	"dtnsim/internal/metrics"
 	"dtnsim/internal/node"
 	"dtnsim/internal/sim"
 )
@@ -36,66 +37,76 @@ import (
 // per-worker stream reseeded from sim.EncounterSeed, so the draw
 // sequence is a function of the encounter, not of the executor.
 //
-// The per-contact logic below deliberately duplicates engine.contact
-// and friends rather than abstracting them behind an executor
-// interface: the contact path is the hot path, and the golden
-// equivalence suite (shard_test.go) pins the two copies together
-// bit-for-bit, which is a stronger drift guard than shared indirection.
+// The per-item execution logic lives in Kernel (kernel.go): the same
+// state machine a worker goroutine runs here is what a worker *process*
+// runs in the distributed backend (internal/dist), which replaces only
+// runEpoch's dispatch — collection, merge and sampling stay on this
+// loop (backend.go). The kernel deliberately duplicates engine.contact
+// and friends rather than abstracting them behind a shared interface:
+// the contact path is the hot path, and the golden equivalence suite
+// (shard_test.go) pins the two copies together bit-for-bit, which is a
+// stronger drift guard than shared indirection.
 
-// fxKind tags one recorded side effect.
-type fxKind uint8
+// EffectKind tags one recorded side effect.
+type EffectKind uint8
 
 const (
-	fxGenerate fxKind = iota // a workload bundle was created at its source
-	fxTransmit               // a bundle went on the air
-	fxDeliver                // a bundle reached its destination
-	fxDrop                   // a node shed (or refused) a copy
-	fxStored                 // a relay stored a copy
+	EffectGenerate EffectKind = iota // a workload bundle was created at its source
+	EffectTransmit                   // a bundle went on the air
+	EffectDeliver                    // a bundle reached its destination
+	EffectDrop                       // a node shed (or refused) a copy
+	EffectStored                     // a relay stored a copy
 )
 
-// effect is one deferred global side effect of an item, replayed by the
+// Effect is one deferred global side effect of an item, replayed by the
 // merger in canonical order. Field use varies by kind; see merge.
-type effect struct {
-	kind   fxKind
-	from   contact.NodeID // transmit: sender; drop: the shedding node
-	to     contact.NodeID // transmit: receiver; generate/deliver: destination
-	id     bundle.ID
-	reason node.DropReason // drop only
-	at     sim.Time
-	delay  float64 // deliver only
+type Effect struct {
+	Kind   EffectKind
+	From   contact.NodeID // transmit: sender; drop: the shedding node
+	To     contact.NodeID // transmit: receiver; generate/deliver: destination
+	ID     bundle.ID
+	Reason node.DropReason // drop only
+	At     sim.Time
+	Delay  float64 // deliver only
 }
 
-// fxBuf accumulates one item's effects in program order.
-type fxBuf struct{ fx []effect }
+// EffectBuf accumulates one item's effects in program order.
+type EffectBuf struct{ fx []Effect }
 
 //dtn:hotpath
-func (b *fxBuf) add(e effect) { b.fx = append(b.fx, e) }
+func (b *EffectBuf) add(e Effect) { b.fx = append(b.fx, e) }
 
-// shardItem is one unit of epoch work: a flow generation (gen=true,
-// endpoint a only) or a contact (endpoints a < b). deps counts
+// Effects returns the recorded effects in program order. The slice is
+// owned by the buffer; callers must not retain it across epochs.
+func (b *EffectBuf) Effects() []Effect { return b.fx }
+
+// Set replaces the buffer's contents — how a distributed backend
+// installs a worker's replayed effects before the merge.
+func (b *EffectBuf) Set(fx []Effect) { b.fx = append(b.fx[:0], fx...) }
+
+// EpochItem is one unit of epoch work: a flow generation (Gen=true,
+// endpoint A only) or a contact (endpoints A < B). deps counts
 // unfinished predecessor items on its nodes' chains; next holds the
-// successor on a's chain (slot 0) and b's chain (slot 1).
-type shardItem struct {
-	t   sim.Time
-	gen bool
-	a,
-	b contact.NodeID
-	c              contact.Contact
-	flow           Flow
-	base, firstSeq int
+// successor on A's chain (slot 0) and B's chain (slot 1).
+type EpochItem struct {
+	T   sim.Time
+	Gen bool
+	A,
+	B contact.NodeID
+	C              contact.Contact
+	Flow           Flow
+	Base, FirstSeq int
 	deps           int32
-	next           [2]*shardItem
-	fx             fxBuf
+	next           [2]*EpochItem
+	Fx             EffectBuf
 }
 
-// shardWorker is one executor goroutine's private state: its own
-// reseedable encounter stream and drop-policy instance, so no random
-// draw ever crosses a goroutine boundary.
+// shardWorker is one executor goroutine's private state: a Kernel with
+// its own reseedable encounter stream and drop-policy instance, so no
+// random draw ever crosses a goroutine boundary.
 type shardWorker struct {
-	r    *shardRun
-	rng  *sim.RNG
-	pol  buffer.DropPolicy
-	mbox chan *shardItem
+	kern *Kernel
+	mbox chan *EpochItem
 }
 
 // shardRun drives the epoch loop over an engine's state.
@@ -109,7 +120,7 @@ type shardRun struct {
 	// on node n; the node's DropHook writes through it. Only the worker
 	// holding n's chain position touches entry n, so writes are ordered
 	// by the chain's happens-before edges.
-	hookTarget []*fxBuf
+	hookTarget []*EffectBuf
 	// flows is the workload sorted by (StartAt, declaration order) — the
 	// order the scheduler's (time, class, seq) tiers would pop the
 	// generation events in.
@@ -121,9 +132,9 @@ type shardRun struct {
 	hasPending bool
 	// items is the current epoch's canonical-order item list, reused
 	// across epochs (grown once, effect buffers keep their capacity).
-	items []shardItem
+	items []EpochItem
 	// tails/touched index the per-node chain heads during item linking.
-	tails   []*shardItem
+	tails   []*EpochItem
 	touched []contact.NodeID
 	workers []*shardWorker
 }
@@ -133,16 +144,18 @@ type shardFlow struct {
 	base, firstSeq int
 }
 
-// runSharded executes the run with k worker shards. It is called from
-// Run after common setup (validation, node creation, drop policy) and
-// replaces the scheduler-driven event loop.
+// runSharded executes the run with k worker shards — or, when
+// Config.Backend is set, hands each epoch's item list to the backend
+// instead of the in-process workers. It is called from Run after common
+// setup (validation, node creation, drop policy) and replaces the
+// scheduler-driven event loop.
 func (e *engine) runSharded(k int) (*Result, error) {
 	r := &shardRun{
 		e:          e,
 		k:          k,
 		horizon:    e.cap,
-		hookTarget: make([]*fxBuf, len(e.nodes)),
-		tails:      make([]*shardItem, len(e.nodes)),
+		hookTarget: make([]*EffectBuf, len(e.nodes)),
+		tails:      make([]*EpochItem, len(e.nodes)),
 	}
 	// Re-point the drop hooks at the shard effect buffers: a drop lands
 	// in the buffer of whichever item is executing on the node, and the
@@ -150,7 +163,7 @@ func (e *engine) runSharded(k int) (*Result, error) {
 	for _, n := range e.nodes {
 		at := n.ID
 		n.DropHook = func(id bundle.ID, reason node.DropReason, now sim.Time) {
-			r.hookTarget[at].add(effect{kind: fxDrop, from: at, id: id, reason: reason, at: now})
+			r.hookTarget[at].add(Effect{Kind: EffectDrop, From: at, ID: id, Reason: reason, At: now})
 		}
 	}
 	bases, firsts := flowPlan(e.cfg.Flows)
@@ -163,23 +176,41 @@ func (e *engine) runSharded(k int) (*Result, error) {
 		e.remaining += f.Count
 	}
 	sort.SliceStable(r.flows, func(i, j int) bool { return r.flows[i].f.StartAt < r.flows[j].f.StartAt })
-	r.workers = make([]*shardWorker, k)
-	for i := range r.workers {
-		w := &shardWorker{r: r, rng: sim.NewReseedable()}
-		if e.dropPolicy != nil {
-			// Same policy name and seed as the engine's instance; the
-			// per-worker copy exists so randomized policies can draw from
-			// this worker's encounter stream.
-			pol, err := buffer.NewDropPolicy(e.dropPolicy.Name(), e.cfg.Seed^0xb17ed70b5eed)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrConfig, err)
-			}
-			if sp, ok := pol.(buffer.StreamPolicy); ok {
-				sp.SetStream(w.rng)
-			}
-			w.pol = pol
+	if b := e.cfg.Backend; b != nil {
+		// Execution is delegated: items never run on this process's
+		// nodes, so no local workers (and no local kernels) exist.
+		if err := b.Start(RunEnv{Cfg: e.cfg, Nodes: e.nodes}); err != nil {
+			return nil, err
 		}
-		r.workers[i] = w
+	} else {
+		r.workers = make([]*shardWorker, k)
+		for i := range r.workers {
+			kern := &Kernel{
+				Nodes:          e.nodes,
+				Hooks:          r.hookTarget,
+				Protocol:       e.cfg.Protocol,
+				Seed:           e.cfg.Seed,
+				TxTime:         e.cfg.TxTime,
+				RecordsPerSlot: e.cfg.RecordsPerSlot,
+				Bandwidth:      e.cfg.Bandwidth,
+				ControlBytes:   e.cfg.ControlBytes,
+				RNG:            sim.NewReseedable(),
+			}
+			if e.dropPolicy != nil {
+				// Same policy name and seed as the engine's instance; the
+				// per-worker copy exists so randomized policies can draw from
+				// this worker's encounter stream.
+				pol, err := buffer.NewDropPolicy(e.dropPolicy.Name(), e.cfg.Seed^0xb17ed70b5eed)
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+				}
+				if sp, ok := pol.(buffer.StreamPolicy); ok {
+					sp.SetStream(kern.RNG)
+				}
+				kern.Policy = pol
+			}
+			r.workers[i] = &shardWorker{kern: kern}
+		}
 	}
 	// Prime the stream, mirroring scheduleContacts' empty-source check.
 	r.pull()
@@ -195,6 +226,13 @@ func (e *engine) runSharded(k int) (*Result, error) {
 	}
 	if ctx := e.cfg.Context; ctx != nil && ctx.Err() != nil {
 		return nil, fmt.Errorf("%w at t=%v: %w", ErrCancelled, end, context.Cause(ctx))
+	}
+	if b := e.cfg.Backend; b != nil {
+		// Download the final node states: Result's per-node columns
+		// (occupancy, buffered copies, overhead counters) read e.nodes.
+		if err := b.Finish(); err != nil {
+			return nil, err
+		}
 	}
 	return e.result(end), nil
 }
@@ -230,7 +268,9 @@ func (r *shardRun) loop() (sim.Time, error) {
 			boundary = r.horizon
 			withTick = false
 		}
-		r.runEpoch()
+		if err := r.runEpoch(); err != nil {
+			return 0, err
+		}
 		r.merge()
 		if !withTick {
 			// Final partial epoch (lastTick, horizon]: the run ends at
@@ -242,7 +282,7 @@ func (r *shardRun) loop() (sim.Time, error) {
 			}
 			return end, nil
 		}
-		s := e.holders.Sample(e.nodes, tickAt)
+		var s = r.sample(tickAt)
 		for _, o := range e.obs {
 			o.OnSample(s)
 		}
@@ -253,6 +293,18 @@ func (r *shardRun) loop() (sim.Time, error) {
 		tickAt += sim.Time(e.cfg.SampleEvery)
 		last = boundary
 	}
+}
+
+// sample reads the tick's metrics: local node stores on the in-process
+// executor, the backend's authoritative occupancy view when execution
+// is delegated (this process's nodes are stale between epochs there).
+// Duplication comes from the merge-maintained holder counts either way.
+func (r *shardRun) sample(tickAt sim.Time) metrics.Sample {
+	e := r.e
+	if b := e.cfg.Backend; b != nil {
+		return e.holders.SampleFunc(len(e.nodes), b.NodeOccupancy, tickAt)
+	}
+	return e.holders.Sample(e.nodes, tickAt)
 }
 
 // pull advances the contact stream by one, mirroring pushNextContact's
@@ -333,16 +385,16 @@ func (r *shardRun) collect(boundary sim.Time) {
 			fl := r.flows[r.nextFlow]
 			r.nextFlow++
 			it := r.nextItem()
-			it.t, it.gen = ft, true
-			it.a, it.b = fl.f.Src, fl.f.Src
-			it.flow, it.base, it.firstSeq = fl.f, fl.base, fl.firstSeq
+			it.T, it.Gen = ft, true
+			it.A, it.B = fl.f.Src, fl.f.Src
+			it.Flow, it.Base, it.FirstSeq = fl.f, fl.base, fl.firstSeq
 		} else {
 			c := r.pending
 			r.hasPending = false
 			it := r.nextItem()
-			it.t, it.gen = ct, false
-			it.a, it.b = c.A, c.B
-			it.c = c
+			it.T, it.Gen = ct, false
+			it.A, it.B = c.A, c.B
+			it.C = c
 		}
 	}
 }
@@ -350,14 +402,14 @@ func (r *shardRun) collect(boundary sim.Time) {
 // nextItem extends the epoch item list by one reused slot. Pointers
 // into r.items are only taken after collection finishes, so append
 // reallocation during growth is safe.
-func (r *shardRun) nextItem() *shardItem {
+func (r *shardRun) nextItem() *EpochItem {
 	if len(r.items) < cap(r.items) {
 		r.items = r.items[:len(r.items)+1]
 	} else {
-		r.items = append(r.items, shardItem{})
+		r.items = append(r.items, EpochItem{})
 	}
 	it := &r.items[len(r.items)-1]
-	it.fx.fx = it.fx.fx[:0]
+	it.Fx.fx = it.Fx.fx[:0]
 	it.next[0], it.next[1] = nil, nil
 	it.deps = 0
 	return it
@@ -369,37 +421,44 @@ func (r *shardRun) nextItem() *shardItem {
 func (r *shardRun) filterBeyond(h sim.Time) {
 	kept := r.items[:0]
 	for i := range r.items {
-		if r.items[i].t <= h {
+		if r.items[i].T <= h {
 			kept = append(kept, r.items[i])
-		} else if !r.items[i].gen {
-			panic(fmt.Sprintf("core: sharded contact at %v beyond settled horizon %v", r.items[i].t, h))
+		} else if !r.items[i].Gen {
+			panic(fmt.Sprintf("core: sharded contact at %v beyond settled horizon %v", r.items[i].T, h))
 		}
 	}
 	r.items = kept
 }
 
-// runEpoch executes the collected items on K workers. Dependency
-// chains: an item is ready once every earlier item sharing one of its
-// nodes has finished; readiness is tracked with an atomic countdown and
-// ready items travel to their owner shard (lower endpoint mod K) over
-// buffered channels, so sends never block and every channel receive
-// gives the race detector the happens-before edge matching the chain.
-func (r *shardRun) runEpoch() {
+// runEpoch executes the collected items on K workers — or ships the
+// whole epoch to the configured backend. Dependency chains: an item is
+// ready once every earlier item sharing one of its nodes has finished;
+// readiness is tracked with an atomic countdown and ready items travel
+// to their owner shard (lower endpoint mod K) over buffered channels,
+// so sends never block and every channel receive gives the race
+// detector the happens-before edge matching the chain.
+func (r *shardRun) runEpoch() error {
 	n := len(r.items)
 	if n == 0 {
-		return
+		return nil
+	}
+	if b := r.e.cfg.Backend; b != nil {
+		// The backend owns node state and dependency scheduling; it must
+		// leave each item's Fx holding the effects the in-process kernel
+		// would have recorded, in the same program order.
+		return b.RunEpoch(&Epoch{r: r})
 	}
 	for i := range r.items {
 		it := &r.items[i]
-		r.chain(it, it.a)
-		if it.b != it.a {
-			r.chain(it, it.b)
+		r.chain(it, it.A)
+		if it.B != it.A {
+			r.chain(it, it.B)
 		}
 	}
 	var items sync.WaitGroup
 	items.Add(n)
 	for _, w := range r.workers {
-		w.mbox = make(chan *shardItem, n)
+		w.mbox = make(chan *EpochItem, n)
 	}
 	// Seed the roots before any worker starts: deps still holds the
 	// chain builder's single-threaded value here, so "deps == 0" is
@@ -410,7 +469,7 @@ func (r *shardRun) runEpoch() {
 	for i := range r.items {
 		it := &r.items[i]
 		if it.deps == 0 {
-			r.workers[int(it.a)%r.k].mbox <- it
+			r.workers[int(it.A)%r.k].mbox <- it
 		}
 	}
 	var done sync.WaitGroup
@@ -419,7 +478,7 @@ func (r *shardRun) runEpoch() {
 		go func(w *shardWorker) {
 			defer done.Done()
 			for it := range w.mbox {
-				w.exec(it)
+				w.kern.Exec(it)
 				r.fanout(it)
 				items.Done()
 			}
@@ -434,16 +493,17 @@ func (r *shardRun) runEpoch() {
 		r.tails[nd] = nil
 	}
 	r.touched = r.touched[:0]
+	return nil
 }
 
 // chain links it onto node nd's dependency chain.
-func (r *shardRun) chain(it *shardItem, nd contact.NodeID) {
+func (r *shardRun) chain(it *EpochItem, nd contact.NodeID) {
 	prev := r.tails[nd]
 	if prev == nil {
 		r.touched = append(r.touched, nd)
 	} else {
 		slot := 0
-		if prev.a != nd {
+		if prev.A != nd {
 			slot = 1
 		}
 		prev.next[slot] = it
@@ -456,202 +516,13 @@ func (r *shardRun) chain(it *shardItem, nd contact.NodeID) {
 // ready to their owner shard's mailbox.
 //
 //dtn:hotpath
-func (r *shardRun) fanout(it *shardItem) {
+func (r *shardRun) fanout(it *EpochItem) {
 	for s := 0; s < 2; s++ {
 		nxt := it.next[s]
 		if nxt != nil && atomic.AddInt32(&nxt.deps, -1) == 0 {
-			r.workers[int(nxt.a)%r.k].mbox <- nxt
+			r.workers[int(nxt.A)%r.k].mbox <- nxt
 		}
 	}
-}
-
-// exec runs one item on this worker, first aiming the item's nodes'
-// drop hooks at its effect buffer.
-//
-//dtn:hotpath
-func (w *shardWorker) exec(it *shardItem) {
-	w.r.hookTarget[it.a] = &it.fx
-	if it.gen {
-		w.generate(it)
-		return
-	}
-	w.r.hookTarget[it.b] = &it.fx
-	w.contact(it)
-}
-
-// generate mirrors engine.generate, recording effects instead of
-// touching global state.
-func (w *shardWorker) generate(it *shardItem) {
-	e := w.r.e
-	src := e.nodes[it.flow.Src]
-	now := it.t
-	for i := 0; i < it.flow.Count; i++ {
-		b := &bundle.Bundle{
-			ID:        bundle.ID{Src: it.flow.Src, Seq: it.base + i},
-			Dst:       it.flow.Dst,
-			CreatedAt: now,
-			Meta:      bundle.Meta{Size: it.flow.Size},
-			FirstSeq:  it.firstSeq,
-		}
-		cp := &bundle.Copy{Bundle: b, StoredAt: now, Pinned: true, Expiry: sim.Infinity}
-		e.cfg.Protocol.OnGenerate(src, cp, now)
-		if err := src.Store.Put(cp); err != nil {
-			panic(fmt.Sprintf("core: generating %v: %v", b.ID, err))
-		}
-		it.fx.add(effect{kind: fxGenerate, to: b.Dst, id: b.ID, at: now})
-	}
-}
-
-// contact mirrors engine.contact: purge, control exchange, budgeted
-// half-duplex transmissions, lower ID first — drawing from this
-// worker's stream reseeded for the encounter.
-//
-//dtn:hotpath
-func (w *shardWorker) contact(it *shardItem) {
-	e := w.r.e
-	c := it.c
-	w.rng.Reseed(sim.EncounterSeed(e.cfg.Seed, uint64(c.A), uint64(c.B), c.Start))
-	now := c.Start
-	a, b := e.nodes[c.A], e.nodes[c.B]
-	a.PurgeExpired(now)
-	b.PurgeExpired(now)
-	a.ObserveEncounter(now)
-	b.ObserveEncounter(now)
-
-	dur := float64(c.Duration())
-	recordBudget := int(dur / e.cfg.TxTime * float64(e.cfg.RecordsPerSlot))
-	bw := c.Bandwidth
-	if bw == 0 {
-		bw = e.cfg.Bandwidth
-	}
-	limited := bw > 0
-	var bytesLeft int64
-	var ctlBefore int64
-	if limited {
-		if budget := math.Floor(dur * bw); budget >= math.MaxInt64 {
-			bytesLeft = math.MaxInt64
-		} else {
-			bytesLeft = int64(budget)
-		}
-		ctlBefore = a.ControlSent + b.ControlSent
-	}
-	e.cfg.Protocol.Exchange(a, b, now, recordBudget)
-	if limited && e.cfg.ControlBytes > 0 {
-		bytesLeft -= int64(float64(a.ControlSent+b.ControlSent-ctlBefore) * e.cfg.ControlBytes)
-		if bytesLeft < 0 {
-			bytesLeft = 0
-		}
-	}
-
-	slots := int(dur / e.cfg.TxTime)
-	if slots <= 0 {
-		return
-	}
-	used, bytesLeft := w.transmitBatch(it, a, b, now, slots, 0, limited, bytesLeft)
-	w.transmitBatch(it, b, a, now, slots, used, limited, bytesLeft)
-}
-
-// transmitBatch mirrors engine.transmitBatch (see its doc for the
-// partial-transfer semantics).
-//
-//dtn:hotpath
-func (w *shardWorker) transmitBatch(it *shardItem, sender, receiver *node.Node, start sim.Time, slots, used int, limited bool, bytesLeft int64) (int, int64) {
-	if used >= slots {
-		return used, bytesLeft
-	}
-	e := w.r.e
-	wants := e.cfg.Protocol.Wants(sender, receiver, start, w.rng)
-	for _, id := range wants {
-		if used >= slots {
-			break
-		}
-		cp := sender.Store.Get(id)
-		if cp == nil {
-			continue
-		}
-		if receiver.Store.Has(id) || receiver.Received.Has(id) {
-			continue
-		}
-		if limited {
-			if cp.Bundle.Meta.Size > bytesLeft {
-				break
-			}
-			bytesLeft -= cp.Bundle.Meta.Size
-		}
-		used++
-		at := start + sim.Time(float64(used)*e.cfg.TxTime)
-		w.transmit(it, sender, receiver, cp, at)
-	}
-	return used, bytesLeft
-}
-
-// transmit mirrors engine.transmit, recording the global bookkeeping as
-// effects.
-//
-//dtn:hotpath
-func (w *shardWorker) transmit(it *shardItem, sender, receiver *node.Node, cp *bundle.Copy, at sim.Time) {
-	e := w.r.e
-	sender.DataSent++
-	it.fx.add(effect{kind: fxTransmit, from: sender.ID, to: receiver.ID, id: cp.Bundle.ID, at: at})
-	rcpt := cp.Clone(at)
-	if cp.Bundle.Dst == receiver.ID {
-		e.cfg.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
-		w.deliver(it, sender, receiver, cp.Bundle, at)
-		return
-	}
-	if !w.admitBytes(receiver, rcpt, at) {
-		return
-	}
-	if e.cfg.Protocol.Admit(receiver, rcpt, at) {
-		e.cfg.Protocol.OnTransmit(sender, receiver, cp, rcpt, at)
-		if err := receiver.Store.Put(rcpt); err != nil {
-			panic(fmt.Sprintf("core: admit promised room for %v at node %d: %v",
-				cp.Bundle.ID, receiver.ID, err))
-		}
-		it.fx.add(effect{kind: fxStored, id: rcpt.Bundle.ID, at: at})
-	}
-}
-
-// admitBytes mirrors engine.admitBytes with this worker's policy
-// instance; evictions and refusals reach the effect buffer through the
-// node's drop hook.
-//
-//dtn:hotpath
-func (w *shardWorker) admitBytes(receiver *node.Node, rcpt *bundle.Copy, at sim.Time) bool {
-	if w.pol == nil || rcpt.Bundle.Meta.Size == 0 {
-		return true
-	}
-	evicted, ok := receiver.Store.MakeByteRoom(rcpt.Bundle.Meta.Size, w.pol)
-	for _, cp := range evicted {
-		receiver.NoteByteDropped(cp.Bundle.ID, at)
-	}
-	if !ok {
-		receiver.NoteRefused(rcpt.Bundle.ID, at)
-		return false
-	}
-	return true
-}
-
-// deliver mirrors engine.deliver: destination state mutates here (the
-// destination is one of the item's chained nodes); run-global delivery
-// bookkeeping is deferred to the merger.
-//
-//dtn:hotpath
-func (w *shardWorker) deliver(it *shardItem, sender, dst *node.Node, b *bundle.Bundle, at sim.Time) {
-	if dst.Received.Has(b.ID) {
-		return // duplicate delivery; Wants filtering should prevent this
-	}
-	dst.Received.Add(b.ID)
-	it.fx.add(effect{
-		kind:  fxDeliver,
-		from:  sender.ID,
-		to:    dst.ID,
-		id:    b.ID,
-		at:    at,
-		delay: float64(at - b.CreatedAt),
-	})
-	e := w.r.e
-	e.cfg.Protocol.OnDelivered(dst, sender, b.ID, at)
 }
 
 // merge replays the epoch's effect buffers in canonical item order on
@@ -663,38 +534,38 @@ func (r *shardRun) merge() {
 	e := r.e
 	for i := range r.items {
 		it := &r.items[i]
-		for j := range it.fx.fx {
-			fx := &it.fx.fx[j]
-			switch fx.kind {
-			case fxGenerate:
-				e.holders.Track(fx.id)
-				e.holders.Inc(fx.id)
+		for j := range it.Fx.fx {
+			fx := &it.Fx.fx[j]
+			switch fx.Kind {
+			case EffectGenerate:
+				e.holders.Track(fx.ID)
+				e.holders.Inc(fx.ID)
 				for _, o := range e.obs {
-					o.OnGenerate(fx.id, fx.to, fx.at)
+					o.OnGenerate(fx.ID, fx.To, fx.At)
 				}
-			case fxTransmit:
+			case EffectTransmit:
 				for _, o := range e.obs {
-					o.OnTransmit(fx.from, fx.to, fx.id, fx.at)
+					o.OnTransmit(fx.From, fx.To, fx.ID, fx.At)
 				}
-			case fxDeliver:
-				e.deliveredAt[fx.id] = fx.at
-				e.delays = append(e.delays, fx.delay)
+			case EffectDeliver:
+				e.deliveredAt[fx.ID] = fx.At
+				e.delays = append(e.delays, fx.Delay)
 				for _, o := range e.obs {
-					o.OnDeliver(fx.id, fx.to, fx.delay, fx.at)
+					o.OnDeliver(fx.ID, fx.To, fx.Delay, fx.At)
 				}
-				if fx.at > e.lastArrival {
-					e.lastArrival = fx.at
+				if fx.At > e.lastArrival {
+					e.lastArrival = fx.At
 				}
 				e.remaining--
-			case fxDrop:
-				if fx.reason != node.DropRefused {
-					e.holders.Dec(fx.id)
+			case EffectDrop:
+				if fx.Reason != node.DropRefused {
+					e.holders.Dec(fx.ID)
 				}
 				for _, o := range e.obs {
-					o.OnDrop(fx.from, fx.id, fx.reason, fx.at)
+					o.OnDrop(fx.From, fx.ID, fx.Reason, fx.At)
 				}
-			case fxStored:
-				e.holders.Inc(fx.id)
+			case EffectStored:
+				e.holders.Inc(fx.ID)
 			}
 		}
 	}

@@ -1,0 +1,495 @@
+// Package dist is the distributed executor (DESIGN.md §13): a
+// coordinator that runs the engine's sharded loop locally — item
+// collection, canonical-order merge, sampling, Result assembly — while
+// shipping epoch items to worker processes over length-prefixed binary
+// frames (internal/dist/frame) and installing the returned effect
+// buffers and node states.
+//
+// The coordinator owns the authoritative node state as decoded wire
+// snapshots: each round it sends every involved worker the states of
+// the non-pristine nodes its items touch, the worker reconstructs those
+// nodes, executes the items through the same core.Kernel the in-process
+// shards run, and ships back the mutated states plus each item's effect
+// buffer. Determinism is inherited wholesale: items execute over
+// identical state through identical code with encounter-derived RNG
+// seeding, and the merge replays effects in the same canonical order —
+// so Results and observer streams are byte-identical to the in-process
+// sharded (and sequential) engines for every worker count.
+package dist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"dtnsim/internal/buffer"
+	"dtnsim/internal/core"
+	"dtnsim/internal/dist/frame"
+	"dtnsim/internal/protocol"
+)
+
+// DefaultRoundItems is the per-round item window: each epoch is cut
+// into windows of this many canonical-order items, the window's items
+// are grouped into node-disjoint components, and components are spread
+// across workers. Smaller windows expose more parallelism on dense
+// contact plans (a whole epoch's contact graph is usually one giant
+// component; a window's rarely is) at the cost of more frames.
+const DefaultRoundItems = 512
+
+// ErrWorkerLost reports a worker process that died or broke its
+// connection mid-run. Callers branch with errors.Is.
+var ErrWorkerLost = errors.New("dist: worker lost")
+
+// Options configures a distributed backend.
+type Options struct {
+	// Workers is the number of worker processes. Required, >= 1.
+	Workers int
+	// Protocol is the protocol spec (e.g. "immunity", "pq:p=0.75") the
+	// workers instantiate. Required; it must resolve to the same
+	// protocol as the run Config's instance — Start cross-checks.
+	Protocol string
+	// RoundItems overrides DefaultRoundItems when positive.
+	RoundItems int
+	// JSON switches the frames to the canonical-JSON debugging encoding.
+	JSON bool
+	// WorkerBin is the dtnsim-worker binary to spawn. Empty tries a
+	// sibling of the running executable, then $PATH.
+	WorkerBin string
+	// WorkerArgs are extra arguments passed to the worker binary.
+	WorkerArgs []string
+	// Stderr receives the spawned workers' stderr; nil inherits the
+	// coordinator's.
+	Stderr io.Writer
+	// Dial, when set, supplies the worker connections instead of
+	// spawning processes — the seam tests use to serve workers
+	// in-process and to inject failing connections.
+	Dial func(n int) ([]io.ReadWriteCloser, error)
+}
+
+// Backend coordinates worker processes behind the core.EpochBackend
+// seam. Create with New, hand to core.Config.Backend, Close when done.
+type Backend struct {
+	opt   Options
+	conns []*conn
+	procs *procSet // nil when Options.Dial supplied the connections
+
+	env    core.RunEnv
+	bufCap int
+	states []*frame.NodeState // authoritative; nil = pristine
+	seq    uint64
+	enc    byte
+
+	// Scratch reused across rounds.
+	uf       unionFind
+	fxBuf    []core.Effect
+	assigned [][]int // assigned[w] = item indexes of worker w's round
+	involved [][]int // involved[w] = sorted node IDs of worker w's round
+}
+
+// conn is one worker connection with buffered framing.
+type conn struct {
+	rwc io.ReadWriteCloser
+	br  *bufio.Reader
+	bw  *bufio.Writer
+}
+
+func (c *conn) send(m *frame.Msg) error {
+	if err := frame.Write(c.bw, m); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *conn) recv() (*frame.Msg, error) { return frame.Read(c.br) }
+
+// New connects the backend's workers: through opt.Dial when set,
+// otherwise by spawning opt.Workers dtnsim-worker processes.
+func New(opt Options) (*Backend, error) {
+	if opt.Workers < 1 {
+		return nil, fmt.Errorf("dist: need at least one worker, got %d", opt.Workers)
+	}
+	if opt.RoundItems == 0 {
+		opt.RoundItems = DefaultRoundItems
+	}
+	if opt.RoundItems < 1 {
+		return nil, fmt.Errorf("dist: round window %d items", opt.RoundItems)
+	}
+	b := &Backend{opt: opt, enc: frame.EncBinary}
+	if opt.JSON {
+		b.enc = frame.EncJSON
+	}
+	var rwcs []io.ReadWriteCloser
+	var err error
+	if opt.Dial != nil {
+		rwcs, err = opt.Dial(opt.Workers)
+	} else {
+		b.procs, rwcs, err = spawnWorkers(&opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(rwcs) != opt.Workers {
+		closeAll(rwcs)
+		return nil, fmt.Errorf("dist: dialed %d connections for %d workers", len(rwcs), opt.Workers)
+	}
+	b.conns = make([]*conn, len(rwcs))
+	for i, rwc := range rwcs {
+		b.conns[i] = &conn{rwc: rwc, br: bufio.NewReader(rwc), bw: bufio.NewWriter(rwc)}
+	}
+	b.assigned = make([][]int, opt.Workers)
+	b.involved = make([][]int, opt.Workers)
+	return b, nil
+}
+
+func closeAll(rwcs []io.ReadWriteCloser) {
+	for _, rwc := range rwcs {
+		rwc.Close()
+	}
+}
+
+// Close tears the workers down: connections close (a worker's Serve
+// loop exits on the EOF) and spawned processes are reaped, killed after
+// a grace period if they ignore the EOF. Safe after a failed run.
+func (b *Backend) Close() error {
+	var first error
+	for _, c := range b.conns {
+		if err := c.rwc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.conns = nil
+	if b.procs != nil {
+		if err := b.procs.wait(); err != nil && first == nil {
+			first = err
+		}
+		b.procs = nil
+	}
+	return first
+}
+
+// Start implements core.EpochBackend: capture the run environment and
+// initialize every worker.
+func (b *Backend) Start(env core.RunEnv) error {
+	fac, err := protocol.Parse(b.opt.Protocol)
+	if err != nil {
+		return fmt.Errorf("dist: %w", err)
+	}
+	if got, want := fac.New().Name(), env.Cfg.Protocol.Name(); got != want {
+		return fmt.Errorf("dist: worker protocol spec %q resolves to %q; run uses %q",
+			b.opt.Protocol, got, want)
+	}
+	b.env = env
+	b.bufCap = env.Cfg.BufferCap
+	b.states = make([]*frame.NodeState, len(env.Nodes))
+	b.seq = 0
+	policy := ""
+	if env.Cfg.BufferBytes > 0 {
+		if policy = env.Cfg.DropPolicy; policy == "" {
+			policy = buffer.DefaultDropPolicy
+		}
+	}
+	init := &frame.Init{
+		Seed:           env.Cfg.Seed,
+		Nodes:          len(env.Nodes),
+		BufferCap:      env.Cfg.BufferCap,
+		BufferBytes:    env.Cfg.BufferBytes,
+		DropPolicy:     policy,
+		TxTime:         env.Cfg.TxTime,
+		Bandwidth:      env.Cfg.Bandwidth,
+		ControlBytes:   env.Cfg.ControlBytes,
+		RecordsPerSlot: env.Cfg.RecordsPerSlot,
+		Protocol:       b.opt.Protocol,
+	}
+	for i, c := range b.conns {
+		if err := c.send(&frame.Msg{Enc: b.enc, Init: init}); err != nil {
+			return fmt.Errorf("%w: worker %d: %v", ErrWorkerLost, i, err)
+		}
+	}
+	return nil
+}
+
+// RunEpoch implements core.EpochBackend: slice the epoch into
+// RoundItems windows and run each as one coordinator↔workers round.
+func (b *Backend) RunEpoch(ep *core.Epoch) error {
+	n := ep.Len()
+	for lo := 0; lo < n; lo += b.opt.RoundItems {
+		hi := lo + b.opt.RoundItems
+		if hi > n {
+			hi = n
+		}
+		if err := b.runRound(ep, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRound executes items [lo, hi) of the epoch: group them into
+// node-disjoint components, spread components across workers, ship one
+// Round per involved worker, install the returned states and effects.
+// The read-back barrier between rounds is what preserves the per-node
+// order across rounds; within a round, items sharing a node land in one
+// component and execute in item order on one worker.
+func (b *Backend) runRound(ep *core.Epoch, lo, hi int) error {
+	comps := b.components(ep, lo, hi)
+	b.assign(ep, comps)
+
+	// Ship the rounds, then collect replies in worker order — the reply
+	// order (not arrival order) is what keeps state installation
+	// deterministic.
+	for w, idxs := range b.assigned {
+		if len(idxs) == 0 {
+			continue
+		}
+		round := frame.Round{Seq: b.seq, Items: make([]frame.Item, len(idxs))}
+		for j, idx := range idxs {
+			round.Items[j] = itemToWire(idx, ep.Item(idx))
+		}
+		for _, id := range b.involved[w] {
+			if st := b.states[id]; st != nil {
+				round.States = append(round.States, *st)
+			}
+		}
+		if err := b.conns[w].send(&frame.Msg{Enc: b.enc, Round: &round}); err != nil {
+			return fmt.Errorf("%w: worker %d: %v", ErrWorkerLost, w, err)
+		}
+	}
+	for w, idxs := range b.assigned {
+		if len(idxs) == 0 {
+			continue
+		}
+		if err := b.collect(ep, w, idxs); err != nil {
+			return err
+		}
+	}
+	b.seq++
+	return nil
+}
+
+// collect reads one worker's Effects reply and installs it.
+func (b *Backend) collect(ep *core.Epoch, w int, idxs []int) error {
+	m, err := b.conns[w].recv()
+	if err != nil {
+		return fmt.Errorf("%w: worker %d: %v", ErrWorkerLost, w, err)
+	}
+	if m.Err != nil {
+		return fmt.Errorf("dist: worker %d: %s", w, m.Err.Msg)
+	}
+	eff := m.Effects
+	if eff == nil {
+		return fmt.Errorf("dist: worker %d: unexpected %d frame in round %d", w, m.Type(), b.seq)
+	}
+	if eff.Seq != b.seq {
+		return fmt.Errorf("dist: worker %d: reply for round %d in round %d", w, eff.Seq, b.seq)
+	}
+	if len(eff.Items) != len(idxs) {
+		return fmt.Errorf("dist: worker %d: %d item replies for %d items", w, len(eff.Items), len(idxs))
+	}
+	for j := range eff.Items {
+		ie := &eff.Items[j]
+		if ie.Idx != idxs[j] {
+			return fmt.Errorf("dist: worker %d: reply item %d, sent %d", w, ie.Idx, idxs[j])
+		}
+		b.fxBuf = b.fxBuf[:0]
+		for k := range ie.Fx {
+			fx, err := effectFromWire(&ie.Fx[k])
+			if err != nil {
+				return fmt.Errorf("dist: worker %d item %d: %w", w, ie.Idx, err)
+			}
+			b.fxBuf = append(b.fxBuf, fx)
+		}
+		ep.Item(ie.Idx).Fx.Set(b.fxBuf)
+	}
+	// The worker returns the updated state of exactly the nodes its
+	// items involve; anything else means the two sides disagree about
+	// the work, which is corruption, not a recoverable condition.
+	if len(eff.States) != len(b.involved[w]) {
+		return fmt.Errorf("dist: worker %d: %d states returned for %d involved nodes",
+			w, len(eff.States), len(b.involved[w]))
+	}
+	for j := range eff.States {
+		st := &eff.States[j]
+		if st.ID != b.involved[w][j] {
+			return fmt.Errorf("dist: worker %d: state for node %d, expected %d",
+				w, st.ID, b.involved[w][j])
+		}
+		b.states[st.ID] = st
+	}
+	return nil
+}
+
+// components groups items [lo, hi) into connected components of the
+// window's endpoint graph via union-find. Each component's items are in
+// ascending index order; the component list is in first-item order.
+func (b *Backend) components(ep *core.Epoch, lo, hi int) []component {
+	b.uf.reset(len(b.env.Nodes))
+	for i := lo; i < hi; i++ {
+		it := ep.Item(i)
+		if it.B != it.A {
+			b.uf.union(int(it.A), int(it.B))
+		} else {
+			b.uf.find(int(it.A))
+		}
+	}
+	var comps []component
+	compOf := make(map[int]int, 8)
+	for i := lo; i < hi; i++ {
+		root := b.uf.find(int(ep.Item(i).A))
+		ci, ok := compOf[root]
+		if !ok {
+			ci = len(comps)
+			compOf[root] = ci
+			comps = append(comps, component{})
+		}
+		comps[ci].items = append(comps[ci].items, i)
+	}
+	return comps
+}
+
+type component struct{ items []int }
+
+// assign spreads components across workers: components sorted by item
+// count descending (ties by first item index ascending, so the order is
+// a pure function of the window), each to the least-loaded worker (ties
+// to the lowest worker index). Fills b.assigned and b.involved.
+func (b *Backend) assign(ep *core.Epoch, comps []component) {
+	order := make([]int, len(comps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		cx, cy := &comps[order[x]], &comps[order[y]]
+		if len(cx.items) != len(cy.items) {
+			return len(cx.items) > len(cy.items)
+		}
+		return cx.items[0] < cy.items[0]
+	})
+	loads := make([]int, b.opt.Workers)
+	for w := range b.assigned {
+		b.assigned[w] = b.assigned[w][:0]
+		b.involved[w] = b.involved[w][:0]
+	}
+	for _, ci := range order {
+		best := 0
+		for w := 1; w < len(loads); w++ {
+			if loads[w] < loads[best] {
+				best = w
+			}
+		}
+		loads[best] += len(comps[ci].items)
+		b.assigned[best] = append(b.assigned[best], comps[ci].items...)
+	}
+	for w := range b.assigned {
+		idxs := b.assigned[w]
+		if len(idxs) == 0 {
+			continue
+		}
+		// A worker executes its items in epoch order; components are
+		// node-disjoint, so interleaving them is harmless and sorting
+		// keeps the wire order canonical.
+		sort.Ints(idxs)
+		b.involved[w] = involvedNodes(ep, idxs, b.involved[w])
+	}
+}
+
+// involvedNodes returns the sorted, deduplicated node IDs touched by
+// the given epoch items.
+func involvedNodes(ep *core.Epoch, idxs []int, dst []int) []int {
+	for _, idx := range idxs {
+		it := ep.Item(idx)
+		dst = append(dst, int(it.A))
+		if it.B != it.A {
+			dst = append(dst, int(it.B))
+		}
+	}
+	sort.Ints(dst)
+	uniq := dst[:0]
+	for i, id := range dst {
+		if i == 0 || id != dst[i-1] {
+			uniq = append(uniq, id)
+		}
+	}
+	return uniq
+}
+
+// NodeOccupancy implements core.EpochBackend: the occupancy the node's
+// authoritative state would report from its own Store — bitwise the
+// same (copies + control load)/cap expression buffer.Store.Occupancy
+// computes. Pristine nodes hold nothing.
+func (b *Backend) NodeOccupancy(i int) float64 {
+	st := b.states[i]
+	if st == nil {
+		return 0
+	}
+	return (float64(len(st.Copies)) + st.ControlLoad) / float64(b.bufCap)
+}
+
+// Finish implements core.EpochBackend: decode every non-pristine
+// authoritative state into the coordinator's (still pristine) nodes so
+// Result assembly reads final stores and counters locally.
+func (b *Backend) Finish() error {
+	for _, st := range b.states {
+		if st == nil {
+			continue
+		}
+		if st.ID < 0 || st.ID >= len(b.env.Nodes) {
+			return fmt.Errorf("dist: final state for node %d outside population", st.ID)
+		}
+		if err := restoreInto(b.env.Nodes[st.ID], st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unionFind is a path-compressing union-find over node IDs, reset per
+// round by undoing only the touched entries.
+type unionFind struct {
+	parent  []int32
+	touched []int32
+}
+
+func (u *unionFind) reset(n int) {
+	if len(u.parent) < n {
+		u.parent = make([]int32, n)
+		for i := range u.parent {
+			u.parent[i] = -1
+		}
+		u.touched = u.touched[:0]
+		return
+	}
+	for _, i := range u.touched {
+		u.parent[i] = -1
+	}
+	u.touched = u.touched[:0]
+}
+
+func (u *unionFind) find(x int) int {
+	if u.parent[x] == -1 {
+		u.parent[x] = int32(x)
+		u.touched = append(u.touched, int32(x))
+	}
+	root := x
+	for int(u.parent[root]) != root {
+		root = int(u.parent[root])
+	}
+	for int(u.parent[x]) != root {
+		x, u.parent[x] = int(u.parent[x]), int32(root)
+	}
+	return root
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	// Smaller root wins: deterministic, and good enough without ranks at
+	// round-window sizes.
+	if ra > rb {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+}

@@ -1,0 +1,774 @@
+// Package frame is the wire codec of the distributed executor
+// (DESIGN.md §13): length-prefixed frames carrying epoch rounds and
+// effect buffers between the coordinator and its worker processes.
+//
+// Layout of one frame:
+//
+//	[u32 LE length] [version=1] [type] [enc] [payload…]
+//
+// where length covers everything after itself (3 + len(payload)).
+// Types: Init (run setup), Round (items + touched node states,
+// coordinator→worker), Effects (recorded effects + updated states,
+// worker→coordinator), Error (worker failure report). The payload is
+// either the compact binary encoding (enc 0: varints for integers,
+// fixed 8-byte little-endian IEEE bits for floats, length-prefixed
+// strings) or, behind the coordinator's -dist-json debugging flag,
+// canonical JSON of the same structs (enc 1).
+//
+// Decode never panics on arbitrary bytes (FuzzDecodeFrame), and
+// encoding is a canonical function of the message: for any frame that
+// decodes, encode(decode(b)) is a byte-level fixed point after one
+// normalization pass.
+package frame
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
+	"dtnsim/internal/protocol"
+)
+
+// Version is the only frame version this codec speaks.
+const Version = 1
+
+// Payload encodings.
+const (
+	EncBinary = 0
+	EncJSON   = 1
+)
+
+// Frame types.
+const (
+	TInit    = 1
+	TRound   = 2
+	TEffects = 3
+	TError   = 4
+)
+
+// maxFrame bounds one frame's declared length: large enough for a
+// multi-million-item epoch, small enough that a corrupt length prefix
+// cannot make Read allocate unbounded memory.
+const maxFrame = 1 << 26
+
+// ErrFrame wraps every decoding failure.
+var ErrFrame = errors.New("frame: invalid frame")
+
+// Init is the run-setup payload: everything a worker needs to mirror
+// the coordinator's engine configuration (scalars after defaulting and
+// the protocol spec — the worker builds its own instance).
+type Init struct {
+	Seed           uint64  `json:"seed"`
+	Nodes          int     `json:"nodes"`
+	BufferCap      int     `json:"buffer_cap"`
+	BufferBytes    int64   `json:"buffer_bytes,omitempty"`
+	DropPolicy     string  `json:"drop_policy,omitempty"`
+	TxTime         float64 `json:"tx_time"`
+	Bandwidth      float64 `json:"bandwidth,omitempty"`
+	ControlBytes   float64 `json:"control_bytes,omitempty"`
+	RecordsPerSlot int     `json:"records_per_slot"`
+	Protocol       string  `json:"protocol"`
+}
+
+// Item is one epoch item in wire form: a generation (Gen, flow fields)
+// or a contact (contact fields). Idx is the item's index in the
+// coordinator's canonical epoch order — effects come back keyed by it.
+type Item struct {
+	Idx int     `json:"idx"`
+	Gen bool    `json:"gen,omitempty"`
+	T   float64 `json:"t"`
+	A   int     `json:"a"`
+	B   int     `json:"b"`
+	// Contact payload (Gen=false).
+	Start     float64 `json:"start,omitempty"`
+	End       float64 `json:"end,omitempty"`
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Flow payload (Gen=true).
+	FlowSrc  int     `json:"flow_src,omitempty"`
+	FlowDst  int     `json:"flow_dst,omitempty"`
+	Count    int     `json:"count,omitempty"`
+	StartAt  float64 `json:"start_at,omitempty"`
+	Size     int64   `json:"size,omitempty"`
+	Base     int     `json:"base,omitempty"`
+	FirstSeq int     `json:"first_seq,omitempty"`
+}
+
+// Copy is one buffered bundle copy in wire form: the immutable bundle
+// identity plus the per-copy mutable state.
+type Copy struct {
+	Src       int     `json:"src"`
+	Seq       int     `json:"seq"`
+	Dst       int     `json:"dst"`
+	CreatedAt float64 `json:"created_at"`
+	Size      int64   `json:"size,omitempty"`
+	FirstSeq  int     `json:"first_seq,omitempty"`
+	EC        int     `json:"ec,omitempty"`
+	Expiry    float64 `json:"expiry"`
+	StoredAt  float64 `json:"stored_at"`
+	Pinned    bool    `json:"pinned,omitempty"`
+}
+
+// IDPair is one bundle ID in wire form.
+type IDPair struct {
+	Src int `json:"src"`
+	Seq int `json:"seq"`
+}
+
+// NodeState is one node's complete serialized state. A node involved in
+// a round but absent from the round's States is pristine: the worker
+// constructs it fresh (node.New + protocol Init) instead of restoring.
+type NodeState struct {
+	ID                 int               `json:"id"`
+	ControlSent        int64             `json:"control_sent,omitempty"`
+	DataSent           int64             `json:"data_sent,omitempty"`
+	Refused            int64             `json:"refused,omitempty"`
+	Expired            int64             `json:"expired,omitempty"`
+	Evicted            int64             `json:"evicted,omitempty"`
+	ByteDropped        int64             `json:"byte_dropped,omitempty"`
+	ControlLoad        float64           `json:"control_load,omitempty"`
+	LastEncounterStart float64           `json:"last_encounter_start"`
+	LastInterval       float64           `json:"last_interval,omitempty"`
+	Copies             []Copy            `json:"copies,omitempty"`
+	Received           []IDPair          `json:"received,omitempty"`
+	Ext                protocol.ExtState `json:"ext,omitempty"`
+}
+
+// Round is one coordinator→worker work assignment: the states of every
+// involved non-pristine node, then the items to execute in order. Seq
+// numbers rounds within a run for error reporting.
+type Round struct {
+	Seq    uint64      `json:"seq"`
+	States []NodeState `json:"states,omitempty"`
+	Items  []Item      `json:"items,omitempty"`
+}
+
+// Effect is one recorded side effect in wire form (core.Effect).
+type Effect struct {
+	Kind   byte    `json:"kind"`
+	From   int     `json:"from,omitempty"`
+	To     int     `json:"to,omitempty"`
+	Src    int     `json:"src"`
+	Seq    int     `json:"seq"`
+	Reason byte    `json:"reason,omitempty"`
+	At     float64 `json:"at"`
+	Delay  float64 `json:"delay,omitempty"`
+}
+
+// ItemEffects is one item's replayed effect buffer, keyed by the
+// item's coordinator-side index.
+type ItemEffects struct {
+	Idx int      `json:"idx"`
+	Fx  []Effect `json:"fx,omitempty"`
+}
+
+// Effects is one worker→coordinator round reply: the updated states of
+// every node the round's items touched, and each item's effects.
+type Effects struct {
+	Seq    uint64        `json:"seq"`
+	States []NodeState   `json:"states,omitempty"`
+	Items  []ItemEffects `json:"items,omitempty"`
+}
+
+// ErrorMsg is a worker's failure report; the coordinator surfaces it
+// as the run error.
+type ErrorMsg struct {
+	Msg string `json:"msg"`
+}
+
+// Msg is one decoded frame: exactly one payload pointer is non-nil.
+// Enc records the payload encoding, so encode(decode(b)) re-encodes a
+// JSON frame as JSON.
+type Msg struct {
+	Enc     byte
+	Init    *Init
+	Round   *Round
+	Effects *Effects
+	Err     *ErrorMsg
+}
+
+// Type returns the frame type of the set payload, or 0 if none is set.
+func (m *Msg) Type() byte {
+	switch {
+	case m.Init != nil:
+		return TInit
+	case m.Round != nil:
+		return TRound
+	case m.Effects != nil:
+		return TEffects
+	case m.Err != nil:
+		return TError
+	}
+	return 0
+}
+
+// Encode serializes one message to a complete frame.
+func Encode(m *Msg) ([]byte, error) {
+	t := m.Type()
+	if t == 0 {
+		return nil, fmt.Errorf("%w: message has no payload", ErrFrame)
+	}
+	var payload []byte
+	if m.Enc == EncJSON {
+		var v any
+		switch t {
+		case TInit:
+			v = m.Init
+		case TRound:
+			v = m.Round
+		case TEffects:
+			v = m.Effects
+		case TError:
+			v = m.Err
+		}
+		var err error
+		payload, err = json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFrame, err)
+		}
+	} else if m.Enc == EncBinary {
+		switch t {
+		case TInit:
+			payload = appendInit(nil, m.Init)
+		case TRound:
+			payload = appendRound(nil, m.Round)
+		case TEffects:
+			payload = appendEffects(nil, m.Effects)
+		case TError:
+			payload = appendString(nil, m.Err.Msg)
+		}
+	} else {
+		return nil, fmt.Errorf("%w: unknown encoding %d", ErrFrame, m.Enc)
+	}
+	if len(payload)+3 > maxFrame {
+		return nil, fmt.Errorf("%w: payload of %d bytes exceeds frame limit", ErrFrame, len(payload))
+	}
+	out := make([]byte, 4, 4+3+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(3+len(payload)))
+	out = append(out, Version, t, m.Enc)
+	return append(out, payload...), nil
+}
+
+// Write encodes m and writes the frame to w.
+func Write(w io.Writer, m *Msg) error {
+	b, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// Read reads exactly one frame from r. io.EOF is returned verbatim
+// when the stream ends cleanly before a frame starts (the coordinator
+// closing a worker's stdin); any mid-frame truncation is an error.
+func Read(r io.Reader) (*Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: reading length: %v", ErrFrame, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 3 || n > maxFrame {
+		return nil, fmt.Errorf("%w: length %d out of range", ErrFrame, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("%w: reading %d-byte body: %v", ErrFrame, n, err)
+	}
+	return decodeBody(body)
+}
+
+// Decode parses one complete frame (length prefix included). The input
+// must contain exactly one frame with no trailing bytes.
+func Decode(b []byte) (*Msg, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than a length prefix", ErrFrame, len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n < 3 || n > maxFrame {
+		return nil, fmt.Errorf("%w: length %d out of range", ErrFrame, n)
+	}
+	if uint32(len(b)-4) != n {
+		return nil, fmt.Errorf("%w: length prefix %d does not match %d body bytes", ErrFrame, n, len(b)-4)
+	}
+	return decodeBody(b[4:])
+}
+
+func decodeBody(body []byte) (*Msg, error) {
+	if body[0] != Version {
+		return nil, fmt.Errorf("%w: version %d (speak %d)", ErrFrame, body[0], Version)
+	}
+	t, enc := body[1], body[2]
+	payload := body[3:]
+	m := &Msg{Enc: enc}
+	switch enc {
+	case EncJSON:
+		var err error
+		switch t {
+		case TInit:
+			m.Init = new(Init)
+			err = strictUnmarshal(payload, m.Init)
+		case TRound:
+			m.Round = new(Round)
+			err = strictUnmarshal(payload, m.Round)
+		case TEffects:
+			m.Effects = new(Effects)
+			err = strictUnmarshal(payload, m.Effects)
+		case TError:
+			m.Err = new(ErrorMsg)
+			err = strictUnmarshal(payload, m.Err)
+		default:
+			return nil, fmt.Errorf("%w: unknown type %d", ErrFrame, t)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFrame, err)
+		}
+	case EncBinary:
+		d := &dec{b: payload}
+		switch t {
+		case TInit:
+			m.Init = readInit(d)
+		case TRound:
+			m.Round = readRound(d)
+		case TEffects:
+			m.Effects = readEffects(d)
+		case TError:
+			m.Err = &ErrorMsg{Msg: d.str()}
+		default:
+			return nil, fmt.Errorf("%w: unknown type %d", ErrFrame, t)
+		}
+		if d.fail {
+			return nil, fmt.Errorf("%w: truncated type-%d payload", ErrFrame, t)
+		}
+		if d.off != len(d.b) {
+			return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrFrame, len(d.b)-d.off)
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown encoding %d", ErrFrame, enc)
+	}
+	return m, nil
+}
+
+// strictUnmarshal decodes JSON and rejects trailing data, matching the
+// binary decoder's full-consumption rule.
+func strictUnmarshal(b []byte, v any) error {
+	if err := json.Unmarshal(b, v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// --- binary encoding ---
+
+func appendUint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendInt(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendInit(b []byte, in *Init) []byte {
+	b = appendUint(b, in.Seed)
+	b = appendInt(b, int64(in.Nodes))
+	b = appendInt(b, int64(in.BufferCap))
+	b = appendInt(b, in.BufferBytes)
+	b = appendString(b, in.DropPolicy)
+	b = appendFloat(b, in.TxTime)
+	b = appendFloat(b, in.Bandwidth)
+	b = appendFloat(b, in.ControlBytes)
+	b = appendInt(b, int64(in.RecordsPerSlot))
+	return appendString(b, in.Protocol)
+}
+
+func appendItem(b []byte, it *Item) []byte {
+	b = appendInt(b, int64(it.Idx))
+	b = appendBool(b, it.Gen)
+	b = appendFloat(b, it.T)
+	b = appendInt(b, int64(it.A))
+	b = appendInt(b, int64(it.B))
+	if it.Gen {
+		b = appendInt(b, int64(it.FlowSrc))
+		b = appendInt(b, int64(it.FlowDst))
+		b = appendInt(b, int64(it.Count))
+		b = appendFloat(b, it.StartAt)
+		b = appendInt(b, it.Size)
+		b = appendInt(b, int64(it.Base))
+		return appendInt(b, int64(it.FirstSeq))
+	}
+	b = appendFloat(b, it.Start)
+	b = appendFloat(b, it.End)
+	return appendFloat(b, it.Bandwidth)
+}
+
+func appendCopy(b []byte, c *Copy) []byte {
+	b = appendInt(b, int64(c.Src))
+	b = appendInt(b, int64(c.Seq))
+	b = appendInt(b, int64(c.Dst))
+	b = appendFloat(b, c.CreatedAt)
+	b = appendInt(b, c.Size)
+	b = appendInt(b, int64(c.FirstSeq))
+	b = appendInt(b, int64(c.EC))
+	b = appendFloat(b, c.Expiry)
+	b = appendFloat(b, c.StoredAt)
+	return appendBool(b, c.Pinned)
+}
+
+func appendExt(b []byte, st *protocol.ExtState) []byte {
+	b = appendString(b, st.Kind)
+	b = appendUint(b, uint64(len(st.IDs)))
+	for _, id := range st.IDs {
+		b = appendInt(b, int64(id.Src))
+		b = appendInt(b, int64(id.Seq))
+	}
+	b = appendUint(b, uint64(len(st.Acks)))
+	for _, fc := range st.Acks {
+		b = appendFlowCount(b, fc)
+	}
+	b = appendUint(b, uint64(len(st.Base)))
+	for _, fc := range st.Base {
+		b = appendFlowCount(b, fc)
+	}
+	b = appendUint(b, uint64(len(st.Rcvd)))
+	for _, fs := range st.Rcvd {
+		b = appendInt(b, int64(fs.Src))
+		b = appendInt(b, int64(fs.Dst))
+		b = appendUint(b, uint64(len(fs.Seqs)))
+		for _, s := range fs.Seqs {
+			b = appendInt(b, int64(s))
+		}
+	}
+	return b
+}
+
+func appendFlowCount(b []byte, fc protocol.FlowCount) []byte {
+	b = appendInt(b, int64(fc.Src))
+	b = appendInt(b, int64(fc.Dst))
+	return appendInt(b, int64(fc.N))
+}
+
+func appendNodeState(b []byte, st *NodeState) []byte {
+	b = appendInt(b, int64(st.ID))
+	b = appendInt(b, st.ControlSent)
+	b = appendInt(b, st.DataSent)
+	b = appendInt(b, st.Refused)
+	b = appendInt(b, st.Expired)
+	b = appendInt(b, st.Evicted)
+	b = appendInt(b, st.ByteDropped)
+	b = appendFloat(b, st.ControlLoad)
+	b = appendFloat(b, st.LastEncounterStart)
+	b = appendFloat(b, st.LastInterval)
+	b = appendUint(b, uint64(len(st.Copies)))
+	for i := range st.Copies {
+		b = appendCopy(b, &st.Copies[i])
+	}
+	b = appendUint(b, uint64(len(st.Received)))
+	for _, id := range st.Received {
+		b = appendInt(b, int64(id.Src))
+		b = appendInt(b, int64(id.Seq))
+	}
+	return appendExt(b, &st.Ext)
+}
+
+func appendRound(b []byte, r *Round) []byte {
+	b = appendUint(b, r.Seq)
+	b = appendUint(b, uint64(len(r.States)))
+	for i := range r.States {
+		b = appendNodeState(b, &r.States[i])
+	}
+	b = appendUint(b, uint64(len(r.Items)))
+	for i := range r.Items {
+		b = appendItem(b, &r.Items[i])
+	}
+	return b
+}
+
+func appendEffects(b []byte, e *Effects) []byte {
+	b = appendUint(b, e.Seq)
+	b = appendUint(b, uint64(len(e.States)))
+	for i := range e.States {
+		b = appendNodeState(b, &e.States[i])
+	}
+	b = appendUint(b, uint64(len(e.Items)))
+	for i := range e.Items {
+		ie := &e.Items[i]
+		b = appendInt(b, int64(ie.Idx))
+		b = appendUint(b, uint64(len(ie.Fx)))
+		for j := range ie.Fx {
+			fx := &ie.Fx[j]
+			b = append(b, fx.Kind)
+			b = appendInt(b, int64(fx.From))
+			b = appendInt(b, int64(fx.To))
+			b = appendInt(b, int64(fx.Src))
+			b = appendInt(b, int64(fx.Seq))
+			b = append(b, fx.Reason)
+			b = appendFloat(b, fx.At)
+			b = appendFloat(b, fx.Delay)
+		}
+	}
+	return b
+}
+
+// --- binary decoding ---
+
+// dec is a bounds-checked, error-latching payload reader: after the
+// first failure every accessor returns zero values and fail stays set,
+// so decoding code needs no per-field error plumbing and can never
+// index out of range.
+type dec struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func (d *dec) uint() uint64 {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) int() int64 {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail = true
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) float() float64 {
+	if d.off+8 > len(d.b) {
+		d.fail = true
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uint()
+	if d.fail || n > uint64(len(d.b)-d.off) {
+		d.fail = true
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *dec) bool() bool {
+	if d.off >= len(d.b) {
+		d.fail = true
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+func (d *dec) byte() byte {
+	if d.off >= len(d.b) {
+		d.fail = true
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// count reads a slice length and validates it against the bytes left
+// (each element costs at least one byte), so a corrupt count cannot
+// drive an allocation beyond the payload's own size.
+func (d *dec) count() int {
+	n := d.uint()
+	if d.fail || n > uint64(len(d.b)-d.off) {
+		d.fail = true
+		return 0
+	}
+	return int(n)
+}
+
+func readInit(d *dec) *Init {
+	return &Init{
+		Seed:           d.uint(),
+		Nodes:          int(d.int()),
+		BufferCap:      int(d.int()),
+		BufferBytes:    d.int(),
+		DropPolicy:     d.str(),
+		TxTime:         d.float(),
+		Bandwidth:      d.float(),
+		ControlBytes:   d.float(),
+		RecordsPerSlot: int(d.int()),
+		Protocol:       d.str(),
+	}
+}
+
+func readItem(d *dec, it *Item) {
+	it.Idx = int(d.int())
+	it.Gen = d.bool()
+	it.T = d.float()
+	it.A = int(d.int())
+	it.B = int(d.int())
+	if it.Gen {
+		it.FlowSrc = int(d.int())
+		it.FlowDst = int(d.int())
+		it.Count = int(d.int())
+		it.StartAt = d.float()
+		it.Size = d.int()
+		it.Base = int(d.int())
+		it.FirstSeq = int(d.int())
+		return
+	}
+	it.Start = d.float()
+	it.End = d.float()
+	it.Bandwidth = d.float()
+}
+
+func readCopy(d *dec, c *Copy) {
+	c.Src = int(d.int())
+	c.Seq = int(d.int())
+	c.Dst = int(d.int())
+	c.CreatedAt = d.float()
+	c.Size = d.int()
+	c.FirstSeq = int(d.int())
+	c.EC = int(d.int())
+	c.Expiry = d.float()
+	c.StoredAt = d.float()
+	c.Pinned = d.bool()
+}
+
+func readExt(d *dec, st *protocol.ExtState) {
+	st.Kind = d.str()
+	if n := d.count(); n > 0 {
+		st.IDs = make([]bundle.ID, n)
+		for i := range st.IDs {
+			st.IDs[i] = bundle.ID{Src: contact.NodeID(d.int()), Seq: int(d.int())}
+		}
+	}
+	if n := d.count(); n > 0 {
+		st.Acks = make([]protocol.FlowCount, n)
+		for i := range st.Acks {
+			st.Acks[i] = readFlowCount(d)
+		}
+	}
+	if n := d.count(); n > 0 {
+		st.Base = make([]protocol.FlowCount, n)
+		for i := range st.Base {
+			st.Base[i] = readFlowCount(d)
+		}
+	}
+	if n := d.count(); n > 0 {
+		st.Rcvd = make([]protocol.FlowSeqs, n)
+		for i := range st.Rcvd {
+			fs := &st.Rcvd[i]
+			fs.Src = int(d.int())
+			fs.Dst = int(d.int())
+			if k := d.count(); k > 0 {
+				fs.Seqs = make([]int, k)
+				for j := range fs.Seqs {
+					fs.Seqs[j] = int(d.int())
+				}
+			}
+		}
+	}
+}
+
+func readFlowCount(d *dec) protocol.FlowCount {
+	return protocol.FlowCount{Src: int(d.int()), Dst: int(d.int()), N: int(d.int())}
+}
+
+func readNodeState(d *dec, st *NodeState) {
+	st.ID = int(d.int())
+	st.ControlSent = d.int()
+	st.DataSent = d.int()
+	st.Refused = d.int()
+	st.Expired = d.int()
+	st.Evicted = d.int()
+	st.ByteDropped = d.int()
+	st.ControlLoad = d.float()
+	st.LastEncounterStart = d.float()
+	st.LastInterval = d.float()
+	if n := d.count(); n > 0 {
+		st.Copies = make([]Copy, n)
+		for i := range st.Copies {
+			readCopy(d, &st.Copies[i])
+		}
+	}
+	if n := d.count(); n > 0 {
+		st.Received = make([]IDPair, n)
+		for i := range st.Received {
+			st.Received[i] = IDPair{Src: int(d.int()), Seq: int(d.int())}
+		}
+	}
+	readExt(d, &st.Ext)
+}
+
+func readRound(d *dec) *Round {
+	r := &Round{Seq: d.uint()}
+	if n := d.count(); n > 0 {
+		r.States = make([]NodeState, n)
+		for i := range r.States {
+			readNodeState(d, &r.States[i])
+		}
+	}
+	if n := d.count(); n > 0 {
+		r.Items = make([]Item, n)
+		for i := range r.Items {
+			readItem(d, &r.Items[i])
+		}
+	}
+	return r
+}
+
+func readEffects(d *dec) *Effects {
+	e := &Effects{Seq: d.uint()}
+	if n := d.count(); n > 0 {
+		e.States = make([]NodeState, n)
+		for i := range e.States {
+			readNodeState(d, &e.States[i])
+		}
+	}
+	if n := d.count(); n > 0 {
+		e.Items = make([]ItemEffects, n)
+		for i := range e.Items {
+			ie := &e.Items[i]
+			ie.Idx = int(d.int())
+			if k := d.count(); k > 0 {
+				ie.Fx = make([]Effect, k)
+				for j := range ie.Fx {
+					fx := &ie.Fx[j]
+					fx.Kind = d.byte()
+					fx.From = int(d.int())
+					fx.To = int(d.int())
+					fx.Src = int(d.int())
+					fx.Seq = int(d.int())
+					fx.Reason = d.byte()
+					fx.At = d.float()
+					fx.Delay = d.float()
+				}
+			}
+		}
+	}
+	return e
+}

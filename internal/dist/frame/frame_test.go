@@ -1,0 +1,235 @@
+package frame
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/protocol"
+)
+
+// sampleMsgs covers every frame type with every field populated,
+// including the edge values the binary codec must carry exactly
+// (negative varints, NaN-free but extreme floats, empty slices).
+func sampleMsgs() []*Msg {
+	return []*Msg{
+		{Init: &Init{
+			Seed: 2012, Nodes: 48, BufferCap: 10, BufferBytes: 1 << 20,
+			DropPolicy: "evict-oldest", TxTime: 100, Bandwidth: 2.5e4,
+			ControlBytes: 12.5, RecordsPerSlot: 10, Protocol: "immunity",
+		}},
+		{Init: &Init{Protocol: "pure"}},
+		{Round: &Round{
+			Seq: 7,
+			States: []NodeState{
+				{
+					ID: 3, ControlSent: 17, DataSent: 4, Refused: 1,
+					Expired: 2, Evicted: 3, ByteDropped: 9,
+					ControlLoad: 0.25, LastEncounterStart: -1, LastInterval: 312.5,
+					Copies: []Copy{
+						{Src: 0, Seq: 5, Dst: 7, CreatedAt: 42.5, Size: 1024,
+							FirstSeq: 5, EC: 2, Expiry: 1e18, StoredAt: 43, Pinned: true},
+						{Src: 1, Seq: 0, Dst: 3, CreatedAt: 0, Expiry: 400.25, StoredAt: 99.5},
+					},
+					Received: []IDPair{{Src: 0, Seq: 1}, {Src: 2, Seq: 8}},
+					Ext: protocol.ExtState{
+						Kind: protocol.ExtCumulative,
+						Acks: []protocol.FlowCount{{Src: 0, Dst: 7, N: 3}},
+						Base: []protocol.FlowCount{{Src: 0, Dst: 7, N: 1}},
+						Rcvd: []protocol.FlowSeqs{{Src: 0, Dst: 7, Seqs: []int{4, 6}}},
+					},
+				},
+				{ID: 9, LastEncounterStart: -1,
+					Ext: protocol.ExtState{Kind: protocol.ExtImmunity,
+						IDs: []bundle.ID{{Src: 1, Seq: 2}, {Src: 3, Seq: 4}}}},
+			},
+			Items: []Item{
+				{Idx: 0, Gen: true, T: 100, A: 5, B: 5, FlowSrc: 5, FlowDst: 11,
+					Count: 30, StartAt: 100, Size: 512, Base: 0, FirstSeq: 0},
+				{Idx: 1, T: 250.5, A: 5, B: 11, Start: 250.5, End: 900, Bandwidth: 2.5e4},
+			},
+		}},
+		{Round: &Round{Seq: 0}},
+		{Effects: &Effects{
+			Seq: 7,
+			States: []NodeState{
+				{ID: 5, DataSent: 2, LastEncounterStart: 250.5, LastInterval: 50},
+			},
+			Items: []ItemEffects{
+				{Idx: 0, Fx: []Effect{
+					{Kind: 0, From: 5, Src: 5, Seq: 0, At: 100},
+					{Kind: 1, From: 5, To: 11, Src: 5, Seq: 0, At: 250.5},
+					{Kind: 2, To: 11, Src: 5, Seq: 0, At: 250.5, Delay: 150.5},
+					{Kind: 3, From: 11, Src: 5, Seq: 0, Reason: 2, At: 260},
+					{Kind: 4, From: 11, Src: 5, Seq: 0, At: 250.5},
+				}},
+				{Idx: 1},
+			},
+		}},
+		{Err: &ErrorMsg{Msg: "worker: protocol \"martian\" unknown"}},
+		{Enc: EncJSON, Init: &Init{Seed: 2012, Nodes: 48, TxTime: 100,
+			RecordsPerSlot: 10, Protocol: "cum"}},
+		{Enc: EncJSON, Round: &Round{Seq: 3, Items: []Item{
+			{Idx: 0, T: 12.5, A: 1, B: 2, Start: 12.5, End: 80, Bandwidth: 1e18}}}},
+		{Enc: EncJSON, Effects: &Effects{Seq: 3}},
+		{Enc: EncJSON, Err: &ErrorMsg{Msg: "boom"}},
+	}
+}
+
+// TestRoundTrip pins structural exactness through both encodings:
+// Decode(Encode(m)) == m, and re-encoding yields identical bytes.
+func TestRoundTrip(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(type %d enc %d): %v", m.Type(), m.Enc, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(type %d enc %d): %v", m.Type(), m.Enc, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("type %d enc %d: round trip mismatch\n got %#v\nwant %#v", m.Type(), m.Enc, got, m)
+		}
+		again, err := Encode(got)
+		if err != nil {
+			t.Fatalf("re-Encode: %v", err)
+		}
+		if !bytes.Equal(again, b) {
+			t.Errorf("type %d enc %d: re-encode differs from original bytes", m.Type(), m.Enc)
+		}
+	}
+}
+
+// TestStreamReadWrite pins the stream framing: a sequence of frames
+// written to one pipe reads back in order, and clean stream end is
+// io.EOF while mid-frame truncation is an ErrFrame.
+func TestStreamReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	stream := buf.Bytes()
+	r := bytes.NewReader(stream)
+	for i, want := range msgs {
+		got, err := Read(r)
+		if err != nil {
+			t.Fatalf("Read #%d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Read #%d: mismatch", i)
+		}
+	}
+	if _, err := Read(r); err != io.EOF {
+		t.Errorf("Read at clean end = %v, want io.EOF", err)
+	}
+	tr := bytes.NewReader(stream[:len(stream)-1])
+	var last error
+	for {
+		if _, last = Read(tr); last != nil {
+			break
+		}
+	}
+	if last == io.EOF {
+		t.Errorf("truncated stream ended with clean io.EOF; want ErrFrame error")
+	}
+}
+
+// TestDecodeRejects pins the malformed-input error paths.
+func TestDecodeRejects(t *testing.T) {
+	good, err := Encode(&Msg{Err: &ErrorMsg{Msg: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"short-prefix", []byte{1, 0}},
+		{"length-zero", []byte{0, 0, 0, 0}},
+		{"length-mismatch", append(append([]byte{}, good[:4]...), good[4:len(good)-1]...)},
+		{"length-over-limit", []byte{0xff, 0xff, 0xff, 0xff, Version, TError, EncBinary}},
+		{"bad-version", []byte{3, 0, 0, 0, 9, TError, EncBinary}},
+		{"bad-type", []byte{3, 0, 0, 0, Version, 99, EncBinary}},
+		{"bad-enc", []byte{3, 0, 0, 0, Version, TError, 7}},
+		{"truncated-payload", []byte{4, 0, 0, 0, Version, TError, EncBinary, 5}},
+		{"trailing-bytes", append(append([]byte{}, good...), 0)[4:]},
+		{"bad-json", []byte{6, 0, 0, 0, Version, TInit, EncJSON, '{', '{', '{'}},
+	}
+	// trailing-bytes case needs a corrected length prefix.
+	trailing := append(append([]byte{}, good...), 0)
+	trailing[0]++
+	cases[9].b = trailing
+	for _, tc := range cases {
+		if _, err := Decode(tc.b); err == nil {
+			t.Errorf("Decode(%s) succeeded; want error", tc.name)
+		}
+	}
+}
+
+// TestBinaryFloatExactness pins bit-level float carriage, including
+// the engine's Infinity sentinel and negative zero.
+func TestBinaryFloatExactness(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), 1e18, -1e18, 0.1, 1.0 / 3.0, math.MaxFloat64}
+	for _, v := range vals {
+		m := &Msg{Round: &Round{Items: []Item{{T: v, Start: v, End: v, Bandwidth: v}}}}
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := got.Round.Items[0]
+		for _, f := range []float64{it.T, it.Start, it.End, it.Bandwidth} {
+			if math.Float64bits(f) != math.Float64bits(v) {
+				t.Errorf("float %g: bits changed to %g", v, f)
+			}
+		}
+	}
+}
+
+// FuzzDecodeFrame is the satellite obligation: Decode must never panic
+// on arbitrary bytes, and any frame that decodes must reach a
+// byte-level encoding fixed point after one normalization pass
+// (decode→encode→decode→encode is byte-identical).
+func FuzzDecodeFrame(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{3, 0, 0, 0, Version, TError, EncBinary})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		enc1, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode of decoded frame failed: %v", err)
+		}
+		m2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("Decode of re-encoded frame failed: %v", err)
+		}
+		enc2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second Encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Errorf("encoding is not a fixed point:\nenc1 %x\nenc2 %x", enc1, enc2)
+		}
+	})
+}

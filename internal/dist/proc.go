@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+// This file owns the worker process lifecycle: locating the
+// dtnsim-worker binary, spawning N processes wired up over stdin/stdout
+// pipes, and reaping them at Close. It is process-boundary plumbing —
+// the only code in the package allowed to touch the OS clock, and only
+// for the shutdown grace period, which cannot influence simulation
+// results (the run is over before wait is called).
+
+// workerBinName is the worker executable Serve runs behind.
+const workerBinName = "dtnsim-worker"
+
+// findWorkerBin resolves the worker binary: an explicit path first,
+// then a sibling of the running executable (the common install layout),
+// then $PATH.
+func findWorkerBin(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), workerBinName)
+		if info, err := os.Stat(sibling); err == nil && !info.IsDir() {
+			return sibling, nil
+		}
+	}
+	if path, err := exec.LookPath(workerBinName); err == nil {
+		return path, nil
+	}
+	return "", fmt.Errorf("dist: %s not found next to the executable or in $PATH (set -worker-bin)", workerBinName)
+}
+
+// procSet tracks spawned worker processes for teardown.
+type procSet struct {
+	cmds []*exec.Cmd
+}
+
+// procConn adapts a worker's stdin/stdout pipe pair to
+// io.ReadWriteCloser; Close closes the worker's stdin, which is the
+// shutdown signal Serve honors as clean EOF.
+type procConn struct {
+	io.Reader // the worker's stdout
+	io.WriteCloser
+}
+
+func (p procConn) Close() error { return p.WriteCloser.Close() }
+
+// spawnWorkers starts opt.Workers processes of the worker binary.
+// On any failure the already-started processes are torn down.
+func spawnWorkers(opt *Options) (*procSet, []io.ReadWriteCloser, error) {
+	bin, err := findWorkerBin(opt.WorkerBin)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := &procSet{}
+	conns := make([]io.ReadWriteCloser, 0, opt.Workers)
+	fail := func(err error) (*procSet, []io.ReadWriteCloser, error) {
+		closeAll(conns)
+		ps.wait()
+		return nil, nil, err
+	}
+	for i := 0; i < opt.Workers; i++ {
+		cmd := exec.Command(bin, opt.WorkerArgs...)
+		cmd.Stderr = opt.Stderr
+		if cmd.Stderr == nil {
+			cmd.Stderr = os.Stderr
+		}
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(fmt.Errorf("dist: worker %d stdin: %w", i, err))
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(fmt.Errorf("dist: worker %d stdout: %w", i, err))
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("dist: starting worker %d (%s): %w", i, bin, err))
+		}
+		ps.cmds = append(ps.cmds, cmd)
+		conns = append(conns, procConn{Reader: stdout, WriteCloser: stdin})
+	}
+	return ps, conns, nil
+}
+
+// wait reaps every spawned worker. Callers close the connections (the
+// workers' stdin) first, so a healthy worker exits on its own; one
+// stuck past the grace period is killed rather than hanging Close.
+func (ps *procSet) wait() error {
+	var first error
+	for _, cmd := range ps.cmds {
+		kill := time.AfterFunc(5*time.Second, func() { //lint:allow rngdiscipline shutdown watchdog: wall-clock grace before killing a stuck worker process; runs after the simulation finished, so it cannot affect results
+			cmd.Process.Kill()
+		})
+		err := cmd.Wait()
+		kill.Stop()
+		if err != nil && first == nil {
+			first = fmt.Errorf("dist: worker exited: %w", err)
+		}
+	}
+	ps.cmds = nil
+	return first
+}

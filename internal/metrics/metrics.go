@@ -186,6 +186,38 @@ func (t *HolderTracker) Sample(nodes []*node.Node, now sim.Time) Sample {
 	return s
 }
 
+// SampleFunc computes one periodic observation like Sample, reading
+// each of the n nodes' occupancy through occ instead of a node slice:
+// the distributed coordinator samples the backend's authoritative state
+// without materializing local nodes. Bit-identical to Sample when
+// occ(i) returns what nodes[i].Store.Occupancy() would — the float
+// accumulation order is the same. Kept as a duplicate of Sample rather
+// than a shared closure-taking core so the in-process hot path stays
+// call-free.
+//
+//dtn:hotpath
+func (t *HolderTracker) SampleFunc(n int, occ func(int) float64, now sim.Time) Sample {
+	s := Sample{Now: now, Tracked: len(t.counts)}
+	var occSum float64
+	for i := 0; i < n; i++ {
+		occSum += occ(i)
+	}
+	s.Occupancy = occSum / float64(n)
+
+	var dupSum float64
+	for _, holders := range t.counts {
+		if holders == 0 {
+			continue
+		}
+		s.Alive++
+		dupSum += float64(holders) / float64(n)
+	}
+	if s.Alive > 0 {
+		s.Duplication = dupSum / float64(s.Alive)
+	}
+	return s
+}
+
 // Collector aggregates streamed samples into the run's time-averaged
 // metrics. It is the engine's built-in core.Observer.
 type Collector struct {

@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/contact"
+	"dtnsim/internal/node"
+)
+
+// This file is the Ext-state codec for process-boundary executors
+// (internal/dist): a worker process reconstructs a node from a
+// coordinator snapshot and ships the mutated state back. The codec
+// lives in this package because the concrete Ext types are unexported
+// by design — protocols own their state layout; executors only get a
+// neutral, deterministic wire form.
+//
+// Exactness contract: RestoreExt(SnapshotExt(x)) must reproduce state
+// observationally identical to x under every protocol hook, including
+// iteration counts (len(acks) prices the cumulative control load) and
+// map-key presence (transferTables charges one record per known flow).
+// Snapshot therefore preserves entry presence verbatim rather than
+// dropping zero values, and encodes map contents in sorted order so
+// equal states always snapshot to equal wire forms.
+
+// Ext-state kinds. The zero value marks protocols that hang no state
+// off node.Ext (pure, ttl, ec, …).
+const (
+	ExtNone       = ""
+	ExtImmunity   = "immunity"
+	ExtCumulative = "cum"
+)
+
+// FlowCount is one (flow, counter) entry of a cumulative-immunity
+// table, in the wire form shared by the acks and base tables.
+type FlowCount struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	N   int `json:"n"`
+}
+
+// FlowSeqs is one flow's out-of-order received set at a destination.
+type FlowSeqs struct {
+	Src  int   `json:"src"`
+	Dst  int   `json:"dst"`
+	Seqs []int `json:"seqs"`
+}
+
+// ExtState is the serializable form of a node's protocol-specific Ext
+// state. Field use depends on Kind: IDs carries the immunity i-list;
+// Acks/Base/Rcvd carry the cumulative tables. Slices are sorted (IDs by
+// bundle ID, flows by (Src, Dst), Seqs ascending), so the wire form is
+// a canonical function of the state.
+type ExtState struct {
+	Kind string      `json:"kind,omitempty"`
+	IDs  []bundle.ID `json:"ids,omitempty"`
+	Acks []FlowCount `json:"acks,omitempty"`
+	Base []FlowCount `json:"base,omitempty"`
+	Rcvd []FlowSeqs  `json:"rcvd,omitempty"`
+}
+
+// SnapshotExt captures a node's Ext state (as attached by a protocol's
+// Init and mutated since) into its wire form. It fails on an Ext type
+// it does not know — adding a stateful protocol requires extending this
+// codec, which the dist round-trip tests enforce.
+func SnapshotExt(ext any) (ExtState, error) {
+	switch st := ext.(type) {
+	case nil:
+		return ExtState{}, nil
+	case *immunityState:
+		return ExtState{Kind: ExtImmunity, IDs: st.ilist.Items()}, nil
+	case *cumState:
+		out := ExtState{Kind: ExtCumulative}
+		out.Acks = flowCounts(st.acks)
+		out.Base = flowCounts(st.base)
+		for _, f := range sortedFlows(st.rcvd) {
+			seqs := make([]int, 0, len(st.rcvd[f]))
+			for s, ok := range st.rcvd[f] {
+				if ok {
+					seqs = append(seqs, s)
+				}
+			}
+			sort.Ints(seqs)
+			out.Rcvd = append(out.Rcvd, FlowSeqs{Src: int(f.Src), Dst: int(f.Dst), Seqs: seqs})
+		}
+		return out, nil
+	}
+	return ExtState{}, fmt.Errorf("protocol: Ext state %T has no snapshot codec", ext)
+}
+
+// RestoreExt reattaches a snapshotted Ext state to n, replacing
+// whatever the protocol's Init installed.
+func RestoreExt(n *node.Node, st ExtState) error {
+	switch st.Kind {
+	case ExtNone:
+		n.Ext = nil
+		return nil
+	case ExtImmunity:
+		v := bundle.NewSummaryVector()
+		for _, id := range st.IDs {
+			v.Add(id)
+		}
+		n.Ext = &immunityState{ilist: v}
+		return nil
+	case ExtCumulative:
+		cs := &cumState{
+			acks: make(map[Flow]int, len(st.Acks)),
+			rcvd: make(map[Flow]map[int]bool, len(st.Rcvd)),
+			base: make(map[Flow]int, len(st.Base)),
+		}
+		for _, fc := range st.Acks {
+			cs.acks[Flow{Src: contact.NodeID(fc.Src), Dst: contact.NodeID(fc.Dst)}] = fc.N
+		}
+		for _, fc := range st.Base {
+			cs.base[Flow{Src: contact.NodeID(fc.Src), Dst: contact.NodeID(fc.Dst)}] = fc.N
+		}
+		for _, fs := range st.Rcvd {
+			m := make(map[int]bool, len(fs.Seqs))
+			for _, s := range fs.Seqs {
+				m[s] = true
+			}
+			cs.rcvd[Flow{Src: contact.NodeID(fs.Src), Dst: contact.NodeID(fs.Dst)}] = m
+		}
+		n.Ext = cs
+		return nil
+	}
+	return fmt.Errorf("protocol: unknown Ext state kind %q", st.Kind)
+}
+
+// flowCounts converts one cumulative table to its sorted wire form,
+// preserving every entry — presence is behavior-bearing.
+func flowCounts(m map[Flow]int) []FlowCount {
+	if len(m) == 0 {
+		return nil
+	}
+	flows := sortedFlows(m)
+	out := make([]FlowCount, len(flows))
+	for i, f := range flows {
+		out[i] = FlowCount{Src: int(f.Src), Dst: int(f.Dst), N: m[f]}
+	}
+	return out
+}
+
+// sortedFlows collects a flow-keyed table's keys and returns them
+// sorted by (Src, Dst) — the same order transferTables uses.
+func sortedFlows[V any](m map[Flow]V) []Flow {
+	flows := make([]Flow, 0, len(m))
+	for f := range m {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Src != flows[j].Src {
+			return flows[i].Src < flows[j].Src
+		}
+		return flows[i].Dst < flows[j].Dst
+	})
+	return flows
+}

@@ -1,0 +1,69 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"dtnsim/internal/bundle"
+	"dtnsim/internal/node"
+)
+
+// TestSnapshotExtRoundTrip pins the Ext codec's exactness contract:
+// restore(snapshot(x)) reproduces x structurally, and snapshotting the
+// restored state yields the identical wire form (the canonical-form
+// fixed point the frame codec's byte-identity rests on).
+func TestSnapshotExtRoundTrip(t *testing.T) {
+	il := bundle.NewSummaryVector()
+	il.Add(bundle.ID{Src: 3, Seq: 2})
+	il.Add(bundle.ID{Src: 1, Seq: 9})
+	cases := []struct {
+		name string
+		ext  any
+	}{
+		{"none", nil},
+		{"immunity", &immunityState{ilist: il}},
+		{"immunity-empty", &immunityState{ilist: bundle.NewSummaryVector()}},
+		{"cum", &cumState{
+			acks: map[Flow]int{{Src: 0, Dst: 7}: 3, {Src: 2, Dst: 1}: 5},
+			base: map[Flow]int{{Src: 0, Dst: 7}: 1},
+			rcvd: map[Flow]map[int]bool{{Src: 0, Dst: 7}: {4: true, 6: true}},
+		}},
+		{"cum-empty", &cumState{
+			acks: map[Flow]int{}, base: map[Flow]int{}, rcvd: map[Flow]map[int]bool{},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := SnapshotExt(tc.ext)
+			if err != nil {
+				t.Fatalf("SnapshotExt: %v", err)
+			}
+			n := node.New(0, 10)
+			if err := RestoreExt(n, st); err != nil {
+				t.Fatalf("RestoreExt: %v", err)
+			}
+			if !reflect.DeepEqual(n.Ext, tc.ext) {
+				t.Errorf("restored Ext = %#v, want %#v", n.Ext, tc.ext)
+			}
+			again, err := SnapshotExt(n.Ext)
+			if err != nil {
+				t.Fatalf("re-snapshot: %v", err)
+			}
+			if !reflect.DeepEqual(again, st) {
+				t.Errorf("re-snapshot = %#v, want %#v", again, st)
+			}
+		})
+	}
+}
+
+// TestSnapshotExtUnknown rejects Ext types without a codec rather than
+// silently dropping state across the process boundary.
+func TestSnapshotExtUnknown(t *testing.T) {
+	if _, err := SnapshotExt(42); err == nil {
+		t.Fatal("SnapshotExt(int) succeeded; want error")
+	}
+	n := node.New(0, 10)
+	if err := RestoreExt(n, ExtState{Kind: "martian"}); err == nil {
+		t.Fatal("RestoreExt(unknown kind) succeeded; want error")
+	}
+}

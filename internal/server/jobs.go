@@ -15,6 +15,7 @@ import (
 	"dtnsim"
 	"dtnsim/client"
 	"dtnsim/internal/core"
+	"dtnsim/internal/dist"
 	"dtnsim/internal/report"
 )
 
@@ -90,6 +91,13 @@ type Options struct {
 	// limit. The deadline is threaded into the engine's event loop via
 	// core.Config.Context, so even a single long run aborts promptly.
 	JobTimeout time.Duration
+	// Dist, when Dist.Workers > 0, executes each scenario job's epochs
+	// on that many dtnsim-worker processes (spawned per job, reaped with
+	// it); Dist.Protocol is filled in from the job's scenario. Results
+	// stay byte-identical to in-process execution, so the cache needs no
+	// notion of how an entry was computed. Sweep jobs ignore it — their
+	// parallelism is across runs, governed by SweepSpec.Workers.
+	Dist dist.Options
 }
 
 // Manager owns the worker pool, the job table and the result cache.
@@ -97,6 +105,7 @@ type Manager struct {
 	cache   *cache
 	sem     chan struct{}
 	timeout time.Duration
+	dist    dist.Options
 	ctx     context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
@@ -127,6 +136,7 @@ func NewManager(opts Options) (*Manager, error) {
 		cache:   c,
 		sem:     make(chan struct{}, workers),
 		timeout: opts.JobTimeout,
+		dist:    opts.Dist,
 		ctx:     ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
@@ -182,7 +192,7 @@ func (m *Manager) Submit(req client.SubmitRequest) (*Job, error) {
 			return nil, err
 		}
 		return m.enqueue(client.KindScenario, key, spec, func(ctx context.Context) (map[string][]byte, error) {
-			return runScenarioJob(ctx, sc)
+			return runScenarioJob(ctx, sc, m.dist)
 		})
 	case len(req.Sweep) != 0:
 		spec, err := dtnsim.ParseSweepSpec(req.Sweep)
@@ -311,12 +321,25 @@ func (m *Manager) run(j *Job, ctx context.Context, spec []byte, exec func(contex
 // runScenarioJob executes one scenario and renders all three cached
 // artifacts. The event and series CSVs stream from the same run the
 // result came from, so the three artifacts are mutually consistent.
-func runScenarioJob(ctx context.Context, sc dtnsim.Scenario) (map[string][]byte, error) {
+// With dopt.Workers > 0 the run's epochs execute on worker processes
+// owned by this job and torn down with it; since distributed results
+// are byte-identical, the artifacts (and thus the cache) are the same
+// either way.
+func runScenarioJob(ctx context.Context, sc dtnsim.Scenario, dopt dist.Options) (map[string][]byte, error) {
 	cfg, err := sc.Compile()
 	if err != nil {
 		return nil, err
 	}
 	cfg.Context = ctx
+	if dopt.Workers > 0 {
+		dopt.Protocol = string(sc.Protocol)
+		be, err := dist.New(dopt)
+		if err != nil {
+			return nil, err
+		}
+		defer be.Close()
+		cfg.Backend = be
+	}
 	var seriesBuf, eventsBuf bytes.Buffer
 	series := report.NewStream(&seriesBuf, false)
 	events := report.NewStream(&eventsBuf, true)

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -17,6 +18,7 @@ import (
 
 	"dtnsim"
 	"dtnsim/client"
+	"dtnsim/internal/dist"
 )
 
 // quickScenario is a sub-second run: the synthetic Cambridge trace with
@@ -614,5 +616,118 @@ func TestWireRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(raw, again) {
 		t.Error("RunResult wire form does not round-trip")
+	}
+}
+
+// dialServe is a dist.Options.Dial that serves every worker in-process
+// over pipes — the seam that lets these tests exercise distributed
+// scenario execution without spawning dtnsim-worker binaries.
+func dialServe(n int) ([]io.ReadWriteCloser, error) {
+	conns := make([]io.ReadWriteCloser, n)
+	for i := range conns {
+		coordR, workerW := io.Pipe()
+		workerR, coordW := io.Pipe()
+		go func() {
+			if err := dist.Serve(workerR, workerW); err != nil {
+				workerW.CloseWithError(err)
+				workerR.CloseWithError(err)
+				return
+			}
+			workerW.Close()
+		}()
+		conns[i] = struct {
+			io.Reader
+			io.WriteCloser
+		}{coordR, coordW}
+	}
+	return conns, nil
+}
+
+// deadConn refuses all traffic, simulating a worker that died before
+// its first frame.
+type deadConn struct{}
+
+func (deadConn) Read([]byte) (int, error)  { return 0, io.ErrClosedPipe }
+func (deadConn) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+func (deadConn) Close() error              { return nil }
+
+func dialDead(n int) ([]io.ReadWriteCloser, error) {
+	conns := make([]io.ReadWriteCloser, n)
+	for i := range conns {
+		conns[i] = deadConn{}
+	}
+	return conns, nil
+}
+
+// TestDistributedScenarioJobByteIdentical runs the same scenario on a
+// plain server and on one with distributed execution enabled: the job
+// ids (canonical keys) and all three cached artifacts must be
+// byte-identical, which is what makes the cache executor-oblivious.
+func TestDistributedScenarioJobByteIdentical(t *testing.T) {
+	_, plain := newTestServer(t, Options{})
+	_, distributed := newTestServer(t, Options{Dist: dist.Options{Workers: 2, Dial: dialServe}})
+	ctx := testCtx(t)
+
+	idP := mustRun(t, ctx, plain, client.SubmitRequest{Scenario: []byte(quickScenario)})
+	idD := mustRun(t, ctx, distributed, client.SubmitRequest{Scenario: []byte(quickScenario)})
+	if idP != idD {
+		t.Fatalf("job ids differ: plain %s, distributed %s", idP, idD)
+	}
+	fetch := []struct {
+		name string
+		get  func(*client.Client) ([]byte, error)
+	}{
+		{"result", func(c *client.Client) ([]byte, error) { return c.ResultBytes(ctx, idP) }},
+		{"series", func(c *client.Client) ([]byte, error) { return c.SeriesCSV(ctx, idP) }},
+		{"events", func(c *client.Client) ([]byte, error) { return c.EventsCSV(ctx, idP) }},
+	}
+	for _, f := range fetch {
+		want, err := f.get(plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.get(distributed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s artifact differs between in-process and distributed execution", f.name)
+		}
+	}
+	m, err := distributed.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Executed != 1 {
+		t.Errorf("distributed server executed %d jobs, want 1", m.Executed)
+	}
+}
+
+// TestDistributedScenarioJobWorkerLost pins the failure contract at the
+// job layer: a worker connection dying surfaces as dist.ErrWorkerLost
+// from the job function, and through the HTTP layer as a failed job
+// whose error names the lost worker.
+func TestDistributedScenarioJobWorkerLost(t *testing.T) {
+	sc, err := dtnsim.ParseScenario([]byte(quickScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runScenarioJob(testCtx(t), sc, dist.Options{Workers: 1, Dial: dialDead})
+	if !errors.Is(err, dist.ErrWorkerLost) {
+		t.Fatalf("runScenarioJob over a dead worker = %v, want dist.ErrWorkerLost", err)
+	}
+
+	_, c := newTestServer(t, Options{Dist: dist.Options{Workers: 1, Dial: dialDead}})
+	ctx := testCtx(t)
+	sub, err := c.SubmitScenario(ctx, []byte(quickScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, sub.JobID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != client.StateFailed || !strings.Contains(st.Error, "worker lost") {
+		t.Fatalf("job over a dead worker ended %s (%q), want failed with a worker-lost error", st.State, st.Error)
 	}
 }
