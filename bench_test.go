@@ -431,10 +431,11 @@ func distWorkerBin(b *testing.B) string {
 // runDistBench times the 5k-node cell on worker processes. The workers
 // are spawned once, off the clock — process startup is session setup,
 // not per-run executor cost; Init/round framing is on the clock because
-// Run drives it.
-func runDistBench(b *testing.B, workers int) {
+// Run drives it. fullSnapshots disables delta shipping, isolating the
+// wire-size win of the state cache.
+func runDistBench(b *testing.B, workers int, fullSnapshots bool) {
 	b.Helper()
-	be, err := dist.New(dist.Options{Workers: workers, Protocol: "pure", WorkerBin: distWorkerBin(b)})
+	be, err := dist.New(dist.Options{Workers: workers, Protocol: "pure", WorkerBin: distWorkerBin(b), FullSnapshots: fullSnapshots})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -463,7 +464,13 @@ func runDistBench(b *testing.B, workers int) {
 // crosses the process boundary and nothing runs in parallel, so the
 // ratio against BenchmarkShardedRun5kOneShard is the pure
 // serialization/IPC overhead.
-func BenchmarkDistRun5kOneWorker(b *testing.B) { runDistBench(b, 1) }
+func BenchmarkDistRun5kOneWorker(b *testing.B) { runDistBench(b, 1, false) }
+
+// BenchmarkDistRun5kOneWorkerFull is the same cell with delta shipping
+// disabled: every round re-ships full node snapshots, as every round
+// did before the state cache existed. The benchguard
+// "dist-delta-overhead" pair gates the delta path's win against it.
+func BenchmarkDistRun5kOneWorkerFull(b *testing.B) { runDistBench(b, 1, true) }
 
 // BenchmarkDistRun5k runs one worker process per CPU. Like
 // BenchmarkShardedRun5k it skips below four cores and its benchguard
@@ -473,7 +480,7 @@ func BenchmarkDistRun5k(b *testing.B) {
 	if runtime.GOMAXPROCS(0) < 4 {
 		b.Skip("distributed speedup needs 4+ cores")
 	}
-	runDistBench(b, runtime.GOMAXPROCS(0))
+	runDistBench(b, runtime.GOMAXPROCS(0), false)
 }
 
 // --- parameter ablations (§IV swept values and enhancement knobs) ------------

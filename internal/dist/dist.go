@@ -3,22 +3,35 @@
 // collection, canonical-order merge, sampling, Result assembly — while
 // shipping epoch items to worker processes over length-prefixed binary
 // frames (internal/dist/frame) and installing the returned effect
-// buffers and node states.
+// buffers and node states. Connections come from a
+// transport.Transport: locally spawned processes over stdin/stdout
+// pipes, or TCP (optionally TLS) to workers on other machines.
 //
 // The coordinator owns the authoritative node state as decoded wire
 // snapshots: each round it sends every involved worker the states of
-// the non-pristine nodes its items touch, the worker reconstructs those
-// nodes, executes the items through the same core.Kernel the in-process
-// shards run, and ships back the mutated states plus each item's effect
-// buffer. Determinism is inherited wholesale: items execute over
-// identical state through identical code with encounter-derived RNG
-// seeding, and the merge replays effects in the same canonical order —
-// so Results and observer streams are byte-identical to the in-process
-// sharded (and sequential) engines for every worker count.
+// the non-pristine nodes its items touch — as full snapshots, or as
+// cache references for nodes whose state the worker already holds from
+// a previous round (delta shipping, negotiated via the Hello
+// handshake) — the worker reconstructs those nodes, executes the items
+// through the same core.Kernel the in-process shards run, and ships
+// back the mutated states plus each item's effect buffer. Determinism
+// is inherited wholesale: items execute over identical state through
+// identical code with encounter-derived RNG seeding, and the merge
+// replays effects in the same canonical order — so Results and
+// observer streams are byte-identical to the in-process sharded (and
+// sequential) engines for every worker count.
+//
+// Because the coordinator's snapshots are authoritative, a lost worker
+// is recoverable: the transport re-dials or re-spawns it and the
+// coordinator replays the in-flight round from its own states — full
+// snapshots, since the replacement's cache is empty — so the run
+// completes bit-identically instead of failing (bounded by
+// Options.MaxRestarts).
 package dist
 
 import (
 	"bufio"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -27,6 +40,7 @@ import (
 	"dtnsim/internal/buffer"
 	"dtnsim/internal/core"
 	"dtnsim/internal/dist/frame"
+	"dtnsim/internal/dist/transport"
 	"dtnsim/internal/protocol"
 )
 
@@ -44,7 +58,8 @@ var ErrWorkerLost = errors.New("dist: worker lost")
 
 // Options configures a distributed backend.
 type Options struct {
-	// Workers is the number of worker processes. Required, >= 1.
+	// Workers is the number of worker connections. Required, >= 1,
+	// except that it defaults to len(Hosts) when Hosts is set.
 	Workers int
 	// Protocol is the protocol spec (e.g. "immunity", "pq:p=0.75") the
 	// workers instantiate. Required; it must resolve to the same
@@ -54,6 +69,12 @@ type Options struct {
 	RoundItems int
 	// JSON switches the frames to the canonical-JSON debugging encoding.
 	JSON bool
+	// Hosts, when set, connects to dtnsim-worker -listen processes at
+	// these host:port addresses over TCP instead of spawning local
+	// processes. More workers than hosts round-robin across them.
+	Hosts []string
+	// TLS, when set with Hosts, upgrades the worker connections to TLS.
+	TLS *tls.Config
 	// WorkerBin is the dtnsim-worker binary to spawn. Empty tries a
 	// sibling of the running executable, then $PATH.
 	WorkerBin string
@@ -62,24 +83,51 @@ type Options struct {
 	// Stderr receives the spawned workers' stderr; nil inherits the
 	// coordinator's.
 	Stderr io.Writer
-	// Dial, when set, supplies the worker connections instead of
-	// spawning processes — the seam tests use to serve workers
+	// FullSnapshots disables delta shipping: every round carries full
+	// state snapshots even to workers that advertise the delta
+	// capability. Benchmarks pin the delta path's win against this.
+	FullSnapshots bool
+	// MaxRestarts bounds how many lost workers the run may replace and
+	// replay (summed across workers). 0 means 2×Workers; negative
+	// disables recovery so the first loss fails the run.
+	MaxRestarts int
+	// Dial, when set, supplies the worker connections instead of a
+	// built-in transport — the seam tests use to serve workers
 	// in-process and to inject failing connections.
 	Dial func(n int) ([]io.ReadWriteCloser, error)
+	// Redial, optionally set with Dial, replaces worker i's connection
+	// after a loss. When nil, a Dial-supplied backend cannot recover
+	// lost workers.
+	Redial func(i int) (io.ReadWriteCloser, error)
 }
+
+// verNone marks a node state a worker does not hold: pristine on the
+// coordinator, absent from a worker's cache.
+const verNone = ^uint64(0)
 
 // Backend coordinates worker processes behind the core.EpochBackend
 // seam. Create with New, hand to core.Config.Backend, Close when done.
 type Backend struct {
 	opt   Options
+	tr    transport.Transport
 	conns []*conn
-	procs *procSet // nil when Options.Dial supplied the connections
 
 	env    core.RunEnv
 	bufCap int
 	states []*frame.NodeState // authoritative; nil = pristine
 	seq    uint64
 	enc    byte
+	init   *frame.Init // the run's Init, kept for worker revival
+
+	// Delta-shipping bookkeeping. stateVer[n] is the round that
+	// produced states[n]; seen[w][n] is the version worker w's live
+	// node n mirrors (verNone: none). A round ships worker w a
+	// CacheRef instead of a snapshot exactly when seen[w][n] ==
+	// stateVer[n].
+	stateVer []uint64
+	seen     [][]uint64
+	deltaOK  []bool // worker advertised CapDelta and Options allow it
+	restarts int    // remaining worker-revival budget
 
 	// Scratch reused across rounds.
 	uf       unionFind
@@ -104,9 +152,15 @@ func (c *conn) send(m *frame.Msg) error {
 
 func (c *conn) recv() (*frame.Msg, error) { return frame.Read(c.br) }
 
-// New connects the backend's workers: through opt.Dial when set,
-// otherwise by spawning opt.Workers dtnsim-worker processes.
+// New connects the backend's workers: through opt.Dial when set, over
+// TCP when opt.Hosts is set, otherwise by spawning opt.Workers
+// dtnsim-worker processes. Every connection is handshaken (Hello
+// exchange: frame version must match, capabilities negotiate delta
+// shipping downward) before the backend is returned.
 func New(opt Options) (*Backend, error) {
+	if opt.Workers == 0 && len(opt.Hosts) > 0 {
+		opt.Workers = len(opt.Hosts)
+	}
 	if opt.Workers < 1 {
 		return nil, fmt.Errorf("dist: need at least one worker, got %d", opt.Workers)
 	}
@@ -120,28 +174,66 @@ func New(opt Options) (*Backend, error) {
 	if opt.JSON {
 		b.enc = frame.EncJSON
 	}
-	var rwcs []io.ReadWriteCloser
-	var err error
-	if opt.Dial != nil {
-		rwcs, err = opt.Dial(opt.Workers)
-	} else {
-		b.procs, rwcs, err = spawnWorkers(&opt)
+	switch {
+	case opt.Dial != nil:
+		b.tr = funcTransport{dial: opt.Dial, redial: opt.Redial}
+	case len(opt.Hosts) > 0:
+		b.tr = &transport.TCP{Hosts: opt.Hosts, TLS: opt.TLS}
+	default:
+		b.tr = &transport.Pipes{Bin: opt.WorkerBin, Args: opt.WorkerArgs, Stderr: opt.Stderr}
 	}
+	rwcs, err := b.tr.Dial(opt.Workers)
 	if err != nil {
+		b.tr.Close()
 		return nil, err
 	}
 	if len(rwcs) != opt.Workers {
 		closeAll(rwcs)
+		b.tr.Close()
 		return nil, fmt.Errorf("dist: dialed %d connections for %d workers", len(rwcs), opt.Workers)
 	}
 	b.conns = make([]*conn, len(rwcs))
 	for i, rwc := range rwcs {
-		b.conns[i] = &conn{rwc: rwc, br: bufio.NewReader(rwc), bw: bufio.NewWriter(rwc)}
+		b.conns[i] = newConn(rwc)
 	}
+	b.restarts = opt.MaxRestarts
+	if b.restarts == 0 {
+		b.restarts = 2 * opt.Workers
+	}
+	b.deltaOK = make([]bool, opt.Workers)
+	b.seen = make([][]uint64, opt.Workers)
 	b.assigned = make([][]int, opt.Workers)
 	b.involved = make([][]int, opt.Workers)
+	for i := range b.conns {
+		if err := b.handshake(i); err != nil {
+			b.Close()
+			return nil, err
+		}
+	}
 	return b, nil
 }
+
+func newConn(rwc io.ReadWriteCloser) *conn {
+	return &conn{rwc: rwc, br: bufio.NewReader(rwc), bw: bufio.NewWriter(rwc)}
+}
+
+// funcTransport adapts the Options.Dial/Options.Redial function seam
+// to a transport.Transport.
+type funcTransport struct {
+	dial   func(n int) ([]io.ReadWriteCloser, error)
+	redial func(i int) (io.ReadWriteCloser, error)
+}
+
+func (t funcTransport) Dial(n int) ([]io.ReadWriteCloser, error) { return t.dial(n) }
+
+func (t funcTransport) Redial(i int) (io.ReadWriteCloser, error) {
+	if t.redial == nil {
+		return nil, errors.New("dist: transport cannot replace workers")
+	}
+	return t.redial(i)
+}
+
+func (t funcTransport) Close() error { return nil }
 
 func closeAll(rwcs []io.ReadWriteCloser) {
 	for _, rwc := range rwcs {
@@ -149,24 +241,84 @@ func closeAll(rwcs []io.ReadWriteCloser) {
 	}
 }
 
+// handshake exchanges Hello frames with worker w: the coordinator
+// announces its version and capabilities, the worker replies with its
+// own. Version skew is fatal; capabilities only negotiate optional
+// behavior (delta shipping) downward.
+func (b *Backend) handshake(w int) error {
+	hello := &frame.Hello{Version: frame.Version, Caps: frame.CapDelta}
+	if err := b.conns[w].send(&frame.Msg{Enc: b.enc, Hello: hello}); err != nil {
+		return fmt.Errorf("%w: worker %d: handshake: %v", ErrWorkerLost, w, err)
+	}
+	m, err := b.conns[w].recv()
+	if err != nil {
+		return fmt.Errorf("%w: worker %d: handshake: %v", ErrWorkerLost, w, err)
+	}
+	switch {
+	case m.Err != nil:
+		return fmt.Errorf("dist: worker %d: %s", w, m.Err.Msg)
+	case m.Hello == nil:
+		return fmt.Errorf("dist: worker %d: handshake got type-%d frame, want hello", w, m.Type())
+	case m.Hello.Version != frame.Version:
+		return fmt.Errorf("dist: worker %d speaks frame version %d, coordinator speaks %d",
+			w, m.Hello.Version, frame.Version)
+	}
+	b.deltaOK[w] = !b.opt.FullSnapshots && m.Hello.Caps&frame.CapDelta != 0
+	return nil
+}
+
+// revive replaces worker w after cause lost it: re-dial through the
+// transport, handshake, re-send the run's Init, and forget everything
+// the old worker held so the next round ships full snapshots. The
+// caller then replays whatever was in flight from the coordinator's
+// authoritative states. Each revival spends one unit of the restart
+// budget; when it is gone, the original loss surfaces as the run
+// error.
+func (b *Backend) revive(w int, cause error) error {
+	if b.restarts <= 0 {
+		return fmt.Errorf("%w: worker %d: %v (worker-restart budget exhausted)", ErrWorkerLost, w, cause)
+	}
+	b.restarts--
+	b.conns[w].rwc.Close()
+	rwc, err := b.tr.Redial(w)
+	if err != nil {
+		return fmt.Errorf("%w: worker %d: %v (re-dial: %v)", ErrWorkerLost, w, cause, err)
+	}
+	b.conns[w] = newConn(rwc)
+	for i := range b.seen[w] {
+		b.seen[w][i] = verNone
+	}
+	if err := b.handshake(w); err != nil {
+		return err
+	}
+	if b.init != nil {
+		if err := b.conns[w].send(&frame.Msg{Enc: b.enc, Init: b.init}); err != nil {
+			return fmt.Errorf("%w: worker %d: replayed init: %v", ErrWorkerLost, w, err)
+		}
+	}
+	return nil
+}
+
 // Close tears the workers down: connections close (a worker's Serve
-// loop exits on the EOF) and spawned processes are reaped, killed after
-// a grace period if they ignore the EOF. Safe after a failed run.
+// loop exits on the EOF) and the transport cleans up — spawned
+// processes are reaped, killed after a grace period if they ignore the
+// EOF, with every worker's exit error aggregated. Safe after a failed
+// run.
 func (b *Backend) Close() error {
-	var first error
+	var errs []error
 	for _, c := range b.conns {
-		if err := c.rwc.Close(); err != nil && first == nil {
-			first = err
+		if err := c.rwc.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	b.conns = nil
-	if b.procs != nil {
-		if err := b.procs.wait(); err != nil && first == nil {
-			first = err
+	if b.tr != nil {
+		if err := b.tr.Close(); err != nil {
+			errs = append(errs, err)
 		}
-		b.procs = nil
+		b.tr = nil
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // Start implements core.EpochBackend: capture the run environment and
@@ -183,6 +335,15 @@ func (b *Backend) Start(env core.RunEnv) error {
 	b.env = env
 	b.bufCap = env.Cfg.BufferCap
 	b.states = make([]*frame.NodeState, len(env.Nodes))
+	b.stateVer = make([]uint64, len(env.Nodes))
+	for w := range b.seen {
+		if len(b.seen[w]) != len(env.Nodes) {
+			b.seen[w] = make([]uint64, len(env.Nodes))
+		}
+		for i := range b.seen[w] {
+			b.seen[w][i] = verNone
+		}
+	}
 	b.seq = 0
 	policy := ""
 	if env.Cfg.BufferBytes > 0 {
@@ -190,7 +351,7 @@ func (b *Backend) Start(env core.RunEnv) error {
 			policy = buffer.DefaultDropPolicy
 		}
 	}
-	init := &frame.Init{
+	b.init = &frame.Init{
 		Seed:           env.Cfg.Seed,
 		Nodes:          len(env.Nodes),
 		BufferCap:      env.Cfg.BufferCap,
@@ -203,8 +364,11 @@ func (b *Backend) Start(env core.RunEnv) error {
 		Protocol:       b.opt.Protocol,
 	}
 	for i, c := range b.conns {
-		if err := c.send(&frame.Msg{Enc: b.enc, Init: init}); err != nil {
-			return fmt.Errorf("%w: worker %d: %v", ErrWorkerLost, i, err)
+		if err := c.send(&frame.Msg{Enc: b.enc, Init: b.init}); err != nil {
+			// revive re-sends the Init itself after the handshake.
+			if err := b.revive(i, err); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -232,6 +396,14 @@ func (b *Backend) RunEpoch(ep *core.Epoch) error {
 // The read-back barrier between rounds is what preserves the per-node
 // order across rounds; within a round, items sharing a node land in one
 // component and execute in item order on one worker.
+//
+// A lost worker at any point is revived and its round replayed. That
+// replay is deterministic by construction: a round's per-worker inputs
+// are disjoint (components share no nodes), so the coordinator's
+// authoritative states for the lost worker's nodes are exactly what it
+// sent the first time, and the replacement executes the identical
+// items over identical state. Worker-reported errors and protocol-skew
+// mismatches are not losses — they are corruption and stay fatal.
 func (b *Backend) runRound(ep *core.Epoch, lo, hi int) error {
 	comps := b.components(ep, lo, hi)
 	b.assign(ep, comps)
@@ -239,33 +411,69 @@ func (b *Backend) runRound(ep *core.Epoch, lo, hi int) error {
 	// Ship the rounds, then collect replies in worker order — the reply
 	// order (not arrival order) is what keeps state installation
 	// deterministic.
+	for w := range b.assigned {
+		if len(b.assigned[w]) == 0 {
+			continue
+		}
+		if err := b.sendRound(ep, w); err != nil {
+			return err
+		}
+	}
 	for w, idxs := range b.assigned {
 		if len(idxs) == 0 {
 			continue
 		}
+		for {
+			err := b.collect(ep, w, idxs)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrWorkerLost) {
+				return err
+			}
+			if err := b.revive(w, err); err != nil {
+				return err
+			}
+			if err := b.sendRound(ep, w); err != nil {
+				return err
+			}
+		}
+	}
+	b.seq++
+	return nil
+}
+
+// sendRound builds worker w's Round from the current assignment and
+// ships it, reviving and retrying on connection loss. For each
+// involved non-pristine node the round carries either the full
+// snapshot or, when the worker already holds the current version, a
+// CacheRef — the delta path that keeps repeat encounters off the wire.
+func (b *Backend) sendRound(ep *core.Epoch, w int) error {
+	for {
+		idxs := b.assigned[w]
 		round := frame.Round{Seq: b.seq, Items: make([]frame.Item, len(idxs))}
 		for j, idx := range idxs {
 			round.Items[j] = itemToWire(idx, ep.Item(idx))
 		}
 		for _, id := range b.involved[w] {
-			if st := b.states[id]; st != nil {
+			st := b.states[id]
+			if st == nil {
+				continue
+			}
+			if b.deltaOK[w] && b.seen[w][id] == b.stateVer[id] {
+				round.Cached = append(round.Cached, frame.CacheRef{ID: id, Ver: b.stateVer[id]})
+			} else {
 				round.States = append(round.States, *st)
 			}
 		}
-		if err := b.conns[w].send(&frame.Msg{Enc: b.enc, Round: &round}); err != nil {
-			return fmt.Errorf("%w: worker %d: %v", ErrWorkerLost, w, err)
+		err := b.conns[w].send(&frame.Msg{Enc: b.enc, Round: &round})
+		if err == nil {
+			return nil
 		}
-	}
-	for w, idxs := range b.assigned {
-		if len(idxs) == 0 {
-			continue
-		}
-		if err := b.collect(ep, w, idxs); err != nil {
+		if err := b.revive(w, err); err != nil {
 			return err
 		}
 	}
-	b.seq++
-	return nil
 }
 
 // collect reads one worker's Effects reply and installs it.
@@ -316,6 +524,10 @@ func (b *Backend) collect(ep *core.Epoch, w int, idxs []int) error {
 				w, st.ID, b.involved[w][j])
 		}
 		b.states[st.ID] = st
+		// The worker now holds this node live at this round's version —
+		// the next round it is involved in may ship a CacheRef.
+		b.stateVer[st.ID] = b.seq
+		b.seen[w][st.ID] = b.seq
 	}
 	return nil
 }

@@ -4,12 +4,13 @@
 //
 // Layout of one frame:
 //
-//	[u32 LE length] [version=1] [type] [enc] [payload…]
+//	[u32 LE length] [version=2] [type] [enc] [payload…]
 //
 // where length covers everything after itself (3 + len(payload)).
-// Types: Init (run setup), Round (items + touched node states,
-// coordinator→worker), Effects (recorded effects + updated states,
-// worker→coordinator), Error (worker failure report). The payload is
+// Types: Init (run setup), Round (items + touched node states and
+// cache references, coordinator→worker), Effects (recorded effects +
+// updated states, worker→coordinator), Error (worker failure report),
+// Hello (version/capability handshake, both directions). The payload is
 // either the compact binary encoding (enc 0: varints for integers,
 // fixed 8-byte little-endian IEEE bits for floats, length-prefixed
 // strings) or, behind the coordinator's -dist-json debugging flag,
@@ -34,8 +35,11 @@ import (
 	"dtnsim/internal/protocol"
 )
 
-// Version is the only frame version this codec speaks.
-const Version = 1
+// Version is the only frame version this codec speaks. Version 2
+// added the Hello handshake frame and the Round.Cached delta records;
+// the version byte rides every frame, so a coordinator and worker
+// from different versions fail loudly on the first frame either way.
+const Version = 2
 
 // Payload encodings.
 const (
@@ -49,6 +53,7 @@ const (
 	TRound   = 2
 	TEffects = 3
 	TError   = 4
+	THello   = 5
 )
 
 // maxFrame bounds one frame's declared length: large enough for a
@@ -58,6 +63,37 @@ const maxFrame = 1 << 26
 
 // ErrFrame wraps every decoding failure.
 var ErrFrame = errors.New("frame: invalid frame")
+
+// Capability bits carried in Hello.Caps.
+const (
+	// CapDelta: the sender understands Round.Cached references and, as
+	// a worker, keeps executed nodes live between rounds so the
+	// coordinator may ship a CacheRef instead of a full snapshot.
+	CapDelta uint64 = 1 << 0
+)
+
+// Hello is the handshake payload both sides exchange on a fresh
+// connection before any Init: the coordinator announces its codec
+// version and capabilities, the worker replies with its own. The
+// version byte on the frame header already rejects cross-version
+// frames; Hello makes the failure mode a readable error and lets the
+// two sides negotiate optional behavior (delta shipping) downward.
+type Hello struct {
+	Version int    `json:"version"`
+	Caps    uint64 `json:"caps,omitempty"`
+}
+
+// CacheRef is a Round delta record: "node ID is unchanged since the
+// round with sequence number Ver, whose resulting state you already
+// hold." The worker resolves it against its live node cache instead of
+// restoring a shipped snapshot; a worker that cannot (fresh
+// connection, version skew) reports the mismatch as corruption rather
+// than guessing — the coordinator only emits refs it knows the worker
+// holds.
+type CacheRef struct {
+	ID  int    `json:"id"`
+	Ver uint64 `json:"ver"`
+}
 
 // Init is the run-setup payload: everything a worker needs to mirror
 // the coordinator's engine configuration (scalars after defaulting and
@@ -139,11 +175,15 @@ type NodeState struct {
 }
 
 // Round is one coordinator→worker work assignment: the states of every
-// involved non-pristine node, then the items to execute in order. Seq
-// numbers rounds within a run for error reporting.
+// involved non-pristine node the worker does not already hold, cache
+// references for those it does, then the items to execute in order.
+// Seq numbers rounds within a run for error reporting and as the
+// version stamp CacheRef.Ver refers to. Involved nodes in neither
+// States nor Cached are pristine: the worker constructs them fresh.
 type Round struct {
 	Seq    uint64      `json:"seq"`
 	States []NodeState `json:"states,omitempty"`
+	Cached []CacheRef  `json:"cached,omitempty"`
 	Items  []Item      `json:"items,omitempty"`
 }
 
@@ -189,6 +229,7 @@ type Msg struct {
 	Round   *Round
 	Effects *Effects
 	Err     *ErrorMsg
+	Hello   *Hello
 }
 
 // Type returns the frame type of the set payload, or 0 if none is set.
@@ -202,6 +243,8 @@ func (m *Msg) Type() byte {
 		return TEffects
 	case m.Err != nil:
 		return TError
+	case m.Hello != nil:
+		return THello
 	}
 	return 0
 }
@@ -224,6 +267,8 @@ func Encode(m *Msg) ([]byte, error) {
 			v = m.Effects
 		case TError:
 			v = m.Err
+		case THello:
+			v = m.Hello
 		}
 		var err error
 		payload, err = json.Marshal(v)
@@ -240,6 +285,8 @@ func Encode(m *Msg) ([]byte, error) {
 			payload = appendEffects(nil, m.Effects)
 		case TError:
 			payload = appendString(nil, m.Err.Msg)
+		case THello:
+			payload = appendHello(nil, m.Hello)
 		}
 	} else {
 		return nil, fmt.Errorf("%w: unknown encoding %d", ErrFrame, m.Enc)
@@ -324,6 +371,9 @@ func decodeBody(body []byte) (*Msg, error) {
 		case TError:
 			m.Err = new(ErrorMsg)
 			err = strictUnmarshal(payload, m.Err)
+		case THello:
+			m.Hello = new(Hello)
+			err = strictUnmarshal(payload, m.Hello)
 		default:
 			return nil, fmt.Errorf("%w: unknown type %d", ErrFrame, t)
 		}
@@ -341,6 +391,8 @@ func decodeBody(body []byte) (*Msg, error) {
 			m.Effects = readEffects(d)
 		case TError:
 			m.Err = &ErrorMsg{Msg: d.str()}
+		case THello:
+			m.Hello = readHello(d)
 		default:
 			return nil, fmt.Errorf("%w: unknown type %d", ErrFrame, t)
 		}
@@ -491,11 +543,21 @@ func appendRound(b []byte, r *Round) []byte {
 	for i := range r.States {
 		b = appendNodeState(b, &r.States[i])
 	}
+	b = appendUint(b, uint64(len(r.Cached)))
+	for i := range r.Cached {
+		b = appendInt(b, int64(r.Cached[i].ID))
+		b = appendUint(b, r.Cached[i].Ver)
+	}
 	b = appendUint(b, uint64(len(r.Items)))
 	for i := range r.Items {
 		b = appendItem(b, &r.Items[i])
 	}
 	return b
+}
+
+func appendHello(b []byte, h *Hello) []byte {
+	b = appendInt(b, int64(h.Version))
+	return appendUint(b, h.Caps)
 }
 
 func appendEffects(b []byte, e *Effects) []byte {
@@ -733,12 +795,22 @@ func readRound(d *dec) *Round {
 		}
 	}
 	if n := d.count(); n > 0 {
+		r.Cached = make([]CacheRef, n)
+		for i := range r.Cached {
+			r.Cached[i] = CacheRef{ID: int(d.int()), Ver: d.uint()}
+		}
+	}
+	if n := d.count(); n > 0 {
 		r.Items = make([]Item, n)
 		for i := range r.Items {
 			readItem(d, &r.Items[i])
 		}
 	}
 	return r
+}
+
+func readHello(d *dec) *Hello {
+	return &Hello{Version: int(d.int()), Caps: d.uint()}
 }
 
 func readEffects(d *dec) *Effects {

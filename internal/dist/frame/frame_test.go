@@ -46,6 +46,7 @@ func sampleMsgs() []*Msg {
 					Ext: protocol.ExtState{Kind: protocol.ExtImmunity,
 						IDs: []bundle.ID{{Src: 1, Seq: 2}, {Src: 3, Seq: 4}}}},
 			},
+			Cached: []CacheRef{{ID: 5, Ver: 3}, {ID: 11, Ver: 6}},
 			Items: []Item{
 				{Idx: 0, Gen: true, T: 100, A: 5, B: 5, FlowSrc: 5, FlowDst: 11,
 					Count: 30, StartAt: 100, Size: 512, Base: 0, FirstSeq: 0},
@@ -53,6 +54,11 @@ func sampleMsgs() []*Msg {
 			},
 		}},
 		{Round: &Round{Seq: 0}},
+		{Round: &Round{Seq: 12, Cached: []CacheRef{{ID: 0, Ver: 11}},
+			Items: []Item{{Idx: 9, T: 1, A: 0, B: 0, Start: 1, End: 2}}}},
+		{Hello: &Hello{Version: Version, Caps: CapDelta}},
+		{Hello: &Hello{Version: 1}},
+		{Enc: EncJSON, Hello: &Hello{Version: Version, Caps: CapDelta}},
 		{Effects: &Effects{
 			Seq: 7,
 			States: []NodeState{

@@ -1,0 +1,211 @@
+package transport
+
+// Transport-layer unit tests: process lifecycle (spawn-failure
+// cleanup, per-worker exit-error aggregation, respawn) and TCP/TLS
+// dialing against loopback listeners. The frame protocol is not
+// involved — transports move opaque bytes.
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"io"
+	"math/big"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echo serves every accepted connection by copying reads back to
+// writes, closing when the peer does.
+func echo(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+}
+
+// roundTrip writes a probe through the connection and expects it
+// echoed back.
+func roundTrip(t *testing.T, c io.ReadWriteCloser, probe string) {
+	t.Helper()
+	if _, err := c.Write([]byte(probe)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, len(probe))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != probe {
+		t.Fatalf("echoed %q, want %q", buf, probe)
+	}
+}
+
+// TestPipesDialFailureCleansUp pins the spawn-failure path: a binary
+// that cannot start fails Dial with a useful error and leaves no
+// processes behind (Close after the failure is a no-op).
+func TestPipesDialFailureCleansUp(t *testing.T) {
+	p := &Pipes{Bin: "/nonexistent/worker-binary"}
+	if _, err := p.Dial(2); err == nil {
+		t.Fatal("Dial with a nonexistent binary succeeded")
+	}
+	if len(p.cmds) != 0 {
+		t.Errorf("%d processes tracked after failed Dial", len(p.cmds))
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("Close after failed Dial: %v", err)
+	}
+}
+
+// TestPipesCloseAggregatesExitErrors is the satellite obligation:
+// when several workers exit abnormally, Close reports every worker's
+// identity and exit error, not just the first.
+func TestPipesCloseAggregatesExitErrors(t *testing.T) {
+	p := &Pipes{Bin: "/bin/false"}
+	conns, err := p.Dial(2)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	err = p.Close()
+	if err == nil {
+		t.Fatal("Close of workers that exited 1 returned nil")
+	}
+	for _, want := range []string{"worker 0", "worker 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("aggregated error %q does not mention %s", err, want)
+		}
+	}
+}
+
+// TestPipesRedial pins the respawn path: replacing a worker's process
+// yields a fresh working connection and the replacement is reaped
+// cleanly at Close.
+func TestPipesRedial(t *testing.T) {
+	p := &Pipes{Bin: "/bin/cat"}
+	conns, err := p.Dial(1)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	roundTrip(t, conns[0], "before\n")
+	conns[0].Close()
+	replacement, err := p.Redial(0)
+	if err != nil {
+		t.Fatalf("Redial: %v", err)
+	}
+	roundTrip(t, replacement, "after\n")
+	replacement.Close()
+	if err := p.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := p.Redial(5); err == nil {
+		t.Error("Redial of an unknown worker index succeeded")
+	}
+}
+
+// TestTCPDialRedial pins the TCP transport: round-robin host
+// assignment, working byte streams, and Redial reconnecting to the
+// lost slot's host.
+func TestTCPDialRedial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echo(t, ln)
+	tr := &TCP{Hosts: []string{ln.Addr().String()}}
+	conns, err := tr.Dial(2) // two workers round-robin onto one host
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	for i, c := range conns {
+		roundTrip(t, c, "ping\n")
+		if err := c.Close(); err != nil {
+			t.Errorf("close conn %d: %v", i, err)
+		}
+	}
+	again, err := tr.Redial(1)
+	if err != nil {
+		t.Fatalf("Redial: %v", err)
+	}
+	roundTrip(t, again, "pong\n")
+	again.Close()
+	if err := tr.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := (&TCP{}).Dial(1); err == nil {
+		t.Error("Dial with no hosts succeeded")
+	}
+}
+
+// selfSignedCert builds an ECDSA certificate for 127.0.0.1, returning
+// the server keypair and a pool trusting it.
+func selfSignedCert(t *testing.T) (tls.Certificate, *x509.CertPool) {
+	t.Helper()
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "dtnsim-worker-test"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		IPAddresses:           []net.IP{net.ParseIP("127.0.0.1")},
+		IsCA:                  true,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(leaf)
+	return tls.Certificate{Certificate: [][]byte{der}, PrivateKey: key, Leaf: leaf}, pool
+}
+
+// TestTCPTLS pins the TLS upgrade: a certificate the client trusts
+// handshakes and moves bytes; an untrusted one fails the dial instead
+// of silently downgrading.
+func TestTCPTLS(t *testing.T) {
+	cert, pool := selfSignedCert(t)
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	ln := tls.NewListener(inner, &tls.Config{Certificates: []tls.Certificate{cert}})
+	echo(t, ln)
+	tr := &TCP{Hosts: []string{inner.Addr().String()}, TLS: &tls.Config{RootCAs: pool}}
+	conns, err := tr.Dial(1)
+	if err != nil {
+		t.Fatalf("Dial over TLS: %v", err)
+	}
+	roundTrip(t, conns[0], "secret\n")
+	conns[0].Close()
+	untrusting := &TCP{Hosts: []string{inner.Addr().String()}, TLS: &tls.Config{RootCAs: x509.NewCertPool()}}
+	if _, err := untrusting.Dial(1); err == nil {
+		t.Error("Dial with an empty trust pool succeeded")
+	}
+}

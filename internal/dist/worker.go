@@ -15,26 +15,35 @@ import (
 	"dtnsim/internal/sim"
 )
 
-// Serve runs the worker side of the protocol over a frame stream:
-// one Init, then rounds until the coordinator closes the stream (clean
-// io.EOF returns nil — how Close shuts a worker down).
+// Serve runs the worker side of the protocol over a frame stream: a
+// Hello handshake, one Init, then rounds until the coordinator closes
+// the stream (clean io.EOF returns nil — how Close shuts a worker
+// down).
 //
 // Per round the worker reconstructs every node its items touch — from
-// the shipped snapshot when one is present, freshly (pristine) when
-// not — executes the items in order through core.Kernel, and replies
-// with each item's effect buffer plus the updated snapshots of all
-// involved nodes. Internal failures are reported as Error frames and
-// latched: subsequent rounds get the same report instead of executing
-// on corrupt state, and the coordinator turns the first one into the
-// run error.
+// the shipped snapshot when one is present, from its live-node cache
+// when the round carries a CacheRef (delta shipping), freshly
+// (pristine) when neither — executes the items in order through
+// core.Kernel, and replies with each item's effect buffer plus the
+// updated snapshots of all involved nodes. Internal failures are
+// reported as Error frames and latched: subsequent rounds get the same
+// report instead of executing on corrupt state, and the coordinator
+// turns the first one into the run error.
 func Serve(r io.Reader, w io.Writer) error {
-	return serve(r, w, 0)
+	return ServeWith(r, w, ServeOpts{})
 }
 
-// serve is Serve with a test hook: when failAfter > 0, the worker
-// drops the connection (simulating a crash) before replying to the
-// failAfter-th round it receives.
-func serve(r io.Reader, w io.Writer, failAfter int) error {
+// ServeOpts configures Serve's fault injection, used by recovery tests
+// and the CI kill-a-worker smoke leg.
+type ServeOpts struct {
+	// FailAfterRounds > 0 makes the worker drop the connection
+	// (simulating a crash) before replying to the FailAfterRounds-th
+	// round it receives.
+	FailAfterRounds int
+}
+
+// ServeWith is Serve with options.
+func ServeWith(r io.Reader, w io.Writer, opts ServeOpts) error {
 	br, bw := bufio.NewReader(r), bufio.NewWriter(w)
 	var s workerState
 	rounds := 0
@@ -47,13 +56,21 @@ func serve(r io.Reader, w io.Writer, failAfter int) error {
 			return err
 		}
 		switch {
+		case m.Hello != nil:
+			reply := &frame.Msg{Enc: m.Enc, Hello: &frame.Hello{Version: frame.Version, Caps: frame.CapDelta}}
+			if err := frame.Write(bw, reply); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
 		case m.Init != nil:
 			if err := s.init(m.Init); err != nil {
 				s.fail = err.Error()
 			}
 		case m.Round != nil:
 			rounds++
-			if failAfter > 0 && rounds >= failAfter {
+			if opts.FailAfterRounds > 0 && rounds >= opts.FailAfterRounds {
 				return fmt.Errorf("dist: worker failure injected at round %d", rounds)
 			}
 			var reply *frame.Msg
@@ -83,10 +100,14 @@ type workerState struct {
 	cfg   frame.Init
 	kern  *core.Kernel
 	proto protocol.Protocol
-	// nodes[i] is the local materialization of node i, rebuilt whenever
-	// a round touches it. Entries persist across rounds only as an
-	// allocation cache — every round's state comes from the coordinator.
+	// nodes[i] is the local materialization of node i. A node the
+	// worker executed stays live between rounds (live[i], at version
+	// ver[i] — the Seq of the last round that touched it) so the
+	// coordinator can ship a CacheRef instead of its snapshot; a
+	// shipped snapshot always rebuilds the node from scratch.
 	nodes []*node.Node
+	live  []bool
+	ver   []uint64
 	items []core.EpochItem
 	fail  string
 }
@@ -108,6 +129,8 @@ func (s *workerState) init(in *frame.Init) error {
 	s.cfg = *in
 	s.proto = fac.New()
 	s.nodes = make([]*node.Node, in.Nodes)
+	s.live = make([]bool, in.Nodes)
+	s.ver = make([]uint64, in.Nodes)
 	s.kern = &core.Kernel{
 		Nodes:          s.nodes,
 		Hooks:          make([]*core.EffectBuf, in.Nodes),
@@ -140,8 +163,9 @@ func (s *workerState) round(r *frame.Round) (*frame.Effects, error) {
 	if s.kern == nil {
 		return nil, fmt.Errorf("dist: round %d before init", r.Seq)
 	}
-	// Materialize the shipped states first, then pristine nodes for any
-	// item endpoint the round carried no state for.
+	// Materialize the shipped states first, resolve cache references
+	// against the live nodes, then pristine nodes for any item endpoint
+	// the round carried neither for.
 	for i := range r.States {
 		st := &r.States[i]
 		if st.ID < 0 || st.ID >= len(s.nodes) {
@@ -151,9 +175,20 @@ func (s *workerState) round(r *frame.Round) (*frame.Effects, error) {
 			return nil, err
 		}
 	}
-	fresh := make(map[int]bool, len(r.States))
+	fresh := make(map[int]bool, len(r.States)+len(r.Cached))
 	for i := range r.States {
 		fresh[r.States[i].ID] = true
+	}
+	for _, ref := range r.Cached {
+		if ref.ID < 0 || ref.ID >= len(s.nodes) {
+			return nil, fmt.Errorf("dist: round %d: cache ref for node %d outside population", r.Seq, ref.ID)
+		}
+		// A ref the worker cannot resolve means the two sides disagree
+		// about what this worker holds — corruption, not recoverable.
+		if !s.live[ref.ID] || s.ver[ref.ID] != ref.Ver {
+			return nil, fmt.Errorf("dist: round %d: no live node %d at version %d", r.Seq, ref.ID, ref.Ver)
+		}
+		fresh[ref.ID] = true
 	}
 	for i := range r.Items {
 		w := &r.Items[i]
@@ -212,6 +247,10 @@ func (s *workerState) round(r *frame.Round) (*frame.Effects, error) {
 			return nil, err
 		}
 		eff.States[i] = st
+		// The node stays live at this round's version — the
+		// coordinator may reference it instead of re-shipping.
+		s.live[id] = true
+		s.ver[id] = r.Seq
 	}
 	return eff, nil
 }

@@ -91,10 +91,11 @@ type Options struct {
 	// limit. The deadline is threaded into the engine's event loop via
 	// core.Config.Context, so even a single long run aborts promptly.
 	JobTimeout time.Duration
-	// Dist, when Dist.Workers > 0, executes each scenario job's epochs
-	// on that many dtnsim-worker processes (spawned per job, reaped with
-	// it); Dist.Protocol is filled in from the job's scenario. Results
-	// stay byte-identical to in-process execution, so the cache needs no
+	// Dist, when Dist.Workers > 0 or Dist.Hosts is set, executes each
+	// scenario job's epochs on dtnsim-worker processes — spawned per
+	// job and reaped with it, or dialed over TCP at Dist.Hosts;
+	// Dist.Protocol is filled in from the job's scenario. Results stay
+	// byte-identical to in-process execution, so the cache needs no
 	// notion of how an entry was computed. Sweep jobs ignore it — their
 	// parallelism is across runs, governed by SweepSpec.Workers.
 	Dist dist.Options
@@ -321,9 +322,10 @@ func (m *Manager) run(j *Job, ctx context.Context, spec []byte, exec func(contex
 // runScenarioJob executes one scenario and renders all three cached
 // artifacts. The event and series CSVs stream from the same run the
 // result came from, so the three artifacts are mutually consistent.
-// With dopt.Workers > 0 the run's epochs execute on worker processes
-// owned by this job and torn down with it; since distributed results
-// are byte-identical, the artifacts (and thus the cache) are the same
+// With dopt.Workers > 0 or dopt.Hosts set the run's epochs execute on
+// worker processes — spawned and owned by this job, or dialed over
+// TCP — and torn down with it; since distributed results are
+// byte-identical, the artifacts (and thus the cache) are the same
 // either way.
 func runScenarioJob(ctx context.Context, sc dtnsim.Scenario, dopt dist.Options) (map[string][]byte, error) {
 	cfg, err := sc.Compile()
@@ -331,7 +333,7 @@ func runScenarioJob(ctx context.Context, sc dtnsim.Scenario, dopt dist.Options) 
 		return nil, err
 	}
 	cfg.Context = ctx
-	if dopt.Workers > 0 {
+	if dopt.Workers > 0 || len(dopt.Hosts) > 0 {
 		dopt.Protocol = string(sc.Protocol)
 		be, err := dist.New(dopt)
 		if err != nil {
